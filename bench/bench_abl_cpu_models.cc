@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation: the two core models. The benches use the fast one-pass
+ * dataflow model (ooo_core); the cycle-driven model (cycle_core) is the
+ * reference. This bench shows that both produce the same *relative*
+ * story for Figure 15 -- baseline > HMNM4 > Perfect in cycles -- and
+ * reports how far apart their absolute IPCs sit.
+ */
+
+#include <memory>
+
+#include "core/presets.hh"
+#include "cpu/cycle_core.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "trace/spec2000.hh"
+#include "util/table.hh"
+
+using namespace mnm;
+
+namespace
+{
+
+template <typename Core>
+Cycles
+runCore(const std::string &app, const std::string &config,
+        std::uint64_t instructions)
+{
+    CacheHierarchy hierarchy(paperHierarchy(5));
+    std::unique_ptr<MnmUnit> mnm;
+    if (!config.empty())
+        mnm = std::make_unique<MnmUnit>(mnmSpecByName(config), hierarchy);
+    Core core(paperCpu(5), hierarchy, mnm.get());
+    auto workload = makeSpecWorkload(app);
+    return core.run(*workload, instructions).cycles;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    // The cycle model is ~5x slower; cap the per-app budget.
+    std::uint64_t n = std::min<std::uint64_t>(opts.instructions, 500000);
+
+    Table table("Ablation: dataflow vs cycle-driven core "
+                "(cycle-reduction %, both models)");
+    table.setHeader({"app", "df HMNM4", "cyc HMNM4", "df Perfect",
+                     "cyc Perfect", "ipc ratio"});
+
+    for (const std::string &app : opts.apps) {
+        Cycles df_base = runCore<OooCore>(app, "", n);
+        Cycles df_hmnm = runCore<OooCore>(app, "HMNM4", n);
+        Cycles df_perf = runCore<OooCore>(app, "Perfect", n);
+        Cycles cy_base = runCore<CycleOooCore>(app, "", n);
+        Cycles cy_hmnm = runCore<CycleOooCore>(app, "HMNM4", n);
+        Cycles cy_perf = runCore<CycleOooCore>(app, "Perfect", n);
+
+        auto reduction = [](Cycles base, Cycles with) {
+            return 100.0 *
+                   (static_cast<double>(base) -
+                    static_cast<double>(with)) /
+                   static_cast<double>(base);
+        };
+        table.addRow(ExperimentOptions::shortName(app),
+                     {reduction(df_base, df_hmnm),
+                      reduction(cy_base, cy_hmnm),
+                      reduction(df_base, df_perf),
+                      reduction(cy_base, cy_perf),
+                      static_cast<double>(cy_base) /
+                          static_cast<double>(df_base)},
+                     2);
+    }
+    table.addMeanRow("Arith. Mean", 2);
+    table.print(opts.csv);
+    return 0;
+}

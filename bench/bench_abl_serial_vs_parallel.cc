@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: MNM placement (paper Figure 1 and the Section 2
+ * discussion). For HMNM4, all three placements:
+ *   - parallel:    no added latency, MNM energy on every request;
+ *   - serial:      +MNM delay on L1 misses, energy only on L1 misses;
+ *   - distributed: per-level filters -- +delay at every level reached,
+ *                  but only the reached structures consume energy.
+ * The bench reports average data access time and the MNM's own energy
+ * under each, quantifying the paper's guidance (parallel for
+ * performance, serial/distributed for power).
+ */
+
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace mnm;
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    Table table("Ablation: HMNM4 placement -- parallel vs serial vs "
+                "distributed");
+    table.setHeader({"app", "par t[cyc]", "ser t[cyc]", "dist t[cyc]",
+                     "par mnm[uJ]", "ser mnm[uJ]", "dist mnm[uJ]"});
+
+    for (const std::string &app : opts.apps) {
+        std::vector<MemSimResult> results;
+        for (MnmPlacement placement :
+             {MnmPlacement::Parallel, MnmPlacement::Serial,
+              MnmPlacement::Distributed}) {
+            MnmSpec spec = makeHmnmSpec(4);
+            spec.placement = placement;
+            results.push_back(runFunctional(paperHierarchy(5), spec, app,
+                                            opts.instructions));
+        }
+        table.addRow(ExperimentOptions::shortName(app),
+                     {results[0].avgAccessTime(),
+                      results[1].avgAccessTime(),
+                      results[2].avgAccessTime(),
+                      results[0].energy.mnm_pj / 1e6,
+                      results[1].energy.mnm_pj / 1e6,
+                      results[2].energy.mnm_pj / 1e6},
+                     3);
+    }
+    table.addMeanRow("Arith. Mean", 3);
+    table.print(opts.csv);
+    return 0;
+}

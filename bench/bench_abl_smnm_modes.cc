@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation (DESIGN.md decision 1): SMNM update modes. The default
+ * Counting mode maintains per-sum counters from the full
+ * placement/replacement feed; SetOnly is the paper's literal circuit
+ * (flops set on placement, never cleared). Expected: SetOnly coverage
+ * decays towards zero as the presence bits fill up, while Counting
+ * holds a steady (if modest) level.
+ */
+
+#include "core/mnm_unit.hh"
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace mnm;
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    Table table("Ablation: SMNM_13x2 coverage, counting vs literal "
+                "set-only circuit [%]");
+    table.setHeader({"app", "counting", "set-only"});
+
+    for (const std::string &app : opts.apps) {
+        std::vector<double> row;
+        for (SmnmUpdateMode mode :
+             {SmnmUpdateMode::Counting, SmnmUpdateMode::SetOnly}) {
+            MnmSpec spec =
+                makeUniformSpec(SmnmSpec{13, 2, mode});
+            MemSimResult r = runFunctional(paperHierarchy(5), spec, app,
+                                           opts.instructions);
+            row.push_back(100.0 * r.coverage.coverage());
+        }
+        table.addRow(ExperimentOptions::shortName(app), row, 2);
+    }
+    table.addMeanRow("Arith. Mean", 2);
+    table.print(opts.csv);
+    return 0;
+}

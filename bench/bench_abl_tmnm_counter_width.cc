@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ablation: TMNM counter width. The paper fixes 3-bit saturating
+ * counters; this bench sweeps 2/3/4-bit counters for TMNM_12x3.
+ * Narrower counters saturate sooner (sticky "maybe" cells, lost
+ * coverage); wider ones cost storage. Expected: diminishing returns
+ * past 3 bits, supporting the paper's choice.
+ */
+
+#include "core/mnm_unit.hh"
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace mnm;
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    Table table("Ablation: TMNM_12x3 coverage by counter width [%]");
+    table.setHeader({"app", "2-bit", "3-bit", "4-bit"});
+
+    for (const std::string &app : opts.apps) {
+        std::vector<double> row;
+        for (std::uint32_t bits : {2u, 3u, 4u}) {
+            MnmSpec spec = makeUniformSpec(TmnmSpec{12, 3, bits});
+            MemSimResult r = runFunctional(paperHierarchy(5), spec, app,
+                                           opts.instructions);
+            row.push_back(100.0 * r.coverage.coverage());
+        }
+        table.addRow(ExperimentOptions::shortName(app), row, 2);
+    }
+    table.addMeanRow("Arith. Mean", 2);
+    table.print(opts.csv);
+    return 0;
+}

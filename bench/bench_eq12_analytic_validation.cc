@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Paper Equations 1 and 2: validate the analytical data-access-time
+ * model against simulation. For every app the bench measures the
+ * average access time without an MNM and with HMNM4, then recomputes
+ * both from the measured per-level miss rates and abort fractions via
+ * the equations. The analytic and simulated columns should agree
+ * closely (fetch/data path aggregation is the only approximation on the
+ * split-L1 machine).
+ */
+
+#include "core/presets.hh"
+#include "sim/analytic.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace mnm;
+
+namespace
+{
+
+/** Per-level timings/miss-rates aggregated across split structures. */
+std::vector<LevelTiming>
+levelTimings(const MemSimResult &r, const HierarchyParams &params)
+{
+    std::vector<LevelTiming> levels(params.levels.size());
+    std::vector<double> accesses(params.levels.size(), 0.0);
+    std::vector<double> misses(params.levels.size(), 0.0);
+    std::vector<double> bypasses(params.levels.size(), 0.0);
+    for (const CacheSnapshot &c : r.caches) {
+        std::size_t i = c.level - 1;
+        accesses[i] += static_cast<double>(c.accesses);
+        misses[i] += static_cast<double>(c.misses);
+        bypasses[i] += static_cast<double>(c.bypasses);
+        levels[i].hit_time = static_cast<double>(
+            params.levels[i].data.hit_latency);
+        levels[i].miss_time = static_cast<double>(
+            params.levels[i].data.missLatency());
+    }
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        // A bypass is an aborted miss: it would have been probed and
+        // missed. Fold it into the miss rate and the abort fraction.
+        double would_miss = misses[i] + bypasses[i];
+        double would_access = accesses[i] + bypasses[i];
+        levels[i].miss_rate = ratio(would_miss, would_access);
+        levels[i].abort_fraction = ratio(bypasses[i], would_miss);
+    }
+    return levels;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    HierarchyParams params = paperHierarchy(5);
+    Table table("Equations 1/2: analytic vs simulated data access time "
+                "[cycles] (baseline and HMNM4)");
+    table.setHeader({"app", "sim (eq1)", "analytic (eq1)", "sim (eq2)",
+                     "analytic (eq2)"});
+
+    for (const std::string &app : opts.apps) {
+        MemSimResult base = runFunctional(params, std::nullopt, app,
+                                          opts.instructions);
+        MemSimResult mnm = runFunctional(params, makeHmnmSpec(4), app,
+                                         opts.instructions);
+        double analytic_base = analyticDataAccessTime(
+            levelTimings(base, params),
+            static_cast<double>(params.memory_latency));
+        double analytic_mnm = analyticDataAccessTime(
+            levelTimings(mnm, params),
+            static_cast<double>(params.memory_latency));
+        table.addRow(ExperimentOptions::shortName(app),
+                     {base.avgAccessTime(), analytic_base,
+                      mnm.avgAccessTime(), analytic_mnm},
+                     2);
+    }
+    table.addMeanRow("Arith. Mean", 2);
+    table.print(opts.csv);
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Paper Figure 2: fraction of the data access time spent on cache
+ * misses, for machines with 2, 3, 5 and 7 cache levels.
+ *
+ * Expected shape: the fraction grows with the number of levels (each
+ * extra level adds probe time ahead of the eventual supplier).
+ */
+
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace mnm;
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    Table table("Figure 2: fraction of misses in data access time [%]");
+    table.setHeader({"app", "2-level", "3-level", "5-level", "7-level"});
+
+    for (const std::string &app : opts.apps) {
+        std::vector<double> row;
+        for (int levels : {2, 3, 5, 7}) {
+            MemSimResult r = runFunctional(paperHierarchy(levels),
+                                           std::nullopt, app,
+                                           opts.instructions);
+            row.push_back(100.0 * r.missTimeFraction());
+        }
+        table.addRow(ExperimentOptions::shortName(app), row, 1);
+    }
+    table.addMeanRow("Arith. Mean", 1);
+    table.print(opts.csv);
+    return 0;
+}

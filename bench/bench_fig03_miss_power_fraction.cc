@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Paper Figure 3: fraction of the caches' dynamic energy consumed by
+ * probes that miss, for machines with 2, 3, 5 and 7 cache levels.
+ *
+ * Expected shape: generally grows with levels, but less steeply than
+ * the time fraction (Figure 2) because the largest, most power-hungry
+ * caches have the smallest miss ratios; for very miss-heavy apps the
+ * fraction can dip at high level counts, as the paper observes.
+ */
+
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace mnm;
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    Table table(
+        "Figure 3: fraction of misses in cache power consumption [%]");
+    table.setHeader({"app", "2-level", "3-level", "5-level", "7-level"});
+
+    for (const std::string &app : opts.apps) {
+        std::vector<double> row;
+        for (int levels : {2, 3, 5, 7}) {
+            MemSimResult r = runFunctional(paperHierarchy(levels),
+                                           std::nullopt, app,
+                                           opts.instructions);
+            row.push_back(100.0 * r.energy.missFraction());
+        }
+        table.addRow(ExperimentOptions::shortName(app), row, 1);
+    }
+    table.addMeanRow("Arith. Mean", 1);
+    table.print(opts.csv);
+    return 0;
+}

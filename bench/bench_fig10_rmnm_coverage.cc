@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Paper Figure 10: RMNM coverage for four sizes (128_1 through 4096_8).
+ * Expected shape: modest average coverage that grows with RMNM size,
+ * with high outliers for apps dominated by conflict/capacity misses.
+ */
+
+#include "coverage_figure.hh"
+
+int
+main()
+{
+    return mnm::runCoverageFigure("Figure 10: RMNM coverage [%]",
+                                  mnm::rmnmFigureConfigs());
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Paper Figure 11: SMNM coverage (10x2, 13x2, 15x2, 20x3). Expected
+ * shape: the lowest coverage of the four techniques -- the sum hash
+ * aliases heavily for large caches -- with outliers where small-cache
+ * misses dominate (the paper's apsi case).
+ */
+
+#include "coverage_figure.hh"
+
+int
+main()
+{
+    return mnm::runCoverageFigure("Figure 11: SMNM coverage [%]",
+                                  mnm::smnmFigureConfigs());
+}

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Paper Figure 12: TMNM coverage (10x1, 11x2, 10x3, 12x3). Expected
+ * shape: multi-table configurations beat a larger single table
+ * (TMNM_10x3 > TMNM_11x2 on average), 12x3 best.
+ */
+
+#include "coverage_figure.hh"
+
+int
+main()
+{
+    return mnm::runCoverageFigure("Figure 12: TMNM coverage [%]",
+                                  mnm::tmnmFigureConfigs());
+}

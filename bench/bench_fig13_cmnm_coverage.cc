@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Paper Figure 13: CMNM coverage (2_9, 4_10, 8_10, 8_12). Expected
+ * shape: the best coverage among the single techniques; grows with
+ * registers and table size.
+ */
+
+#include "coverage_figure.hh"
+
+int
+main()
+{
+    return mnm::runCoverageFigure("Figure 13: CMNM coverage [%]",
+                                  mnm::cmnmFigureConfigs());
+}

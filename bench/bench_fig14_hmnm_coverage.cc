@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Paper Figure 14: Hybrid MNM coverage (HMNM1-4). Expected shape: the
+ * best coverage overall, growing with configuration complexity; the
+ * paper reports ~53% average for HMNM4.
+ */
+
+#include "coverage_figure.hh"
+
+int
+main()
+{
+    return mnm::runCoverageFigure("Figure 14: HMNM coverage [%]",
+                                  mnm::hmnmFigureConfigs());
+}

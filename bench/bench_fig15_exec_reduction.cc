@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Paper Figure 15: reduction in execution cycles with a *parallel* MNM,
+ * for TMNM_12x3, CMNM_8_10, HMNM2, HMNM4, and the perfect MNM, on the
+ * paper's 8-way 5-level machine.
+ *
+ * Expected shape: every technique helps (never hurts -- the parallel
+ * MNM adds no latency); ordering follows coverage (HMNM4 best among
+ * real techniques); the perfect MNM roughly doubles the best hybrid's
+ * gain; miss-heavy apps benefit the most.
+ */
+
+#include "core/presets.hh"
+#include "cpu/ooo_core.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "trace/spec2000.hh"
+#include "util/table.hh"
+
+using namespace mnm;
+
+namespace
+{
+
+Cycles
+runCycles(const std::string &app, const std::string &config,
+          std::uint64_t instructions)
+{
+    CacheHierarchy hierarchy(paperHierarchy(5));
+    std::unique_ptr<MnmUnit> mnm;
+    if (!config.empty()) {
+        MnmSpec spec = mnmSpecByName(config);
+        spec.placement = MnmPlacement::Parallel;
+        mnm = std::make_unique<MnmUnit>(spec, hierarchy);
+    }
+    OooCore core(paperCpu(5), hierarchy, mnm.get());
+    auto workload = makeSpecWorkload(app);
+    // Warm the hierarchy, then measure.
+    core.run(*workload, instructions / 10);
+    return core.run(*workload, instructions).cycles;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    Table table("Figure 15: reduction in execution cycles, parallel MNM "
+                "[%]");
+    std::vector<std::string> header = {"app"};
+    for (const std::string &config : headlineConfigs())
+        header.push_back(config);
+    table.setHeader(header);
+
+    for (const std::string &app : opts.apps) {
+        Cycles base = runCycles(app, "", opts.instructions);
+        std::vector<double> row;
+        for (const std::string &config : headlineConfigs()) {
+            Cycles cycles = runCycles(app, config, opts.instructions);
+            row.push_back(100.0 *
+                          (static_cast<double>(base) -
+                           static_cast<double>(cycles)) /
+                          static_cast<double>(base));
+        }
+        table.addRow(ExperimentOptions::shortName(app), row, 2);
+    }
+    table.addMeanRow("Arith. Mean", 2);
+    table.print(opts.csv);
+    return 0;
+}

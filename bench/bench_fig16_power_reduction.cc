@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Paper Figure 16: reduction in the cache system's dynamic energy with
+ * a *serial* MNM (probed only after an L1 miss), for TMNM_12x3,
+ * CMNM_8_10, HMNM2, HMNM4, and the perfect MNM.
+ *
+ * Expected shape: positive but smaller than the cycle reductions;
+ * perfect (zero-cost oracle) bounds the real techniques; apps with
+ * expensive lower-level probes and churn benefit most.
+ */
+
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "util/table.hh"
+
+using namespace mnm;
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    Table table("Figure 16: reduction in cache power consumption, "
+                "serial MNM [%]");
+    std::vector<std::string> header = {"app"};
+    for (const std::string &config : headlineConfigs())
+        header.push_back(config);
+    table.setHeader(header);
+
+    for (const std::string &app : opts.apps) {
+        MemSimResult base = runFunctional(paperHierarchy(5), std::nullopt,
+                                          app, opts.instructions);
+        std::vector<double> row;
+        for (const std::string &config : headlineConfigs()) {
+            MnmSpec spec = mnmSpecByName(config);
+            spec.placement = MnmPlacement::Serial;
+            MemSimResult r = runFunctional(paperHierarchy(5), spec, app,
+                                           opts.instructions);
+            row.push_back(100.0 *
+                          (base.energy.total() - r.energy.total()) /
+                          base.energy.total());
+        }
+        table.addRow(ExperimentOptions::shortName(app), row, 2);
+    }
+    table.addMeanRow("Arith. Mean", 2);
+    table.print(opts.csv);
+    return 0;
+}

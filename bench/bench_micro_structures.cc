@@ -1,0 +1,121 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the MNM structures themselves:
+ * simulator-side lookup and update throughput of each technique and of
+ * the full assembled machine. These measure the *simulation* cost (how
+ * fast the model runs), complementing the analytical hardware
+ * power/delay numbers reported by bench_table3.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.hh"
+#include "sim/config.hh"
+#include "core/cmnm.hh"
+#include "core/mnm_unit.hh"
+#include "core/presets.hh"
+#include "core/rmnm.hh"
+#include "core/smnm.hh"
+#include "core/tmnm.hh"
+#include "util/random.hh"
+
+namespace mnm
+{
+namespace
+{
+
+void
+BM_SmnmLookup(benchmark::State &state)
+{
+    Smnm smnm({static_cast<std::uint32_t>(state.range(0)), 3,
+               SmnmUpdateMode::Counting});
+    Rng rng(1);
+    for (int i = 0; i < 4096; ++i)
+        smnm.onPlacement(rng.nextBelow(1 << 20));
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(smnm.definitelyMiss(addr));
+        addr = (addr + 12345) & ((1 << 20) - 1);
+    }
+}
+BENCHMARK(BM_SmnmLookup)->Arg(10)->Arg(20);
+
+void
+BM_TmnmLookup(benchmark::State &state)
+{
+    Tmnm tmnm({static_cast<std::uint32_t>(state.range(0)), 3, 3});
+    Rng rng(1);
+    for (int i = 0; i < 4096; ++i)
+        tmnm.onPlacement(rng.nextBelow(1 << 20));
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tmnm.definitelyMiss(addr));
+        addr = (addr + 12345) & ((1 << 20) - 1);
+    }
+}
+BENCHMARK(BM_TmnmLookup)->Arg(10)->Arg(12);
+
+void
+BM_CmnmLookup(benchmark::State &state)
+{
+    Cmnm cmnm({8, static_cast<std::uint32_t>(state.range(0)), 3,
+               CmnmMaskPolicy::Monotone});
+    Rng rng(1);
+    for (int i = 0; i < 4096; ++i)
+        cmnm.onPlacement(rng.nextBelow(1 << 20));
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cmnm.definitelyMiss(addr));
+        addr = (addr + 12345) & ((1 << 20) - 1);
+    }
+}
+BENCHMARK(BM_CmnmLookup)->Arg(10)->Arg(12);
+
+void
+BM_RmnmChurn(benchmark::State &state)
+{
+    Rmnm rmnm({static_cast<std::uint32_t>(state.range(0)), 8}, 5, 5);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        rmnm.onReplacement(2, addr, 7);
+        rmnm.onPlacement(2, addr + (1 << 12), 7);
+        benchmark::DoNotOptimize(rmnm.definitelyMiss(2, addr));
+        addr += 128;
+    }
+}
+BENCHMARK(BM_RmnmChurn)->Arg(512)->Arg(4096);
+
+void
+BM_Hmnm4FullAccess(benchmark::State &state)
+{
+    CacheHierarchy hierarchy(paperHierarchy(5));
+    MnmUnit mnm(makeHmnmSpec(4), hierarchy);
+    Rng rng(7);
+    for (auto _ : state) {
+        Addr addr = 0x40000000ull + (rng.nextBelow(1 << 22) & ~7ull);
+        BypassMask mask = mnm.computeBypass(AccessType::Load, addr);
+        benchmark::DoNotOptimize(
+            hierarchy.access(AccessType::Load, addr, mask));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Hmnm4FullAccess);
+
+void
+BM_BaselineFullAccess(benchmark::State &state)
+{
+    CacheHierarchy hierarchy(paperHierarchy(5));
+    Rng rng(7);
+    for (auto _ : state) {
+        Addr addr = 0x40000000ull + (rng.nextBelow(1 << 22) & ~7ull);
+        benchmark::DoNotOptimize(
+            hierarchy.access(AccessType::Load, addr));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BaselineFullAccess);
+
+} // anonymous namespace
+} // namespace mnm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared driver for the coverage figures (paper Figures 10-14): each
+ * figure sweeps the twenty workloads over four (or five) MNM
+ * configurations on the paper's 5-level machine and reports coverage
+ * percentages per app plus the arithmetic mean.
+ */
+
+#ifndef MNM_BENCH_COVERAGE_FIGURE_HH
+#define MNM_BENCH_COVERAGE_FIGURE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace mnm
+{
+
+/** Run one coverage figure and print its table. Returns 0 on success. */
+inline int
+runCoverageFigure(const std::string &title,
+                  const std::vector<std::string> &configs)
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    Table table(title);
+    std::vector<std::string> header = {"app"};
+    for (const std::string &config : configs)
+        header.push_back(config);
+    table.setHeader(header);
+
+    for (const std::string &app : opts.apps) {
+        std::vector<double> row;
+        for (const std::string &config : configs) {
+            MemSimResult r = runFunctional(
+                paperHierarchy(5), mnmSpecByName(config), app,
+                opts.instructions);
+            row.push_back(100.0 * r.coverage.coverage());
+            if (r.soundness_violations != 0) {
+                warn("%s on %s: %llu soundness violations",
+                     config.c_str(), app.c_str(),
+                     static_cast<unsigned long long>(
+                         r.soundness_violations));
+            }
+        }
+        table.addRow(ExperimentOptions::shortName(app), row, 1);
+    }
+    table.addMeanRow("Arith. Mean", 1);
+    table.print(opts.csv);
+    return 0;
+}
+
+} // namespace mnm
+
+#endif // MNM_BENCH_COVERAGE_FIGURE_HH

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * mnmsim: the command-line face of the library. One binary to run any
+ * machine x MNM x workload combination in either simulation mode.
+ *
+ *   ./mnmsim [options]
+ *     --levels N           cache levels: 2, 3, 5 (default) or 7
+ *     --mnm CONFIG         e.g. HMNM4, TMNM_12x3, CMNM_8_10, Perfect,
+ *                          or 'none' (default)
+ *     --placement P        parallel (default) | serial | distributed
+ *     --app NAME           workload (default 181.mcf); accepts short
+ *                          names ("mcf") too
+ *     --instructions N     instruction budget (default 1000000)
+ *     --timing             use the out-of-order core (default:
+ *                          functional memory-system mode)
+ *     --cycle-core         with --timing: use the cycle-driven
+ *                          reference core instead of the fast model
+ *     --sample             functional mode: use windowed sampling and
+ *                          report the per-window spread
+ *     --trace FILE         replay a captured trace instead of --app
+ *     --capture FILE       capture the workload to a trace file & exit
+ *     --list               list workloads and MNM presets & exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/presets.hh"
+#include "cpu/cycle_core.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "sim/sampling.hh"
+#include "trace/spec2000.hh"
+#include "trace/trace_io.hh"
+#include "util/logging.hh"
+
+using namespace mnm;
+
+namespace
+{
+
+struct Options
+{
+    int levels = 5;
+    std::string mnm = "none";
+    std::string placement = "parallel";
+    std::string app = "181.mcf";
+    std::uint64_t instructions = 1'000'000;
+    bool timing = false;
+    bool cycle_core = false;
+    bool sample = false;
+    std::string trace;
+    std::string capture;
+};
+
+[[noreturn]] void
+usageAndExit()
+{
+    std::fputs("usage: mnmsim [--levels N] [--mnm CONFIG] "
+               "[--placement parallel|serial|distributed]\n"
+               "              [--app NAME] [--instructions N] "
+               "[--timing] [--cycle-core] [--sample]\n"
+               "              [--trace FILE] [--capture FILE] "
+               "[--list]\n",
+               stderr);
+    std::exit(1);
+}
+
+std::string
+resolveApp(const std::string &name)
+{
+    for (const std::string &full : specAllNames()) {
+        if (full == name ||
+            ExperimentOptions::shortName(full) == name) {
+            return full;
+        }
+    }
+    fatal("unknown workload '%s' (try --list)", name.c_str());
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opts;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usageAndExit();
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--levels")) {
+            opts.levels = std::atoi(need(i));
+        } else if (!std::strcmp(arg, "--mnm")) {
+            opts.mnm = need(i);
+        } else if (!std::strcmp(arg, "--placement")) {
+            opts.placement = need(i);
+        } else if (!std::strcmp(arg, "--app")) {
+            opts.app = need(i);
+        } else if (!std::strcmp(arg, "--instructions")) {
+            opts.instructions = std::strtoull(need(i), nullptr, 10);
+        } else if (!std::strcmp(arg, "--timing")) {
+            opts.timing = true;
+        } else if (!std::strcmp(arg, "--cycle-core")) {
+            opts.cycle_core = true;
+        } else if (!std::strcmp(arg, "--sample")) {
+            opts.sample = true;
+        } else if (!std::strcmp(arg, "--trace")) {
+            opts.trace = need(i);
+        } else if (!std::strcmp(arg, "--capture")) {
+            opts.capture = need(i);
+        } else if (!std::strcmp(arg, "--list")) {
+            std::puts("workloads:");
+            for (const std::string &name : specAllNames())
+                std::printf("  %s\n", name.c_str());
+            std::puts("mnm presets: none Perfect HMNM1..HMNM4 and any");
+            std::puts("  RMNM_<n>_<w> SMNM_<w>x<r> TMNM_<b>x<r> "
+                      "CMNM_<k>_<m>");
+            std::exit(0);
+        } else {
+            usageAndExit();
+        }
+    }
+    if (opts.instructions == 0)
+        fatal("--instructions must be positive");
+    return opts;
+}
+
+std::unique_ptr<WorkloadGenerator>
+makeWorkload(const Options &opts)
+{
+    if (!opts.trace.empty())
+        return std::make_unique<TraceReader>(opts.trace);
+    return makeSpecWorkload(resolveApp(opts.app));
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts = parse(argc, argv);
+
+    auto workload = makeWorkload(opts);
+    if (!opts.capture.empty()) {
+        TraceWriter writer(opts.capture, workload->name());
+        writer.capture(*workload, opts.instructions);
+        inform("captured %llu instructions of %s to %s",
+               static_cast<unsigned long long>(writer.written()),
+               workload->name().c_str(), opts.capture.c_str());
+        return 0;
+    }
+
+    std::optional<MnmSpec> mnm_spec;
+    if (opts.mnm != "none") {
+        MnmSpec spec = mnmSpecByName(opts.mnm);
+        if (opts.placement == "serial") {
+            spec.placement = MnmPlacement::Serial;
+        } else if (opts.placement == "distributed") {
+            spec.placement = MnmPlacement::Distributed;
+        } else if (opts.placement != "parallel") {
+            fatal("unknown placement '%s'", opts.placement.c_str());
+        }
+        mnm_spec = spec;
+    }
+
+    HierarchyParams machine = paperHierarchy(opts.levels);
+    std::printf("machine: %d-level, workload: %s, mnm: %s (%s), "
+                "%llu instructions\n\n",
+                opts.levels, workload->name().c_str(),
+                opts.mnm.c_str(), opts.placement.c_str(),
+                static_cast<unsigned long long>(opts.instructions));
+
+    if (opts.timing) {
+        CacheHierarchy hierarchy(machine);
+        std::unique_ptr<MnmUnit> mnm;
+        if (mnm_spec)
+            mnm = std::make_unique<MnmUnit>(*mnm_spec, hierarchy);
+        CpuRunStats stats;
+        if (opts.cycle_core) {
+            CycleOooCore core(paperCpu(opts.levels), hierarchy,
+                              mnm.get());
+            stats = core.run(*workload, opts.instructions);
+        } else {
+            OooCore core(paperCpu(opts.levels), hierarchy, mnm.get());
+            stats = core.run(*workload, opts.instructions);
+        }
+        std::printf("cycles:            %llu\n",
+                    static_cast<unsigned long long>(stats.cycles));
+        std::printf("ipc:               %.3f\n", stats.ipc());
+        std::printf("avg data access:   %.2f cycles\n",
+                    stats.avgDataAccessTime());
+        std::printf("loads/stores:      %llu / %llu\n",
+                    static_cast<unsigned long long>(stats.loads),
+                    static_cast<unsigned long long>(stats.stores));
+        std::printf("branch mispredicts:%llu\n",
+                    static_cast<unsigned long long>(stats.mispredicts));
+        if (mnm) {
+            std::printf("mnm energy:        %.2f uJ, violations: %llu\n",
+                        mnm->consumedEnergyPj() / 1e6,
+                        static_cast<unsigned long long>(
+                            mnm->soundnessViolations()));
+        }
+        return 0;
+    }
+
+    MemorySimulator sim(machine, mnm_spec);
+    MemSimResult r;
+    if (opts.sample) {
+        SamplingPlan plan;
+        plan.fast_forward = opts.instructions / 5;
+        plan.window = opts.instructions / 5;
+        plan.windows = 4;
+        plan.stride = 0;
+        SampledResult sampled = runSampled(sim, *workload, plan);
+        r = sampled.combined;
+        std::printf("sampling: 4 windows, access-time spread %.1f%%\n",
+                    100.0 * sampled.accessTimeSpread());
+    } else {
+        sim.run(*workload, opts.instructions / 10); // warm-up
+        r = sim.run(*workload, opts.instructions);
+    }
+
+    std::printf("avg data access:   %.2f cycles\n", r.avgAccessTime());
+    std::printf("miss-time fraction:%.1f%%\n",
+                100.0 * r.missTimeFraction());
+    std::printf("cache energy:      %.2f uJ (%.1f%% on misses)\n",
+                r.energy.cacheTotal() / 1e6,
+                100.0 * r.energy.missFraction());
+    if (mnm_spec) {
+        std::printf("mnm coverage:      %.1f%%\n",
+                    100.0 * r.coverage.coverage());
+        std::printf("mnm energy:        %.2f uJ\n",
+                    r.energy.mnm_pj / 1e6);
+        std::printf("violations:        %llu\n",
+                    static_cast<unsigned long long>(
+                        r.soundness_violations));
+    }
+    for (const CacheSnapshot &c : r.caches) {
+        std::printf("  %-4s L%u %10llu probes %7.2f%% hit %10llu "
+                    "bypassed\n",
+                    c.name.c_str(), c.level,
+                    static_cast<unsigned long long>(c.accesses),
+                    100.0 * c.hit_rate,
+                    static_cast<unsigned long long>(c.bypasses));
+    }
+    return 0;
+}

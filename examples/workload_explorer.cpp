@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Workload explorer: sizing an MNM for a given workload. Sweeps TMNM
+ * and CMNM configurations, reporting coverage against storage budget --
+ * the trade study an architect would run before committing area.
+ *
+ *   ./workload_explorer [workload] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "sim/memory_sim.hh"
+#include "trace/spec2000.hh"
+#include "util/table.hh"
+
+using namespace mnm;
+
+namespace
+{
+
+struct Candidate
+{
+    const char *label;
+    MnmSpec spec;
+};
+
+double
+runCoverage(const MnmSpec &spec, const std::string &app,
+            std::uint64_t instructions, std::uint64_t &storage_bits)
+{
+    MemorySimulator sim(paperHierarchy(5), spec);
+    storage_bits = sim.mnm()->storageBits();
+    auto workload = makeSpecWorkload(app);
+    sim.run(*workload, instructions / 10); // warm-up
+    MemSimResult r = sim.run(*workload, instructions);
+    return r.coverage.coverage();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app = argc > 1 ? argv[1] : "255.vortex";
+    std::uint64_t instructions =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400000;
+
+    std::vector<Candidate> candidates;
+    for (std::uint32_t bits : {8u, 10u, 12u, 14u}) {
+        for (std::uint32_t tables : {1u, 2u, 3u}) {
+            char label[32];
+            std::snprintf(label, sizeof(label), "TMNM_%ux%u", bits,
+                          tables);
+            candidates.push_back(
+                {"", makeUniformSpec(TmnmSpec{bits, tables, 3})});
+            candidates.back().label = candidates.back().spec.name.c_str();
+        }
+    }
+    for (std::uint32_t regs : {2u, 4u, 8u, 16u}) {
+        candidates.push_back({"", makeUniformSpec(CmnmSpec{
+                                      regs, 10, 3,
+                                      CmnmMaskPolicy::Monotone})});
+        candidates.back().label = candidates.back().spec.name.c_str();
+    }
+
+    Table table("MNM sizing study for " + app);
+    table.setHeader({"config", "storage[KB]", "coverage%",
+                     "coverage%/KB"});
+    for (const Candidate &c : candidates) {
+        std::uint64_t bits = 0;
+        double coverage = runCoverage(c.spec, app, instructions, bits);
+        double kb = static_cast<double>(bits) / 8.0 / 1024.0;
+        table.addRow(c.spec.name,
+                     {kb, 100.0 * coverage,
+                      kb > 0 ? 100.0 * coverage / kb : 0.0},
+                     2);
+    }
+    table.print();
+
+    std::puts("Reading the last column: coverage per kilobyte of MNM "
+              "state -- the knee of the curve is where the paper's "
+              "chosen configurations sit.");
+    return 0;
+}

@@ -1,0 +1,276 @@
+#include "cache/cache.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+Cache::Cache(const CacheParams &params, std::uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    if (params_.capacity_bytes == 0 || params_.block_bytes == 0)
+        fatal("cache '%s': zero capacity or block size",
+              params_.name.c_str());
+    if (!isPowerOf2(params_.capacity_bytes) ||
+        !isPowerOf2(params_.block_bytes)) {
+        fatal("cache '%s': capacity and block size must be powers of two",
+              params_.name.c_str());
+    }
+    if (params_.capacity_bytes % params_.block_bytes != 0)
+        fatal("cache '%s': capacity not a multiple of block size",
+              params_.name.c_str());
+
+    std::uint64_t blocks = params_.capacity_bytes / params_.block_bytes;
+    num_ways_ = params_.associativity == 0
+                    ? static_cast<std::uint32_t>(blocks)
+                    : params_.associativity;
+    if (blocks % num_ways_ != 0)
+        fatal("cache '%s': %llu blocks not divisible by %u ways",
+              params_.name.c_str(),
+              static_cast<unsigned long long>(blocks), num_ways_);
+    num_sets_ = static_cast<std::uint32_t>(blocks / num_ways_);
+    if (!isPowerOf2(num_sets_))
+        fatal("cache '%s': set count %u not a power of two",
+              params_.name.c_str(), num_sets_);
+    block_bits_ = exactLog2(params_.block_bytes);
+    lines_.resize(static_cast<std::size_t>(num_sets_) * num_ways_);
+    if (params_.policy == ReplPolicy::TreePlru) {
+        if (!isPowerOf2(num_ways_))
+            fatal("cache '%s': tree-PLRU needs power-of-two ways",
+                  params_.name.c_str());
+        if (num_ways_ > 64)
+            fatal("cache '%s': tree-PLRU supports at most 64 ways",
+                  params_.name.c_str());
+        plru_bits_.assign(num_sets_, 0);
+    }
+}
+
+void
+Cache::plruTouch(std::uint32_t set, std::uint32_t way)
+{
+    // Walk root->leaf; at each node flip the bit to point AWAY from the
+    // touched way. Node i's children are 2i+1/2i+2; leaves map to ways
+    // in order.
+    std::uint64_t &bits = plru_bits_[set];
+    std::uint32_t node = 0;
+    for (std::uint32_t span = num_ways_ / 2; span >= 1; span /= 2) {
+        bool right = (way / span) & 1u;
+        // Bit semantics: 0 -> victim path goes left, 1 -> goes right.
+        if (right) {
+            bits &= ~(std::uint64_t{1} << node); // point left (away)
+            node = 2 * node + 2;
+        } else {
+            bits |= (std::uint64_t{1} << node); // point right (away)
+            node = 2 * node + 1;
+        }
+        if (span == 1)
+            break;
+        way %= span;
+    }
+}
+
+std::uint32_t
+Cache::plruVictim(std::uint32_t set) const
+{
+    std::uint64_t bits = plru_bits_[set];
+    std::uint32_t node = 0;
+    std::uint32_t way = 0;
+    for (std::uint32_t span = num_ways_ / 2; span >= 1; span /= 2) {
+        bool right = (bits >> node) & 1u;
+        if (right) {
+            way += span;
+            node = 2 * node + 2;
+        } else {
+            node = 2 * node + 1;
+        }
+        if (span == 1)
+            break;
+    }
+    return way;
+}
+
+Cache::Line *
+Cache::findLine(BlockAddr block)
+{
+    std::uint32_t set = setIndex(block);
+    Line *base = &lines_[static_cast<std::size_t>(set) * num_ways_];
+    for (std::uint32_t w = 0; w < num_ways_; ++w) {
+        if (base[w].valid && base[w].tag == block)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(BlockAddr block) const
+{
+    return const_cast<Cache *>(this)->findLine(block);
+}
+
+bool
+Cache::probe(BlockAddr block, bool is_write)
+{
+    ++stats_.accesses;
+    Line *line = findLine(block);
+    if (!line) {
+        ++stats_.misses;
+        return false;
+    }
+    ++stats_.hits;
+    if (params_.policy == ReplPolicy::Lru) {
+        // MRU-way bookkeeping for the way-prediction comparison: did
+        // the hit land in the most recently touched way of its set?
+        std::uint32_t set = setIndex(block);
+        const Line *base =
+            &lines_[static_cast<std::size_t>(set) * num_ways_];
+        bool is_mru = true;
+        for (std::uint32_t w = 0; w < num_ways_; ++w) {
+            if (base[w].valid && base[w].stamp > line->stamp) {
+                is_mru = false;
+                break;
+            }
+        }
+        if (is_mru)
+            ++stats_.mru_hits;
+        line->stamp = ++tick_;
+    } else if (params_.policy == ReplPolicy::TreePlru) {
+        std::uint32_t set = setIndex(block);
+        std::uint32_t way = static_cast<std::uint32_t>(
+            line - &lines_[static_cast<std::size_t>(set) * num_ways_]);
+        plruTouch(set, way);
+    }
+    if (is_write)
+        line->dirty = true;
+    return true;
+}
+
+std::uint32_t
+Cache::victimWay(std::uint32_t set)
+{
+    Line *base = &lines_[static_cast<std::size_t>(set) * num_ways_];
+    // Invalid ways first.
+    for (std::uint32_t w = 0; w < num_ways_; ++w) {
+        if (!base[w].valid)
+            return w;
+    }
+    switch (params_.policy) {
+      case ReplPolicy::Random:
+        return static_cast<std::uint32_t>(rng_.nextBelow(num_ways_));
+      case ReplPolicy::TreePlru:
+        return plruVictim(set);
+      case ReplPolicy::Lru:
+      case ReplPolicy::Fifo: {
+        std::uint32_t victim = 0;
+        for (std::uint32_t w = 1; w < num_ways_; ++w) {
+            if (base[w].stamp < base[victim].stamp)
+                victim = w;
+        }
+        return victim;
+      }
+    }
+    panic("unreachable replacement policy");
+}
+
+Cache::FillOutcome
+Cache::fill(BlockAddr block, bool dirty)
+{
+    std::uint32_t set = setIndex(block);
+    // Refilling a resident block must not duplicate it; treat as a touch.
+    if (Line *line = findLine(block)) {
+        line->stamp = ++tick_;
+        if (params_.policy == ReplPolicy::TreePlru) {
+            std::uint32_t way = static_cast<std::uint32_t>(
+                line -
+                &lines_[static_cast<std::size_t>(set) * num_ways_]);
+            plruTouch(set, way);
+        }
+        line->dirty = line->dirty || dirty;
+        return {};
+    }
+
+    ++stats_.fills;
+    std::uint32_t way = victimWay(set);
+    Line &line = lines_[static_cast<std::size_t>(set) * num_ways_ + way];
+    FillOutcome outcome;
+    outcome.inserted = true;
+    if (line.valid) {
+        ++stats_.evictions;
+        if (line.dirty) {
+            ++stats_.writebacks;
+            outcome.evicted_dirty = true;
+        }
+        outcome.evicted = line.tag;
+    } else {
+        ++resident_;
+    }
+    line.valid = true;
+    line.tag = block;
+    line.dirty = dirty;
+    line.stamp = ++tick_;
+    if (params_.policy == ReplPolicy::TreePlru)
+        plruTouch(set, way);
+    return outcome;
+}
+
+bool
+Cache::contains(BlockAddr block) const
+{
+    return findLine(block) != nullptr;
+}
+
+bool
+Cache::absorbWriteback(BlockAddr block)
+{
+    ++stats_.writeback_probes;
+    Line *line = findLine(block);
+    if (!line)
+        return false;
+    line->dirty = true;
+    ++stats_.writeback_absorbs;
+    return true;
+}
+
+Cache::InvalidateOutcome
+Cache::invalidate(BlockAddr block)
+{
+    InvalidateOutcome outcome;
+    Line *line = findLine(block);
+    if (!line)
+        return outcome;
+    outcome.was_present = true;
+    outcome.was_dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    --resident_;
+    return outcome;
+}
+
+std::uint64_t
+Cache::flush()
+{
+    std::uint64_t dropped = 0;
+    for (auto &line : lines_) {
+        if (line.valid) {
+            ++dropped;
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+    resident_ = 0;
+    return dropped;
+}
+
+std::vector<BlockAddr>
+Cache::residentBlocks() const
+{
+    std::vector<BlockAddr> blocks;
+    blocks.reserve(resident_);
+    for (const auto &line : lines_) {
+        if (line.valid)
+            blocks.push_back(line.tag);
+    }
+    return blocks;
+}
+
+} // namespace mnm

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * A single set-associative cache structure.
+ *
+ * This models the *contents* and *replacement behaviour* of one cache
+ * (tag array semantics); latency and energy are attributed by the layers
+ * above from the cache's configuration. The model is deliberately
+ * data-free: only block presence matters for miss determination.
+ */
+
+#ifndef MNM_CACHE_CACHE_HH
+#define MNM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace mnm
+{
+
+/** Replacement policy selection for a cache. */
+enum class ReplPolicy
+{
+    Lru,
+    Fifo,
+    Random,
+    /** Tree pseudo-LRU (requires power-of-two associativity): the
+     *  policy real set-associative caches of the paper's era shipped
+     *  with; cheaper state, near-LRU behaviour. */
+    TreePlru,
+};
+
+/** Which request stream(s) a cache serves. */
+enum class CacheSide
+{
+    Instr,
+    Data,
+    Unified,
+};
+
+/** Static configuration of one cache structure. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint64_t capacity_bytes = 4 * 1024;
+    /** Associativity; 0 selects fully associative. */
+    std::uint32_t associativity = 1;
+    std::uint32_t block_bytes = 32;
+    /** Time to return data on a hit. */
+    Cycles hit_latency = 1;
+    /**
+     * Time to determine a miss. 0 (the default) means "same as
+     * hit_latency": the tag check takes the full access.
+     */
+    Cycles miss_latency = 0;
+    ReplPolicy policy = ReplPolicy::Lru;
+
+    Cycles missLatency() const
+    {
+        return miss_latency ? miss_latency : hit_latency;
+    }
+};
+
+/** Event counts for one cache structure. */
+struct CacheStats
+{
+    Counter accesses;  //!< probes actually performed (not bypassed)
+    Counter hits;
+    /** Hits that landed in the set's most-recently-used way (what a
+     *  way predictor would have guessed; tracked under LRU policy). */
+    Counter mru_hits;
+    Counter misses;
+    Counter bypasses;  //!< probes skipped on MNM "miss" verdicts
+    Counter fills;
+    Counter evictions;
+    Counter writebacks;        //!< evictions of dirty blocks
+    Counter writeback_probes;  //!< incoming writebacks checked here
+    Counter writeback_absorbs; //!< ... that found the block and dirtied it
+
+    double hitRate() const
+    {
+        return ratio(static_cast<double>(hits.value()),
+                     static_cast<double>(accesses.value()));
+    }
+};
+
+/**
+ * One set-associative cache. Presence-only (no payload data); dirty bits
+ * are tracked so writeback traffic can be counted.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param params geometry and policy
+     * @param seed   seed for the Random replacement policy stream
+     */
+    explicit Cache(const CacheParams &params, std::uint64_t seed = 1);
+
+    /** Block address of a byte address under this cache's block size. */
+    BlockAddr blockAddr(Addr addr) const { return addr >> block_bits_; }
+
+    /** First byte address covered by @p block. */
+    Addr byteAddr(BlockAddr block) const
+    {
+        return block << block_bits_;
+    }
+
+    /**
+     * Probe for @p block. On a hit the replacement state is updated
+     * (and the dirty bit set when @p is_write); stats are recorded.
+     * No allocation happens on a miss: fills are separate (allocate on
+     * fill path, as the hierarchy orchestrates).
+     *
+     * @return true on hit.
+     */
+    bool probe(BlockAddr block, bool is_write = false);
+
+    /** Outcome of a fill attempt. */
+    struct FillOutcome
+    {
+        /** False when the block was already resident (refill touch). */
+        bool inserted = false;
+        /** The evicted victim held modified data (needs writeback). */
+        bool evicted_dirty = false;
+        /** The victim evicted to make room, if any. */
+        std::optional<BlockAddr> evicted;
+    };
+
+    /**
+     * Allocate @p block, evicting a victim if the set is full. Filling
+     * an already-resident block is a replacement-state touch, not an
+     * insertion (inserted == false, no eviction).
+     */
+    FillOutcome fill(BlockAddr block, bool dirty = false);
+
+    /** Presence test with no side effects (for oracles and checkers). */
+    bool contains(BlockAddr block) const;
+
+    /**
+     * An upper level wrote back @p block. If resident here the copy is
+     * dirtied (absorbed); otherwise the writeback must travel further
+     * down. Replacement state is not touched (writebacks are not
+     * demand reuse).
+     *
+     * @return true when absorbed.
+     */
+    bool absorbWriteback(BlockAddr block);
+
+    /** Record a bypassed probe (MNM said "miss"; no tag check done). */
+    void noteBypass() { ++stats_.bypasses; }
+
+    /** Outcome of an invalidation. */
+    struct InvalidateOutcome
+    {
+        bool was_present = false;
+        bool was_dirty = false;
+    };
+
+    /** Drop @p block if resident (back-invalidation support). */
+    InvalidateOutcome invalidate(BlockAddr block);
+
+    /** Invalidate every block. @return number of blocks dropped. */
+    std::uint64_t flush();
+
+    /** All resident block addresses (test/diagnostic aid; slow). */
+    std::vector<BlockAddr> residentBlocks() const;
+
+    const CacheParams &params() const { return params_; }
+    const CacheStats &stats() const { return stats_; }
+    std::uint32_t numSets() const { return num_sets_; }
+    std::uint32_t numWays() const { return num_ways_; }
+    unsigned blockBits() const { return block_bits_; }
+    std::uint64_t blocksResident() const { return resident_; }
+
+  private:
+    struct Line
+    {
+        BlockAddr tag = 0;
+        std::uint64_t stamp = 0; //!< LRU: last touch; FIFO: fill time
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint32_t setIndex(BlockAddr block) const
+    {
+        return static_cast<std::uint32_t>(block & (num_sets_ - 1));
+    }
+
+    Line *findLine(BlockAddr block);
+    const Line *findLine(BlockAddr block) const;
+    std::uint32_t victimWay(std::uint32_t set);
+
+    /** Tree-PLRU helpers (valid when policy == TreePlru). */
+    void plruTouch(std::uint32_t set, std::uint32_t way);
+    std::uint32_t plruVictim(std::uint32_t set) const;
+
+    CacheParams params_;
+    std::uint32_t num_sets_;
+    std::uint32_t num_ways_;
+    unsigned block_bits_;
+    std::vector<Line> lines_; //!< num_sets_ x num_ways_, row-major
+    /** Tree-PLRU direction bits, one word per set (node i's bit). */
+    std::vector<std::uint64_t> plru_bits_;
+    std::uint64_t tick_ = 0;  //!< replacement timestamp source
+    std::uint64_t resident_ = 0;
+    CacheStats stats_;
+    Rng rng_;
+};
+
+} // namespace mnm
+
+#endif // MNM_CACHE_CACHE_HH

@@ -1,0 +1,229 @@
+#include "cache/hierarchy.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
+                               std::uint64_t seed)
+    : params_(params)
+{
+    if (params_.levels.empty())
+        fatal("hierarchy with no cache levels");
+    if (params_.levels.size() + 1 >= AccessResult::max_probes)
+        fatal("hierarchy deeper than %zu levels unsupported",
+              AccessResult::max_probes - 1);
+
+    std::uint64_t cache_seed = seed;
+    for (std::size_t i = 0; i < params_.levels.size(); ++i) {
+        const LevelParams &lvl = params_.levels[i];
+        std::uint32_t level = static_cast<std::uint32_t>(i + 1);
+        if (lvl.split) {
+            caches_.push_back(
+                std::make_unique<Cache>(lvl.instr, ++cache_seed));
+            level_of_.push_back(level);
+            instr_path_.push_back(
+                static_cast<CacheId>(caches_.size() - 1));
+            caches_.push_back(
+                std::make_unique<Cache>(lvl.data, ++cache_seed));
+            level_of_.push_back(level);
+            data_path_.push_back(
+                static_cast<CacheId>(caches_.size() - 1));
+        } else {
+            caches_.push_back(
+                std::make_unique<Cache>(lvl.data, ++cache_seed));
+            level_of_.push_back(level);
+            CacheId id = static_cast<CacheId>(caches_.size() - 1);
+            instr_path_.push_back(id);
+            data_path_.push_back(id);
+        }
+    }
+    if (caches_.size() > 32)
+        fatal("more than 32 cache structures unsupported by BypassMask");
+}
+
+Cache &
+CacheHierarchy::cacheAt(std::uint32_t level, AccessType type)
+{
+    MNM_ASSERT(level >= 1 && level <= levels(), "level out of range");
+    const auto &p = path(type);
+    return *caches_[p[level - 1]];
+}
+
+const Cache &
+CacheHierarchy::cacheAt(std::uint32_t level, AccessType type) const
+{
+    return const_cast<CacheHierarchy *>(this)->cacheAt(level, type);
+}
+
+AccessResult
+CacheHierarchy::access(AccessType type, Addr addr, const BypassMask &bypass)
+{
+    const std::vector<CacheId> &route =
+        type == AccessType::InstFetch ? instr_path_ : data_path_;
+    const bool is_write = type == AccessType::Store;
+
+    AccessResult result;
+    std::uint32_t n_levels = levels();
+    std::uint32_t hit_level = 0;
+
+    for (std::uint32_t level = 1; level <= n_levels; ++level) {
+        CacheId id = route[level - 1];
+        Cache &c = *caches_[id];
+        ProbeRecord rec;
+        rec.cache = id;
+        rec.level = static_cast<std::uint8_t>(level);
+        if (bypass.test(id)) {
+            // MNM said "miss": skip the structure entirely. The verdict
+            // machinery guarantees the block is absent (soundness), so
+            // this never skips a would-be hit.
+            rec.bypassed = true;
+            c.noteBypass();
+            result.addProbe(rec);
+            continue;
+        }
+        bool hit = c.probe(c.blockAddr(addr), is_write);
+        rec.hit = hit;
+        result.addProbe(rec);
+        result.latency +=
+            hit ? c.params().hit_latency : c.params().missLatency();
+        if (hit) {
+            hit_level = level;
+            break;
+        }
+    }
+
+    if (hit_level == 0) {
+        result.from_memory = true;
+        result.supply_level = static_cast<std::uint8_t>(n_levels + 1);
+        result.latency += params_.memory_latency;
+        ++memory_accesses_;
+        hit_level = n_levels + 1;
+    } else {
+        result.supply_level = static_cast<std::uint8_t>(hit_level);
+    }
+
+    // Fill path: allocate into every level above the supplier. Stores
+    // mark the L1 copy dirty (write-allocate, write-back).
+    for (std::uint32_t level = hit_level - 1; level >= 1; --level) {
+        CacheId id = route[level - 1];
+        Cache &c = *caches_[id];
+        BlockAddr block = c.blockAddr(addr);
+        bool dirty = is_write && level == 1;
+        Cache::FillOutcome outcome = c.fill(block, dirty);
+        if (listener_ && outcome.inserted) {
+            // Replacement first, then placement: matches the paper's
+            // RMNM scenario ordering (Table 1) where the outgoing block
+            // is reported before the incoming one lands.
+            if (outcome.evicted)
+                listener_->onReplacement(id, *outcome.evicted);
+            listener_->onPlacement(id, block);
+        }
+        bool victim_dirty = outcome.evicted_dirty;
+        if (outcome.evicted &&
+            params_.inclusion == InclusionPolicy::Inclusive &&
+            level >= 2) {
+            // Strict inclusion: every upper-level copy of the victim
+            // must go too; dirty upper data folds into the writeback.
+            victim_dirty |= backInvalidate(level,
+                                           c.byteAddr(*outcome.evicted),
+                                           c.params().block_bytes);
+        }
+        if (params_.model_writebacks && outcome.evicted &&
+            victim_dirty) {
+            writeback(route, level, c.byteAddr(*outcome.evicted),
+                      result);
+        }
+        if (level == 1)
+            break;
+    }
+
+    return result;
+}
+
+bool
+CacheHierarchy::backInvalidate(std::uint32_t below_level, Addr victim,
+                               std::uint32_t victim_bytes)
+{
+    bool any_dirty = false;
+    for (CacheId id = 0; id < caches_.size(); ++id) {
+        if (level_of_[id] >= below_level)
+            continue;
+        Cache &upper = *caches_[id];
+        BlockAddr first = upper.blockAddr(victim);
+        BlockAddr last = upper.blockAddr(victim + victim_bytes - 1);
+        for (BlockAddr b = first; b <= last; ++b) {
+            Cache::InvalidateOutcome inv = upper.invalidate(b);
+            if (!inv.was_present)
+                continue;
+            any_dirty |= inv.was_dirty;
+            if (listener_)
+                listener_->onReplacement(id, b);
+        }
+    }
+    return any_dirty;
+}
+
+void
+CacheHierarchy::writeback(const std::vector<CacheId> &route,
+                          std::uint32_t from_level, Addr victim_addr,
+                          AccessResult &result)
+{
+    // The dirty victim drains towards memory, absorbed by the first
+    // lower level that holds the block. Absorbing only dirties an
+    // existing copy, so no replacements (and no MNM events) occur.
+    for (std::uint32_t level = from_level + 1; level <= levels();
+         ++level) {
+        CacheId id = route[level - 1];
+        Cache &c = *caches_[id];
+        bool absorbed = c.absorbWriteback(c.blockAddr(victim_addr));
+        result.addWriteback({id, absorbed});
+        if (absorbed)
+            return;
+    }
+    ++result.memory_writebacks;
+    ++memory_writebacks_;
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    for (CacheId id = 0; id < caches_.size(); ++id) {
+        caches_[id]->flush();
+        if (listener_)
+            listener_->onFlush(id);
+    }
+}
+
+std::string
+CacheHierarchy::describe() const
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < params_.levels.size(); ++i) {
+        const LevelParams &lvl = params_.levels[i];
+        out << "L" << (i + 1) << ": ";
+        auto describe_one = [&](const CacheParams &p) {
+            out << p.name << " " << p.capacity_bytes / 1024 << "KB "
+                << (p.associativity == 0
+                        ? std::string("full")
+                        : std::to_string(p.associativity) + "-way")
+                << " " << p.block_bytes << "B blocks, "
+                << p.hit_latency << " cycles";
+        };
+        if (lvl.split) {
+            describe_one(lvl.instr);
+            out << " + ";
+            describe_one(lvl.data);
+        } else {
+            describe_one(lvl.data);
+        }
+        out << "\n";
+    }
+    out << "memory: " << params_.memory_latency << " cycles\n";
+    return out.str();
+}
+
+} // namespace mnm

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Multi-level cache hierarchy with MNM bypass support.
+ *
+ * Models the paper's arrangement: optionally split instruction/data
+ * structures at the first level(s), unified caches below, and a flat
+ * memory behind the last level. Caches are NON-inclusive (an eviction at
+ * level i does not back-invalidate level i-1), matching the paper's
+ * explicit assumption in Section 3.
+ *
+ * An access descends level by level. For each cache the caller may have
+ * set a bypass bit (the MNM's "miss" verdict is tagged onto the request,
+ * paper Section 2): a bypassed cache performs no tag probe and charges
+ * no probe latency/energy. When the data is located at level n, the
+ * block is allocated into every level 1..n-1 on the fill path
+ * (allocate-on-fill), and each placement/replacement is reported to the
+ * registered listener -- exactly the bookkeeping feed the MNM requires.
+ */
+
+#ifndef MNM_CACHE_HIERARCHY_HH
+#define MNM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "util/types.hh"
+
+namespace mnm
+{
+
+/** Kind of request presented to the hierarchy. */
+enum class AccessType
+{
+    InstFetch,
+    Load,
+    Store,
+};
+
+/** Configuration of one hierarchy level. */
+struct LevelParams
+{
+    /** Split instruction/data structures at this level? */
+    bool split = false;
+    /** Unified (or data-side when split) cache. */
+    CacheParams data;
+    /** Instruction-side cache; only used when split. */
+    CacheParams instr;
+};
+
+/** Multi-level content relationship. */
+enum class InclusionPolicy
+{
+    /** The paper's assumption (Section 3): evictions at level i leave
+     *  upper-level copies alone. */
+    NonInclusive,
+    /** Strict inclusion: an eviction at level i back-invalidates every
+     *  covered block in the caches above it (dirty upper data folds
+     *  into the victim's writeback). */
+    Inclusive,
+};
+
+/** Configuration of a whole hierarchy. */
+struct HierarchyParams
+{
+    std::vector<LevelParams> levels;
+    /** Latency of main memory behind the last level. */
+    Cycles memory_latency = 320;
+    InclusionPolicy inclusion = InclusionPolicy::NonInclusive;
+    /**
+     * Propagate dirty evictions down the hierarchy (write-back,
+     * non-allocating: the writeback is absorbed by the first lower
+     * level holding the block, else it drains to memory). Writebacks
+     * ride the write buffers, so they cost energy but no request
+     * latency.
+     */
+    bool model_writebacks = true;
+};
+
+/** Identifier of one cache structure inside a hierarchy. */
+using CacheId = std::uint32_t;
+
+/** Receives placement/replacement notifications (the MNM feed). */
+class CacheEventListener
+{
+  public:
+    virtual ~CacheEventListener() = default;
+
+    /** @p block is at the granularity of cache @p id's block size. */
+    virtual void onPlacement(CacheId id, BlockAddr block) = 0;
+    virtual void onReplacement(CacheId id, BlockAddr block) = 0;
+    virtual void onFlush(CacheId id) { (void)id; }
+};
+
+/** Per-cache bypass verdicts for one access (bit set => skip probe). */
+class BypassMask
+{
+  public:
+    void set(CacheId id) { mask_ |= (1u << id); }
+    bool test(CacheId id) const { return (mask_ >> id) & 1u; }
+    void clear() { mask_ = 0; }
+    std::uint32_t raw() const { return mask_; }
+
+  private:
+    std::uint32_t mask_ = 0;
+};
+
+/** What happened at one cache during an access. */
+struct ProbeRecord
+{
+    CacheId cache = 0;
+    std::uint8_t level = 0;
+    bool bypassed = false;
+    bool hit = false;
+};
+
+/** One hop of a writeback chain triggered by this access. */
+struct WritebackRecord
+{
+    CacheId cache = 0;
+    /** The block was found and dirtied here (chain ends). */
+    bool absorbed = false;
+};
+
+/** Outcome of one hierarchy access. */
+struct AccessResult
+{
+    static constexpr std::size_t max_probes = 16;
+    static constexpr std::size_t max_writebacks = 16;
+
+    /** 1-based level that supplied the data; levels()+1 means memory. */
+    std::uint8_t supply_level = 0;
+    bool from_memory = false;
+    /** Data access time for this request (paper Section 1.1). */
+    Cycles latency = 0;
+    std::uint8_t num_probes = 0;
+    ProbeRecord probes[max_probes];
+    /** Writeback hops this access triggered (off the critical path). */
+    std::uint8_t num_writebacks = 0;
+    WritebackRecord writebacks[max_writebacks];
+    /** Dirty blocks that drained all the way to memory. */
+    std::uint8_t memory_writebacks = 0;
+
+    void
+    addProbe(const ProbeRecord &rec)
+    {
+        if (num_probes < max_probes)
+            probes[num_probes++] = rec;
+    }
+
+    void
+    addWriteback(const WritebackRecord &rec)
+    {
+        if (num_writebacks < max_writebacks)
+            writebacks[num_writebacks++] = rec;
+    }
+};
+
+/**
+ * The hierarchy. Construct from params, optionally attach a listener
+ * (the MNM), then stream accesses through access().
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyParams &params,
+                            std::uint64_t seed = 1);
+
+    /** Number of levels (the paper's "memory_levels" minus memory). */
+    std::uint32_t levels() const
+    {
+        return static_cast<std::uint32_t>(params_.levels.size());
+    }
+
+    /** Total distinct cache structures (paper: 7 for the 5-level cfg). */
+    std::uint32_t numCaches() const
+    {
+        return static_cast<std::uint32_t>(caches_.size());
+    }
+
+    /** The cache serving @p type at @p level (1-based). */
+    Cache &cacheAt(std::uint32_t level, AccessType type);
+    const Cache &cacheAt(std::uint32_t level, AccessType type) const;
+
+    /** Cache by flat id. */
+    Cache &cache(CacheId id) { return *caches_[id]; }
+    const Cache &cache(CacheId id) const { return *caches_[id]; }
+
+    /** 1-based level of cache @p id. */
+    std::uint32_t levelOf(CacheId id) const { return level_of_[id]; }
+
+    /** Ids of all caches on the path of @p type, ordered by level. */
+    const std::vector<CacheId> &path(AccessType type) const
+    {
+        return type == AccessType::InstFetch ? instr_path_ : data_path_;
+    }
+
+    /** True if cache @p id serves level-1 requests. */
+    bool isLevel1(CacheId id) const { return level_of_[id] == 1; }
+
+    /** Attach the placement/replacement listener (one at a time). */
+    void setListener(CacheEventListener *listener)
+    {
+        listener_ = listener;
+    }
+
+    /**
+     * Perform one access.
+     *
+     * @param type   request stream (selects the I- or D-path)
+     * @param addr   byte address
+     * @param bypass per-cache MNM verdicts; bypassed caches are skipped
+     */
+    AccessResult access(AccessType type, Addr addr,
+                        const BypassMask &bypass = BypassMask());
+
+    /** Flush every cache (notifies the listener per cache). */
+    void flushAll();
+
+    const HierarchyParams &params() const { return params_; }
+    Cycles memoryLatency() const { return params_.memory_latency; }
+
+    /** Accesses that reached memory. */
+    std::uint64_t memoryAccesses() const { return memory_accesses_; }
+
+    /** Dirty blocks written back all the way to memory. */
+    std::uint64_t memoryWritebacks() const { return memory_writebacks_; }
+
+    /** Human-readable topology summary. */
+    std::string describe() const;
+
+  private:
+    HierarchyParams params_;
+    std::vector<std::unique_ptr<Cache>> caches_;
+    std::vector<std::uint32_t> level_of_;
+    std::vector<CacheId> instr_path_; //!< cache id per level, I-stream
+    std::vector<CacheId> data_path_;  //!< cache id per level, D-stream
+    CacheEventListener *listener_ = nullptr;
+    std::uint64_t memory_accesses_ = 0;
+    std::uint64_t memory_writebacks_ = 0;
+
+    /** Drain one dirty victim from @p from_level towards memory. */
+    void writeback(const std::vector<CacheId> &route,
+                   std::uint32_t from_level, Addr victim_addr,
+                   AccessResult &result);
+
+    /**
+     * Inclusive mode: drop every copy of @p victim in caches above
+     * @p below_level (notifying the listener).
+     * @return true if any dropped copy was dirty.
+     */
+    bool backInvalidate(std::uint32_t below_level, Addr victim,
+                        std::uint32_t victim_bytes);
+};
+
+} // namespace mnm
+
+#endif // MNM_CACHE_HIERARCHY_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Common-Address MNM (paper Section 3.4).
+ *
+ * Exploits spatial locality in the upper address bits. A "virtual-tag
+ * finder" of k registers remembers the distinct upper-bit patterns
+ * ((32 - m) most significant bits of the block address) seen among
+ * cached blocks; each register's match can be coarsened by a left-
+ * shifting mask. On an access:
+ *
+ *   1. if no register matches the upper bits -> definite miss
+ *      (no cached block shares this address region);
+ *   2. otherwise the matching register's index (the "virtual tag") is
+ *      concatenated with the m least significant bits and used to index
+ *      a table of 3-bit sticky saturating counters (as in TMNM);
+ *      a zero counter -> definite miss.
+ *
+ * Mask policy (see DESIGN.md decision 4): the paper's literal behaviour
+ * ("shift the masks left until a match is found, then reset the others")
+ * can orphan earlier placements and emit unsound verdicts. The default
+ * Monotone policy widens masks monotonically and remembers, per resident
+ * block, which register its placement incremented (conceptually the
+ * virtual tag is stored with the block's metadata), making the filter
+ * provably sound. PaperReset implements the literal text as an ablation;
+ * it reports maybeUnsound() so the MnmUnit oracle-guards its verdicts
+ * and counts the violations.
+ */
+
+#ifndef MNM_CORE_CMNM_HH
+#define MNM_CORE_CMNM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/miss_filter.hh"
+
+namespace mnm
+{
+
+/** The CMNM filter for one cache. */
+class Cmnm : public MissFilter
+{
+  public:
+    explicit Cmnm(const CmnmSpec &spec);
+
+    bool definitelyMiss(BlockAddr block) const override;
+    void onPlacement(BlockAddr block) override;
+    void onReplacement(BlockAddr block) override;
+    void onFlush() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    PowerDelay power(const SramModel &sram,
+                     const CheckerModel &checker) const override;
+    bool maybeUnsound() const override
+    {
+        return spec_.policy == CmnmMaskPolicy::PaperReset;
+    }
+    std::uint64_t anomalies() const override { return anomalies_; }
+
+    const CmnmSpec &spec() const { return spec_; }
+
+    /** Number of virtual-tag registers currently allocated. */
+    std::uint32_t registersInUse() const;
+
+    /** Total mask widenings performed (diagnostic). */
+    std::uint64_t maskWidenings() const { return widenings_; }
+
+  private:
+    /** One virtual-tag register. */
+    struct VtagRegister
+    {
+        /** Upper bits of the block address at allocation (block >> m). */
+        std::uint64_t prefix = 0;
+        /** How many low prefix bits the mask currently ignores. */
+        std::uint32_t widen = 0;
+        bool valid = false;
+    };
+
+    static std::uint64_t
+    shiftRight(std::uint64_t v, std::uint32_t s)
+    {
+        return s >= 64 ? 0 : v >> s;
+    }
+
+    std::uint64_t prefixOf(BlockAddr block) const
+    {
+        return block >> spec_.table_index_bits;
+    }
+
+    std::uint64_t lowBitsOf(BlockAddr block) const
+    {
+        return block & ((std::uint64_t{1} << spec_.table_index_bits) - 1);
+    }
+
+    bool regMatches(const VtagRegister &reg, std::uint64_t prefix) const
+    {
+        return reg.valid && shiftRight(prefix, reg.widen) ==
+                                shiftRight(reg.prefix, reg.widen);
+    }
+
+    /**
+     * Most specific (narrowest-mask) matching register, or -1. Ties go
+     * to the lowest index. Specificity spreads placements across the
+     * register file instead of letting a fully-widened low register
+     * absorb everything.
+     */
+    int bestMatch(std::uint64_t prefix) const;
+
+    /** Find/allocate/widen to produce a register for a placement. */
+    std::uint32_t registerForPlacement(std::uint64_t prefix);
+
+    std::size_t
+    cellIndex(std::uint32_t reg, BlockAddr block) const
+    {
+        return (static_cast<std::size_t>(reg)
+                << spec_.table_index_bits) |
+               static_cast<std::size_t>(lowBitsOf(block));
+    }
+
+    void stickyIncrement(std::size_t cell);
+    void stickyDecrement(std::size_t cell);
+
+    CmnmSpec spec_;
+    std::uint8_t saturation_;
+    std::vector<VtagRegister> registers_;
+    std::vector<std::uint8_t> counters_; //!< k * 2^m sticky counters
+    /** Monotone policy: which register each resident block incremented. */
+    std::unordered_map<BlockAddr, std::uint32_t> placed_reg_;
+    std::uint64_t anomalies_ = 0;
+    std::uint64_t widenings_ = 0;
+};
+
+} // namespace mnm
+
+#endif // MNM_CORE_CMNM_HH

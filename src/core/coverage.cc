@@ -1,0 +1,52 @@
+#include "core/coverage.hh"
+
+namespace mnm
+{
+
+void
+CoverageTracker::record(const AccessResult &result)
+{
+    for (std::uint8_t i = 0; i < result.num_probes; ++i) {
+        const ProbeRecord &probe = result.probes[i];
+        if (probe.level < 2)
+            continue; // level-1 misses are never predicted
+        if (probe.hit)
+            continue; // the supplying level is not a miss
+        if (probe.bypassed) {
+            ++identified_;
+            if (probe.level < max_levels)
+                ++identified_at_[probe.level];
+        } else {
+            ++unidentified_;
+            if (probe.level < max_levels)
+                ++unidentified_at_[probe.level];
+        }
+    }
+}
+
+double
+CoverageTracker::coverageAt(std::uint32_t level) const
+{
+    double id = static_cast<double>(identifiedAt(level));
+    double un = static_cast<double>(unidentifiedAt(level));
+    return ratio(id, id + un);
+}
+
+void
+CoverageTracker::merge(const CoverageTracker &other)
+{
+    identified_ += other.identified_;
+    unidentified_ += other.unidentified_;
+    for (std::size_t i = 0; i < max_levels; ++i) {
+        identified_at_[i] += other.identified_at_[i];
+        unidentified_at_[i] += other.unidentified_at_[i];
+    }
+}
+
+void
+CoverageTracker::reset()
+{
+    *this = CoverageTracker();
+}
+
+} // namespace mnm

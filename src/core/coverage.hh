@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Coverage accounting (paper Section 4.2).
+ *
+ * "Coverage is the fraction of the misses identified by the technique
+ * over all cache misses", where only bypassable misses count: an access
+ * supplied by level n could have bypassed levels 2..n-1 (level-1 misses
+ * are never predicted). Coverage is a property of the verdicts alone --
+ * it does not depend on whether the MNM is placed serially or in
+ * parallel.
+ */
+
+#ifndef MNM_CORE_COVERAGE_HH
+#define MNM_CORE_COVERAGE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cache/hierarchy.hh"
+#include "util/stats.hh"
+
+namespace mnm
+{
+
+/** Accumulates identified vs. missed bypass opportunities. */
+class CoverageTracker
+{
+  public:
+    static constexpr std::size_t max_levels = 16;
+
+    /** Fold one completed access into the totals. */
+    void record(const AccessResult &result);
+
+    /** Misses the MNM identified (accesses actually bypassed). */
+    std::uint64_t identified() const { return identified_; }
+
+    /** Misses that were probed in full (opportunity not taken). */
+    std::uint64_t unidentified() const { return unidentified_; }
+
+    /** All bypassable misses seen. */
+    std::uint64_t opportunities() const
+    {
+        return identified_ + unidentified_;
+    }
+
+    /** Paper's coverage metric in [0,1]. */
+    double coverage() const
+    {
+        return ratio(static_cast<double>(identified_),
+                     static_cast<double>(opportunities()));
+    }
+
+    /** Per-level identified/unidentified counts (index = level). */
+    std::uint64_t identifiedAt(std::uint32_t level) const
+    {
+        return level < max_levels ? identified_at_[level] : 0;
+    }
+    std::uint64_t unidentifiedAt(std::uint32_t level) const
+    {
+        return level < max_levels ? unidentified_at_[level] : 0;
+    }
+    double coverageAt(std::uint32_t level) const;
+
+    /** Fold another tracker's counts into this one. */
+    void merge(const CoverageTracker &other);
+
+    void reset();
+
+  private:
+    std::uint64_t identified_ = 0;
+    std::uint64_t unidentified_ = 0;
+    std::array<std::uint64_t, max_levels> identified_at_{};
+    std::array<std::uint64_t, max_levels> unidentified_at_{};
+};
+
+} // namespace mnm
+
+#endif // MNM_CORE_COVERAGE_HH

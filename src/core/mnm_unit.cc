@@ -1,0 +1,283 @@
+#include "core/mnm_unit.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+MnmUnit::MnmUnit(const MnmSpec &spec, CacheHierarchy &hierarchy)
+    : spec_(spec), hierarchy_(hierarchy)
+{
+    per_cache_.resize(hierarchy_.numCaches());
+
+    // The RMNM granule is the level-2 block size (paper Section 3.1).
+    // Tracked caches are every non-L1 structure, in id order.
+    unsigned granule_bits = 64;
+    std::uint32_t num_tracked = 0;
+    for (CacheId id = 0; id < hierarchy_.numCaches(); ++id) {
+        PerCache &pc = per_cache_[id];
+        pc.block_bits = hierarchy_.cache(id).blockBits();
+        std::uint32_t level = hierarchy_.levelOf(id);
+        if (level < 2)
+            continue;
+        pc.rmnm_index = static_cast<int>(num_tracked++);
+        if (level == 2)
+            granule_bits = std::min(granule_bits, pc.block_bits);
+        for (const LevelFilters &lf : spec_.level_filters) {
+            if (level < lf.min_level || level > lf.max_level)
+                continue;
+            for (const FilterSpec &fs : lf.filters) {
+                pc.filters.push_back(makeFilter(fs));
+                pc.any_unsound |= pc.filters.back()->maybeUnsound();
+            }
+        }
+    }
+    if (granule_bits == 64) {
+        // No level-2 cache (a 1-level hierarchy): fall back to the
+        // smallest tracked block, or 32B.
+        granule_bits = 5;
+    }
+
+    if (spec_.rmnm && num_tracked > 0 && !spec_.perfect)
+        rmnm_ = std::make_unique<Rmnm>(*spec_.rmnm, num_tracked,
+                                       granule_bits);
+
+    // Pre-compute per-probe energy and worst-case delay. A parallel
+    // MNM serves the L1 I- and D-streams simultaneously, so its
+    // structures need as many ports as the level-1 caches together
+    // (paper Section 2); multi-ported cells are bigger and slower. The
+    // serial and distributed placements see one request at a time.
+    SramModel sram;
+    CheckerModel checker;
+    const double port_energy_scale =
+        spec_.placement == MnmPlacement::Parallel
+            ? 1.0 + sram.tech().port_factor
+            : 1.0;
+    const double port_delay_scale = std::sqrt(port_energy_scale);
+    if (!spec_.perfect) {
+        for (PerCache &pc : per_cache_) {
+            for (const auto &filter : pc.filters) {
+                PowerDelay pd = filter->power(sram, checker);
+                lookup_energy_pj_ += pd.read_energy_pj * port_energy_scale;
+                pc.lookup_pj += pd.read_energy_pj * port_energy_scale;
+                pc.update_pj += pd.write_energy_pj * port_energy_scale;
+                probe_delay_ns_ = std::max(
+                    probe_delay_ns_, pd.access_ns * port_delay_scale);
+            }
+        }
+        if (rmnm_) {
+            PowerDelay pd = rmnm_->power(sram);
+            lookup_energy_pj_ += pd.read_energy_pj * port_energy_scale;
+            rmnm_lookup_pj_ = pd.read_energy_pj * port_energy_scale;
+            probe_delay_ns_ = std::max(probe_delay_ns_,
+                                       pd.access_ns * port_delay_scale);
+            rmnm_update_pj_ = pd.write_energy_pj * port_energy_scale;
+        }
+    }
+
+    hierarchy_.setListener(this);
+}
+
+MnmUnit::~MnmUnit()
+{
+    hierarchy_.setListener(nullptr);
+}
+
+bool
+MnmUnit::cacheVerdict(CacheId id, Addr addr) const
+{
+    const PerCache &pc = per_cache_[id];
+    const Cache &cache = hierarchy_.cache(id);
+    BlockAddr block = cache.blockAddr(addr);
+
+    if (spec_.perfect)
+        return !cache.contains(block);
+
+    if (rmnm_ && pc.rmnm_index >= 0 &&
+        rmnm_->definitelyMiss(static_cast<std::uint32_t>(pc.rmnm_index),
+                              addr)) {
+        return true;
+    }
+    for (const auto &filter : pc.filters) {
+        if (filter->definitelyMiss(block))
+            return true;
+    }
+    return false;
+}
+
+BypassMask
+MnmUnit::computeBypass(AccessType type, Addr addr)
+{
+    ++lookups_;
+    rmnm_burst_charged_ = false; // new access: new RMNM update burst
+    BypassMask mask;
+    for (CacheId id : hierarchy_.path(type)) {
+        if (hierarchy_.levelOf(id) < 2)
+            continue;
+        if (!cacheVerdict(id, addr))
+            continue;
+        const PerCache &pc = per_cache_[id];
+        if ((pc.any_unsound || spec_.oracle_check) && !spec_.perfect) {
+            const Cache &cache = hierarchy_.cache(id);
+            if (cache.contains(cache.blockAddr(addr))) {
+                // The verdict was wrong: bypassing would have skipped a
+                // hit. Count it and suppress the bypass so the
+                // simulation stays architecturally correct.
+                ++violations_;
+                continue;
+            }
+        }
+        mask.set(id);
+    }
+    return mask;
+}
+
+Cycles
+MnmUnit::applyPlacementCosts(const AccessResult &result)
+{
+    if (spec_.perfect)
+        return 0; // the oracle is free by definition (Section 4.3/4.4)
+
+    bool l1_missed = result.supply_level != 1;
+    switch (spec_.placement) {
+      case MnmPlacement::Parallel:
+        // Probed alongside L1 on every request; delay hidden under the
+        // L1 access (audited in bench_table3).
+        chargeLookup();
+        return 0;
+      case MnmPlacement::Serial:
+        if (!l1_missed)
+            return 0;
+        chargeLookup();
+        return spec_.delay;
+      case MnmPlacement::Distributed: {
+        // Each level >= 2 the walk reaches consults its own filter
+        // (+delay, + that filter's energy); the shared RMNM is
+        // consulted once after the L1 miss.
+        Cycles extra = 0;
+        if (l1_missed && rmnm_)
+            energy_pj_ += rmnm_lookup_pj_;
+        for (std::uint8_t i = 0; i < result.num_probes; ++i) {
+            const ProbeRecord &probe = result.probes[i];
+            if (probe.level < 2)
+                continue;
+            extra += spec_.delay;
+            energy_pj_ += per_cache_[probe.cache].lookup_pj;
+        }
+        return extra;
+      }
+    }
+    panic("unreachable MNM placement");
+}
+
+void
+MnmUnit::onPlacement(CacheId id, BlockAddr block)
+{
+    if (spec_.perfect)
+        return;
+    PerCache &pc = per_cache_[id];
+    for (auto &filter : pc.filters)
+        filter->onPlacement(block);
+    energy_pj_ += pc.update_pj;
+    if (rmnm_ && pc.rmnm_index >= 0) {
+        rmnm_->onPlacement(static_cast<std::uint32_t>(pc.rmnm_index),
+                           hierarchy_.cache(id).byteAddr(block),
+                           pc.block_bits);
+        if (!rmnm_burst_charged_) {
+            energy_pj_ += rmnm_update_pj_;
+            rmnm_burst_charged_ = true;
+        }
+    }
+}
+
+void
+MnmUnit::onReplacement(CacheId id, BlockAddr block)
+{
+    if (spec_.perfect)
+        return;
+    PerCache &pc = per_cache_[id];
+    for (auto &filter : pc.filters)
+        filter->onReplacement(block);
+    energy_pj_ += pc.update_pj;
+    if (rmnm_ && pc.rmnm_index >= 0) {
+        rmnm_->onReplacement(static_cast<std::uint32_t>(pc.rmnm_index),
+                             hierarchy_.cache(id).byteAddr(block),
+                             pc.block_bits);
+        if (!rmnm_burst_charged_) {
+            energy_pj_ += rmnm_update_pj_;
+            rmnm_burst_charged_ = true;
+        }
+    }
+}
+
+void
+MnmUnit::onFlush(CacheId id)
+{
+    PerCache &pc = per_cache_[id];
+    for (auto &filter : pc.filters)
+        filter->onFlush();
+    // The RMNM's set bits remain valid across a flush (flushed blocks
+    // are certainly absent), so it is deliberately left alone.
+}
+
+std::uint64_t
+MnmUnit::storageBits() const
+{
+    std::uint64_t bits = 0;
+    for (const PerCache &pc : per_cache_) {
+        for (const auto &filter : pc.filters)
+            bits += filter->storageBits();
+    }
+    if (rmnm_)
+        bits += rmnm_->storageBits();
+    return bits;
+}
+
+std::uint64_t
+MnmUnit::filterAnomalies() const
+{
+    std::uint64_t n = 0;
+    for (const PerCache &pc : per_cache_) {
+        for (const auto &filter : pc.filters)
+            n += filter->anomalies();
+    }
+    return n;
+}
+
+std::string
+MnmUnit::describe() const
+{
+    std::ostringstream out;
+    const char *placement =
+        spec_.placement == MnmPlacement::Parallel
+            ? "parallel"
+            : (spec_.placement == MnmPlacement::Serial ? "serial"
+                                                       : "distributed");
+    out << spec_.name << " (" << placement << ", " << spec_.delay
+        << "-cycle";
+    if (spec_.perfect) {
+        out << ", perfect oracle)\n";
+        return out.str();
+    }
+    out << ")\n";
+    if (rmnm_)
+        out << "  shared: " << rmnm_->name() << "\n";
+    for (CacheId id = 0; id < per_cache_.size(); ++id) {
+        const PerCache &pc = per_cache_[id];
+        if (pc.filters.empty())
+            continue;
+        out << "  " << hierarchy_.cache(id).params().name << ":";
+        for (const auto &filter : pc.filters)
+            out << " " << filter->name();
+        out << "\n";
+    }
+    out << "  storage: " << storageBits() / 8 << " bytes, probe "
+        << lookup_energy_pj_ << " pJ, " << probe_delay_ns_ << " ns\n";
+    return out.str();
+}
+
+} // namespace mnm

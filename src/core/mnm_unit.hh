@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The Mostly No Machine: binds per-cache miss filters and the shared
+ * RMNM to a concrete cache hierarchy (paper Section 2).
+ *
+ * The unit registers itself as the hierarchy's event listener so it sees
+ * every placement and replacement (the paper's bookkeeping buses), and
+ * produces a BypassMask per access: the "miss" tags that travel with the
+ * request and make downstream caches skip their probe.
+ *
+ * Placement (paper Figure 1):
+ *  - Parallel: the MNM is probed alongside the L1 caches. Its delay is
+ *    hidden under the L1 access (verified in the Table 3 bench), so no
+ *    latency is added; its energy is charged on every access.
+ *  - Serial: the MNM is probed only after an L1 miss. Accesses that miss
+ *    L1 pay the MNM delay; the MNM energy is charged only on L1 misses.
+ *
+ * The caller drives the charging via chargeLookup() after it knows the
+ * L1 outcome; update energy is accrued automatically from the event feed.
+ */
+
+#ifndef MNM_CORE_MNM_UNIT_HH
+#define MNM_CORE_MNM_UNIT_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/miss_filter.hh"
+#include "core/rmnm.hh"
+#include "util/types.hh"
+
+namespace mnm
+{
+
+/** Where the MNM sits relative to the caches (paper Figure 1 and the
+ *  Section 2 discussion).
+ *
+ *  Parallel:    probed alongside the L1 caches; no added latency, full
+ *               structure energy on every request.
+ *  Serial:      probed once after an L1 miss; +delay on L1 misses,
+ *               energy only on L1 misses.
+ *  Distributed: each cache level's filter sits in front of that cache;
+ *               the walk pays the filter delay at every level it
+ *               reaches but only consults the structures it actually
+ *               needs -- the paper's "better power consumption, but
+ *               will increase the access times" variant. */
+enum class MnmPlacement
+{
+    Parallel,
+    Serial,
+    Distributed,
+};
+
+/** Filters applied to every cache within a level range. */
+struct LevelFilters
+{
+    std::uint32_t min_level = 2;
+    std::uint32_t max_level = 99;
+    std::vector<FilterSpec> filters;
+};
+
+/** Complete configuration of one MNM. */
+struct MnmSpec
+{
+    std::string name = "MNM";
+    MnmPlacement placement = MnmPlacement::Parallel;
+    /** MNM probe delay in cycles (paper Section 4.1 uses 2). */
+    Cycles delay = 2;
+    /** Oracle mode: "perfect MNM" that knows where every block lives
+     *  and consumes no power (paper Sections 4.3/4.4). */
+    bool perfect = false;
+    /** Optional shared replacement tracker. */
+    std::optional<RmnmSpec> rmnm;
+    /** Per-level technique assignment. */
+    std::vector<LevelFilters> level_filters;
+    /** Force oracle-checking of every verdict (testing aid). */
+    bool oracle_check = false;
+};
+
+/** The Mostly No Machine. */
+class MnmUnit : public CacheEventListener
+{
+  public:
+    /**
+     * Builds all structures and attaches to @p hierarchy as its event
+     * listener. The hierarchy must outlive the unit, be cold (empty) at
+     * attach time, and have no other listener.
+     */
+    MnmUnit(const MnmSpec &spec, CacheHierarchy &hierarchy);
+    ~MnmUnit() override;
+
+    MnmUnit(const MnmUnit &) = delete;
+    MnmUnit &operator=(const MnmUnit &) = delete;
+
+    /**
+     * Produce the per-cache bypass verdicts for one access. Pure with
+     * respect to filter state; verdict statistics are recorded.
+     */
+    BypassMask computeBypass(AccessType type, Addr addr);
+
+    /** Charge one structure probe (caller decides per placement). */
+    void chargeLookup() { energy_pj_ += lookup_energy_pj_; }
+
+    /**
+     * Apply the configured placement's latency and energy costs for one
+     * completed access: the single source of truth shared by the
+     * functional and timing simulators.
+     *
+     * @return extra latency (cycles) the MNM adds to this access.
+     */
+    Cycles applyPlacementCosts(const AccessResult &result);
+
+    /** CacheEventListener interface (the bookkeeping feed). */
+    void onPlacement(CacheId id, BlockAddr block) override;
+    void onReplacement(CacheId id, BlockAddr block) override;
+    void onFlush(CacheId id) override;
+
+    /** Per-probe energy of all structures together, pJ. */
+    PicoJoules lookupEnergyPerAccess() const { return lookup_energy_pj_; }
+
+    /** Total energy consumed so far (lookups + updates), pJ. */
+    PicoJoules consumedEnergyPj() const { return energy_pj_; }
+
+    /** Worst-case structure delay under the analytical model, ns. */
+    Nanoseconds probeDelayNs() const { return probe_delay_ns_; }
+
+    /** Configured pipeline delay in cycles. */
+    Cycles delayCycles() const { return spec_.delay; }
+
+    /** Total storage across all structures, bits. */
+    std::uint64_t storageBits() const;
+
+    /** "Miss" verdicts that an oracle check had to overturn. Always 0
+     *  for sound configurations; nonzero only in PaperReset ablations
+     *  (or if a filter's bookkeeping broke, which tests would catch). */
+    std::uint64_t soundnessViolations() const { return violations_; }
+
+    /** Number of verdict computations performed. */
+    std::uint64_t lookups() const { return lookups_; }
+
+    /** Sum of per-filter bookkeeping anomalies (should stay 0). */
+    std::uint64_t filterAnomalies() const;
+
+    const MnmSpec &spec() const { return spec_; }
+    const Rmnm *rmnm() const { return rmnm_.get(); }
+
+    /** Filters attached to cache @p id (empty for L1 caches). */
+    const std::vector<std::unique_ptr<MissFilter>> &
+    filtersOf(CacheId id) const
+    {
+        return per_cache_[id].filters;
+    }
+
+    /** Multi-line configuration summary. */
+    std::string describe() const;
+
+  private:
+    struct PerCache
+    {
+        std::vector<std::unique_ptr<MissFilter>> filters;
+        /** Index into the RMNM bit vector; -1 if untracked (L1). */
+        int rmnm_index = -1;
+        unsigned block_bits = 0;
+        bool any_unsound = false;
+        /** Energy to update this cache's filters once, pJ. */
+        PicoJoules update_pj = 0.0;
+        /** Energy to probe this cache's filters once, pJ. */
+        PicoJoules lookup_pj = 0.0;
+    };
+
+    bool cacheVerdict(CacheId id, Addr addr) const;
+
+    MnmSpec spec_;
+    CacheHierarchy &hierarchy_;
+    std::vector<PerCache> per_cache_;
+    std::unique_ptr<Rmnm> rmnm_;
+    PicoJoules lookup_energy_pj_ = 0.0;
+    /** RMNM write energy, charged once per access burst: the fill
+     *  path's placement/replacement report traverses the MNM as one
+     *  message (paper Section 2), so the RMNM performs one batched
+     *  update per access rather than one per cache event. */
+    PicoJoules rmnm_update_pj_ = 0.0;
+    bool rmnm_burst_charged_ = false;
+    PicoJoules rmnm_lookup_pj_ = 0.0;
+    Nanoseconds probe_delay_ns_ = 0.0;
+    PicoJoules energy_pj_ = 0.0;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace mnm
+
+#endif // MNM_CORE_MNM_UNIT_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Named MNM configurations from the paper's evaluation (Figures 10-16,
+ * Table 3), plus a by-name lookup used by the benches and examples.
+ *
+ * Labels follow the paper:
+ *   RMNM_<blocks>_<assoc>        e.g. RMNM_512_2
+ *   SMNM_<sumwidth>x<checkers>   e.g. SMNM_13x2
+ *   TMNM_<bits>x<tables>         e.g. TMNM_12x3
+ *   CMNM_<registers>_<bits>      e.g. CMNM_8_10
+ *   HMNM1..HMNM4                 hybrid compositions (paper Table 3,
+ *                                reconstructed -- DESIGN.md decision 6)
+ *   Perfect                      the oracle bound
+ */
+
+#ifndef MNM_CORE_PRESETS_HH
+#define MNM_CORE_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/mnm_unit.hh"
+
+namespace mnm
+{
+
+/** An RMNM-only machine (paper Figure 10 series). */
+MnmSpec makeRmnmSpec(std::uint32_t entries, std::uint32_t assoc);
+
+/** One technique applied to every cache at level >= 2. */
+MnmSpec makeUniformSpec(const FilterSpec &filter);
+
+/** Hybrid configuration HMNM<n>, n in 1..4 (paper Table 3). */
+MnmSpec makeHmnmSpec(int n);
+
+/** The perfect (oracle) MNM. */
+MnmSpec makePerfectSpec();
+
+/**
+ * Look up any paper configuration by its label (see file comment).
+ * Fatal error on an unknown label.
+ */
+MnmSpec mnmSpecByName(const std::string &label);
+
+/** All labels the benches sweep, grouped as in the paper's figures. */
+const std::vector<std::string> &rmnmFigureConfigs();  //!< Figure 10
+const std::vector<std::string> &smnmFigureConfigs();  //!< Figure 11
+const std::vector<std::string> &tmnmFigureConfigs();  //!< Figure 12
+const std::vector<std::string> &cmnmFigureConfigs();  //!< Figure 13
+const std::vector<std::string> &hmnmFigureConfigs();  //!< Figure 14
+/** Figure 15/16 technique set: TMNM_12x3, CMNM_8_10, HMNM2, HMNM4,
+ *  Perfect. */
+const std::vector<std::string> &headlineConfigs();
+
+} // namespace mnm
+
+#endif // MNM_CORE_PRESETS_HH

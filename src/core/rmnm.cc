@@ -1,0 +1,158 @@
+#include "core/rmnm.hh"
+
+#include <sstream>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+Rmnm::Rmnm(const RmnmSpec &spec, std::uint32_t num_tracked,
+           unsigned granule_bits)
+    : spec_(spec), num_tracked_(num_tracked), granule_bits_(granule_bits)
+{
+    if (num_tracked_ == 0 || num_tracked_ > 32)
+        fatal("RMNM tracks %u caches; supported range is [1,32]",
+              num_tracked_);
+    if (spec_.entries == 0 || spec_.associativity == 0)
+        fatal("RMNM with zero entries or associativity");
+    if (spec_.entries % spec_.associativity != 0)
+        fatal("RMNM entries %u not divisible by associativity %u",
+              spec_.entries, spec_.associativity);
+    num_ways_ = spec_.associativity;
+    num_sets_ = spec_.entries / spec_.associativity;
+    if (!isPowerOf2(num_sets_))
+        fatal("RMNM set count %u not a power of two", num_sets_);
+    entries_.resize(spec_.entries);
+}
+
+Rmnm::Entry *
+Rmnm::find(std::uint64_t granule)
+{
+    std::uint32_t set = setOf(granule);
+    Entry *base = &entries_[static_cast<std::size_t>(set) * num_ways_];
+    for (std::uint32_t w = 0; w < num_ways_; ++w) {
+        if (base[w].valid && base[w].granule == granule)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Rmnm::Entry *
+Rmnm::find(std::uint64_t granule) const
+{
+    return const_cast<Rmnm *>(this)->find(granule);
+}
+
+std::uint64_t
+Rmnm::spanOf(unsigned block_bits) const
+{
+    MNM_ASSERT(block_bits >= granule_bits_,
+               "tracked cache block smaller than the RMNM granule");
+    return std::uint64_t{1} << (block_bits - granule_bits_);
+}
+
+bool
+Rmnm::definitelyMiss(std::uint32_t tracked, Addr addr) const
+{
+    const Entry *entry = find(granuleOf(addr));
+    return entry && ((entry->miss_bits >> tracked) & 1u);
+}
+
+void
+Rmnm::onPlacement(std::uint32_t tracked, Addr addr, unsigned block_bits)
+{
+    std::uint64_t first = granuleOf(addr) & ~(spanOf(block_bits) - 1);
+    for (std::uint64_t g = first; g < first + spanOf(block_bits); ++g) {
+        Entry *entry = find(g);
+        if (!entry)
+            continue;
+        entry->miss_bits &= ~(1u << tracked);
+        if (entry->miss_bits == 0) {
+            // An all-clear entry carries no information; free the slot.
+            entry->valid = false;
+            --in_use_;
+        }
+    }
+}
+
+void
+Rmnm::onReplacement(std::uint32_t tracked, Addr addr, unsigned block_bits)
+{
+    std::uint64_t first = granuleOf(addr) & ~(spanOf(block_bits) - 1);
+    for (std::uint64_t g = first; g < first + spanOf(block_bits); ++g) {
+        if (Entry *entry = find(g)) {
+            entry->miss_bits |= 1u << tracked;
+            entry->stamp = ++tick_;
+            continue;
+        }
+        // Allocate: invalid way first, else LRU victim (losing whatever
+        // miss information the victim held -- safe, just less coverage).
+        std::uint32_t set = setOf(g);
+        Entry *base =
+            &entries_[static_cast<std::size_t>(set) * num_ways_];
+        Entry *slot = nullptr;
+        for (std::uint32_t w = 0; w < num_ways_; ++w) {
+            if (!base[w].valid) {
+                slot = &base[w];
+                ++in_use_;
+                break;
+            }
+        }
+        if (!slot) {
+            slot = base;
+            for (std::uint32_t w = 1; w < num_ways_; ++w) {
+                if (base[w].stamp < slot->stamp)
+                    slot = &base[w];
+            }
+        }
+        slot->valid = true;
+        slot->granule = g;
+        slot->miss_bits = 1u << tracked;
+        slot->stamp = ++tick_;
+    }
+}
+
+void
+Rmnm::reset()
+{
+    for (auto &entry : entries_)
+        entry = Entry();
+    in_use_ = 0;
+    tick_ = 0;
+}
+
+std::string
+Rmnm::name() const
+{
+    std::ostringstream out;
+    out << "RMNM_" << spec_.entries << "_" << spec_.associativity;
+    return out.str();
+}
+
+std::uint64_t
+Rmnm::storageBits() const
+{
+    // Tag (~26 bits at L2-block granularity for 32-bit addresses) plus
+    // the per-cache miss bits and a valid bit per entry.
+    return static_cast<std::uint64_t>(spec_.entries) *
+           (26 + num_tracked_ + 1);
+}
+
+PowerDelay
+Rmnm::power(const SramModel &sram) const
+{
+    CacheGeometry geom;
+    // Model as a tiny cache: payload is the miss-bit vector (rounded to
+    // a byte), probed like a tag+data array.
+    geom.capacity_bytes = std::uint64_t{spec_.entries} *
+                          roundUp(num_tracked_, 8) / 8;
+    geom.block_bytes = static_cast<std::uint32_t>(
+        roundUp(num_tracked_, 8) / 8);
+    geom.associativity = spec_.associativity;
+    geom.tag_bits = 26;
+    return sram.cache(geom);
+}
+
+} // namespace mnm

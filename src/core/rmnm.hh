@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Replacements MNM (paper Section 3.1).
+ *
+ * A single small set-associative "RMNM cache" shared by all tracked
+ * (non-L1) cache structures. Entries are indexed at the L2 cache's block
+ * granularity; each entry holds one bit per tracked cache. A set bit for
+ * cache c means "this block was replaced from c and has not been placed
+ * back": a definite miss. Replacements from caches with larger blocks
+ * insert (block_large / block_L2) entries, and placements clear the bit
+ * in every covered entry (paper Table 1 scenario).
+ *
+ * Cold misses are invisible to the RMNM by construction, and evicting an
+ * RMNM entry merely loses coverage -- both safe with respect to the
+ * soundness invariant.
+ */
+
+#ifndef MNM_CORE_RMNM_HH
+#define MNM_CORE_RMNM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/sram_model.hh"
+#include "util/types.hh"
+
+namespace mnm
+{
+
+/** Configuration: RMNM_<entries>_<assoc> in the paper's labels. */
+struct RmnmSpec
+{
+    std::uint32_t entries = 512;
+    std::uint32_t associativity = 2;
+};
+
+/** The shared replacement-tracking structure. */
+class Rmnm
+{
+  public:
+    /**
+     * @param spec         size/associativity
+     * @param num_tracked  number of tracked cache structures (<= 32)
+     * @param granule_bits log2 of the tracking granule (the L2 block
+     *                     size, paper Section 3.1)
+     */
+    Rmnm(const RmnmSpec &spec, std::uint32_t num_tracked,
+         unsigned granule_bits);
+
+    /** Definite miss for tracked cache @p tracked at byte @p addr? */
+    bool definitelyMiss(std::uint32_t tracked, Addr addr) const;
+
+    /**
+     * A block of 2^@p block_bits bytes was placed into cache @p tracked.
+     * Clears the miss bit in every covered entry.
+     */
+    void onPlacement(std::uint32_t tracked, Addr addr,
+                     unsigned block_bits);
+
+    /**
+     * A block was replaced from cache @p tracked. Sets the miss bit in
+     * every covered entry, allocating entries (and evicting victims) as
+     * needed.
+     */
+    void onReplacement(std::uint32_t tracked, Addr addr,
+                       unsigned block_bits);
+
+    /** Drop all entries. */
+    void reset();
+
+    std::string name() const;
+    std::uint64_t storageBits() const;
+    PowerDelay power(const SramModel &sram) const;
+
+    const RmnmSpec &spec() const { return spec_; }
+    std::uint64_t entriesInUse() const { return in_use_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t granule = 0;
+        std::uint64_t stamp = 0;
+        std::uint32_t miss_bits = 0;
+        bool valid = false;
+    };
+
+    std::uint64_t granuleOf(Addr addr) const
+    {
+        return addr >> granule_bits_;
+    }
+
+    std::uint32_t setOf(std::uint64_t granule) const
+    {
+        return static_cast<std::uint32_t>(granule & (num_sets_ - 1));
+    }
+
+    Entry *find(std::uint64_t granule);
+    const Entry *find(std::uint64_t granule) const;
+
+    /** Granule span covered by a block of 2^@p block_bits bytes. */
+    std::uint64_t spanOf(unsigned block_bits) const;
+
+    RmnmSpec spec_;
+    std::uint32_t num_tracked_;
+    unsigned granule_bits_;
+    std::uint32_t num_sets_;
+    std::uint32_t num_ways_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t in_use_ = 0;
+};
+
+} // namespace mnm
+
+#endif // MNM_CORE_RMNM_HH

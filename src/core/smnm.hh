@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sum MNM (paper Section 3.2).
+ *
+ * Each "checker" hashes a sum_width-bit window of the block address with
+ * the paper's sum-of-squares function (Figure 5):
+ *
+ *     sum = 0;
+ *     for (i = 1; i <= SUM_WIDTH; i++) {
+ *         if (addr & 0x1) sum += i * i;
+ *         addr >>= 1;
+ *     }
+ *
+ * and keeps one presence flag per possible sum value (the flip-flops at
+ * the bottom of Figure 6; their count is paper Equation 3). An access
+ * whose sum value has no resident block is a definite miss. A
+ * configuration "SMNM_WxR" runs R parallel checkers over address windows
+ * starting at bits 0, 6, 12, ... (Section 3.2's checker offsets); a miss
+ * from ANY checker bypasses the access (Figure 7).
+ */
+
+#ifndef MNM_CORE_SMNM_HH
+#define MNM_CORE_SMNM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/miss_filter.hh"
+
+namespace mnm
+{
+
+/** The SMNM filter for one cache. */
+class Smnm : public MissFilter
+{
+  public:
+    explicit Smnm(const SmnmSpec &spec);
+
+    /** The paper's Figure 5 hash over a window of @p addr. */
+    static std::uint32_t sumHash(std::uint64_t addr, unsigned first_bit,
+                                 std::uint32_t sum_width);
+
+    /** Number of distinct sum values for a width (Eq. 3 + 1 for zero). */
+    static std::uint32_t sumValues(std::uint32_t sum_width);
+
+    bool definitelyMiss(BlockAddr block) const override;
+    void onPlacement(BlockAddr block) override;
+    void onReplacement(BlockAddr block) override;
+    void onFlush() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    PowerDelay power(const SramModel &sram,
+                     const CheckerModel &checker) const override;
+    std::uint64_t anomalies() const override { return anomalies_; }
+
+    const SmnmSpec &spec() const { return spec_; }
+
+  private:
+    /** Bit offset of checker @p i's address window. */
+    unsigned checkerOffset(std::uint32_t i) const { return 6 * i; }
+
+    SmnmSpec spec_;
+    std::uint32_t values_per_checker_;
+    /** Counting mode: per-checker, per-sum resident counts.
+     *  SetOnly mode: 0/1 flags with no decrement. */
+    std::vector<std::uint32_t> state_;
+    std::uint64_t anomalies_ = 0;
+};
+
+} // namespace mnm
+
+#endif // MNM_CORE_SMNM_HH

@@ -1,0 +1,124 @@
+#include "core/tmnm.hh"
+
+#include <sstream>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+Tmnm::Tmnm(const TmnmSpec &spec) : spec_(spec)
+{
+    if (spec_.index_bits < 1 || spec_.index_bits > 24)
+        fatal("TMNM index_bits %u out of range [1,24]", spec_.index_bits);
+    if (spec_.replication < 1 || spec_.replication > 8)
+        fatal("TMNM replication %u out of range [1,8]", spec_.replication);
+    if (spec_.counter_bits < 1 || spec_.counter_bits > 8)
+        fatal("TMNM counter_bits %u out of range [1,8]",
+              spec_.counter_bits);
+    table_entries_ = 1u << spec_.index_bits;
+    saturation_ =
+        static_cast<std::uint8_t>((1u << spec_.counter_bits) - 1);
+    counters_.assign(static_cast<std::size_t>(table_entries_) *
+                         spec_.replication,
+                     0);
+}
+
+std::size_t
+Tmnm::cellIndex(std::uint32_t table, BlockAddr block) const
+{
+    std::uint64_t idx =
+        bitSlice(block, tableOffset(table), spec_.index_bits);
+    return static_cast<std::size_t>(table) * table_entries_ +
+           static_cast<std::size_t>(idx);
+}
+
+bool
+Tmnm::definitelyMiss(BlockAddr block) const
+{
+    for (std::uint32_t t = 0; t < spec_.replication; ++t) {
+        if (counters_[cellIndex(t, block)] == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+Tmnm::onPlacement(BlockAddr block)
+{
+    for (std::uint32_t t = 0; t < spec_.replication; ++t) {
+        std::uint8_t &c = counters_[cellIndex(t, block)];
+        if (c < saturation_)
+            ++c;
+        // A saturated counter stays saturated: once 2^bits or more
+        // blocks have mapped here we can no longer track the count.
+    }
+}
+
+void
+Tmnm::onReplacement(BlockAddr block)
+{
+    for (std::uint32_t t = 0; t < spec_.replication; ++t) {
+        std::uint8_t &c = counters_[cellIndex(t, block)];
+        if (c == saturation_) {
+            // Sticky: decrementing a saturated counter could let it
+            // reach zero while blocks remain resident, breaking
+            // soundness (paper Section 3.3).
+            continue;
+        }
+        if (c == 0) {
+            ++anomalies_;
+            continue;
+        }
+        --c;
+    }
+}
+
+void
+Tmnm::onFlush()
+{
+    counters_.assign(counters_.size(), 0);
+}
+
+std::string
+Tmnm::name() const
+{
+    std::ostringstream out;
+    out << "TMNM_" << spec_.index_bits << "x" << spec_.replication;
+    return out.str();
+}
+
+std::uint64_t
+Tmnm::storageBits() const
+{
+    return static_cast<std::uint64_t>(table_entries_) * spec_.replication *
+           spec_.counter_bits;
+}
+
+PowerDelay
+Tmnm::power(const SramModel &sram, const CheckerModel &checker) const
+{
+    (void)checker;
+    PowerDelay total;
+    PowerDelay one = sram.table(table_entries_, spec_.counter_bits);
+    total.read_energy_pj = one.read_energy_pj * spec_.replication;
+    total.write_energy_pj = one.write_energy_pj * spec_.replication;
+    total.access_ns = one.access_ns; // tables probed in parallel
+    total.bits = one.bits * spec_.replication;
+    total.leakage_mw = one.leakage_mw * spec_.replication;
+    return total;
+}
+
+std::uint64_t
+Tmnm::saturatedCounters() const
+{
+    std::uint64_t n = 0;
+    for (std::uint8_t c : counters_) {
+        if (c == saturation_)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace mnm

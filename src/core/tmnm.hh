@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table MNM (paper Section 3.3).
+ *
+ * The least significant N bits of the block address index a 2^N-entry
+ * table of 3-bit saturating counters (a counting Bloom filter with a
+ * single trivial hash). A counter of zero means no resident block maps
+ * there: definite miss. Placement increments, replacement decrements --
+ * except that a counter which ever saturates becomes untrustworthy and
+ * stays saturated ("sticky") until the cache is flushed, exactly as the
+ * paper prescribes. A configuration "TMNM_NxR" runs R tables over
+ * address windows at bit offsets 0, 6, 12, ...; a zero counter in ANY
+ * table bypasses the access.
+ */
+
+#ifndef MNM_CORE_TMNM_HH
+#define MNM_CORE_TMNM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/miss_filter.hh"
+
+namespace mnm
+{
+
+/** The TMNM filter for one cache. */
+class Tmnm : public MissFilter
+{
+  public:
+    explicit Tmnm(const TmnmSpec &spec);
+
+    bool definitelyMiss(BlockAddr block) const override;
+    void onPlacement(BlockAddr block) override;
+    void onReplacement(BlockAddr block) override;
+    void onFlush() override;
+    std::string name() const override;
+    std::uint64_t storageBits() const override;
+    PowerDelay power(const SramModel &sram,
+                     const CheckerModel &checker) const override;
+    std::uint64_t anomalies() const override { return anomalies_; }
+
+    const TmnmSpec &spec() const { return spec_; }
+
+    /** Number of saturated (permanently "maybe") counters right now. */
+    std::uint64_t saturatedCounters() const;
+
+  private:
+    unsigned tableOffset(std::uint32_t i) const { return 6 * i; }
+
+    std::size_t
+    cellIndex(std::uint32_t table, BlockAddr block) const;
+
+    TmnmSpec spec_;
+    std::uint32_t table_entries_;
+    std::uint8_t saturation_;
+    std::vector<std::uint8_t> counters_;
+    std::uint64_t anomalies_ = 0;
+};
+
+} // namespace mnm
+
+#endif // MNM_CORE_TMNM_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Power/delay model for the SMNM "checker" circuit.
+ *
+ * The paper synthesized the checker RTL with Synopsys Design Compiler; we
+ * reproduce its published scaling laws instead: the number of flip-flops
+ * holding the hash-presence bits is (paper Equation 3)
+ *
+ *     ff(w) = w * (w + 1) * (2w + 1) / 6        -- O(w^3)
+ *
+ * per checker (the number of distinct sum-of-squares values is bounded by
+ * 1 + sum_{i=1..w} i^2), and the muxing/adder logic is bounded by O(w^4)
+ * gates with O(w) logic depth. Per-gate and per-flop switching energies
+ * come from the same 0.18um-class technology as the SRAM model.
+ */
+
+#ifndef MNM_POWER_CHECKER_MODEL_HH
+#define MNM_POWER_CHECKER_MODEL_HH
+
+#include <cstdint>
+
+#include "power/sram_model.hh"
+
+namespace mnm
+{
+
+/** Analytical model of one or more parallel SMNM checkers. */
+class CheckerModel
+{
+  public:
+    explicit CheckerModel(const TechnologyParams &tech =
+                              TechnologyParams::default180());
+
+    /** Paper Equation 3: flip-flop count for one checker of width @p w. */
+    static std::uint64_t flipFlops(std::uint32_t sum_width);
+
+    /** Upper bound on logic gates for one checker of width @p w. */
+    static std::uint64_t logicGates(std::uint32_t sum_width);
+
+    /**
+     * Energy/delay of @p replication parallel checkers of width
+     * @p sum_width (one SMNM configuration for one cache).
+     */
+    PowerDelay evaluate(std::uint32_t sum_width,
+                        std::uint32_t replication) const;
+
+  private:
+    TechnologyParams tech_;
+    /** Switching energy per logic gate, pJ. */
+    double gate_pj_ = 0.0022;
+    /** Switching energy per flip-flop read/compare, pJ. */
+    double flop_pj_ = 0.0035;
+    /** Delay per logic level, ns. */
+    double gate_ns_ = 0.03;
+};
+
+} // namespace mnm
+
+#endif // MNM_POWER_CHECKER_MODEL_HH

@@ -1,0 +1,209 @@
+#include "power/sram_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+const TechnologyParams &
+TechnologyParams::default180()
+{
+    static const TechnologyParams tech;
+    return tech;
+}
+
+Cycles
+delayToCycles(Nanoseconds ns, double clock_ghz)
+{
+    MNM_ASSERT(clock_ghz > 0.0, "non-positive clock frequency");
+    double cycles = ns * clock_ghz;
+    auto whole = static_cast<Cycles>(cycles);
+    return (cycles > static_cast<double>(whole)) ? whole + 1 : whole;
+}
+
+std::string
+PowerDelay::toString() const
+{
+    std::ostringstream out;
+    out << "read=" << read_energy_pj << "pJ write=" << write_energy_pj
+        << "pJ delay=" << access_ns << "ns leak=" << leakage_mw
+        << "mW bits=" << bits;
+    return out.str();
+}
+
+SramModel::SramModel(const TechnologyParams &tech) : tech_(tech)
+{
+}
+
+PowerDelay
+SramModel::array(std::uint64_t rows, std::uint64_t cols,
+                 std::uint32_t ports, std::uint32_t output_bits,
+                 std::uint64_t write_cols, std::uint64_t read_cols) const
+{
+    MNM_ASSERT(rows > 0 && cols > 0, "degenerate array");
+    if (write_cols == 0 || write_cols > cols)
+        write_cols = cols;
+    if (read_cols == 0 || read_cols > cols)
+        read_cols = cols;
+    // Square-ish subbanking: CACTI folds tall arrays into wider ones to
+    // balance wordline and bitline delay. We emulate that by folding the
+    // array until the aspect ratio is within 4:1, which both bounds the
+    // worst-case delay and reflects how real arrays are laid out.
+    double r = static_cast<double>(rows);
+    double c = static_cast<double>(cols);
+    while (r > 4.0 * c && r >= 2.0) {
+        r /= 2.0;
+        c *= 2.0;
+    }
+    while (c > 4.0 * r && c >= 2.0) {
+        c /= 2.0;
+        r *= 2.0;
+    }
+
+    double levels = std::max(1.0, std::log2(std::max(2.0, r)));
+    double pf = 1.0 + tech_.port_factor * (ports > 0 ? ports - 1 : 0);
+
+    PowerDelay pd;
+    // Routing/H-tree energy grows with the sheer capacity of the array:
+    // this is what separates a 2 MB last-level cache from a few-KB MNM
+    // table even when per-bank terms are comparable.
+    double route = tech_.route_pj_per_kbit *
+                   (static_cast<double>(rows * cols) / 1024.0);
+    double rc = static_cast<double>(read_cols);
+    double read = tech_.decoder_pj_per_level * levels +
+                  tech_.wordline_pj_per_col * c +
+                  tech_.bitline_pj_per_row * r * std::sqrt(rc) +
+                  tech_.senseamp_pj_per_col * rc +
+                  tech_.output_pj_per_bit * output_bits + route;
+    pd.read_energy_pj = read * pf;
+    // Writes skip the sense amps and drive only the written columns
+    // (one way of a set-associative cache) full-rail.
+    double wc = static_cast<double>(write_cols);
+    double write = tech_.decoder_pj_per_level * levels +
+                   tech_.wordline_pj_per_col * c +
+                   2.2 * tech_.bitline_pj_per_row * r * std::sqrt(wc) +
+                   route;
+    pd.write_energy_pj = write * pf;
+    pd.access_ns = (tech_.decoder_ns_per_level * levels +
+                    tech_.wordline_ns_per_col * c +
+                    tech_.bitline_ns_per_row * std::sqrt(r) * 8.0 +
+                    tech_.senseamp_ns) *
+                   std::sqrt(pf);
+    pd.bits = rows * cols;
+    pd.leakage_mw = tech_.leakage_mw_per_kbit *
+                    (static_cast<double>(pd.bits) / 1024.0) * pf;
+    return pd;
+}
+
+PowerDelay
+SramModel::cache(const CacheGeometry &geom) const
+{
+    MNM_ASSERT(geom.capacity_bytes > 0 && geom.block_bytes > 0,
+               "cache geometry with zero size");
+    MNM_ASSERT(geom.capacity_bytes % geom.block_bytes == 0,
+               "capacity not a multiple of block size");
+
+    std::uint64_t blocks = geom.capacity_bytes / geom.block_bytes;
+    std::uint32_t ways = geom.associativity == 0
+                             ? static_cast<std::uint32_t>(blocks)
+                             : geom.associativity;
+    MNM_ASSERT(blocks % ways == 0, "blocks not a multiple of ways");
+    std::uint64_t sets = blocks / ways;
+
+    // Data array: one set per row, all ways read in parallel (the common
+    // high-performance organization; way select happens after tag
+    // match). Writes drive only the selected way's columns.
+    PowerDelay data = array(sets,
+                            static_cast<std::uint64_t>(geom.block_bytes) *
+                                8ull * ways,
+                            geom.read_write_ports,
+                            geom.block_bytes * 8u,
+                            geom.block_bytes * 8ull);
+    // Tag array: sets x (tag_bits * ways); writes touch one way's tag.
+    PowerDelay tags = array(sets,
+                            static_cast<std::uint64_t>(geom.tag_bits) * ways,
+                            geom.read_write_ports, geom.tag_bits,
+                            geom.tag_bits);
+
+    PowerDelay pd;
+    double cmp = tech_.compare_pj_per_bit * geom.tag_bits * ways;
+    pd.read_energy_pj = data.read_energy_pj + tags.read_energy_pj + cmp;
+    pd.write_energy_pj = data.write_energy_pj + tags.write_energy_pj + cmp;
+    pd.access_ns = std::max(data.access_ns,
+                            tags.access_ns +
+                                tech_.compare_ns_per_bit * geom.tag_bits);
+    pd.bits = data.bits + tags.bits;
+    pd.leakage_mw = data.leakage_mw + tags.leakage_mw;
+    return pd;
+}
+
+std::pair<PicoJoules, PicoJoules>
+SramModel::wayPredictedRead(const CacheGeometry &geom) const
+{
+    MNM_ASSERT(geom.capacity_bytes > 0 && geom.block_bytes > 0,
+               "cache geometry with zero size");
+    std::uint64_t blocks = geom.capacity_bytes / geom.block_bytes;
+    std::uint32_t ways = geom.associativity == 0
+                             ? static_cast<std::uint32_t>(blocks)
+                             : geom.associativity;
+    std::uint64_t sets = blocks / ways;
+
+    // Tags are always probed in full; the data array reads only the
+    // predicted way.
+    PowerDelay tags = array(sets,
+                            static_cast<std::uint64_t>(geom.tag_bits) *
+                                ways,
+                            geom.read_write_ports, geom.tag_bits);
+    PowerDelay one_way =
+        array(sets, static_cast<std::uint64_t>(geom.block_bytes) * 8ull,
+              geom.read_write_ports, geom.block_bytes * 8u);
+    double cmp = tech_.compare_pj_per_bit * geom.tag_bits * ways;
+    PicoJoules predicted =
+        tags.read_energy_pj + one_way.read_energy_pj + cmp;
+    // A misprediction re-reads the data array in full width.
+    PicoJoules full_data =
+        cache(geom).read_energy_pj - tags.read_energy_pj - cmp;
+    return {predicted, full_data};
+}
+
+PowerDelay
+SramModel::table(std::uint64_t entries, std::uint32_t bits_per_entry,
+                 std::uint32_t ports, std::uint32_t active_bits) const
+{
+    MNM_ASSERT(entries > 0 && bits_per_entry > 0, "degenerate table");
+    std::uint32_t active = active_bits ? active_bits : bits_per_entry;
+    return array(entries, bits_per_entry, ports, active, active,
+                 active);
+}
+
+PowerDelay
+SramModel::cam(std::uint64_t entries, std::uint32_t match_bits,
+               std::uint32_t ports) const
+{
+    MNM_ASSERT(entries > 0 && match_bits > 0, "degenerate CAM");
+    // Every entry compares in parallel: energy scales with entries x bits,
+    // delay with match-line length (~entries) plus the per-bit compare.
+    double pf = 1.0 + tech_.port_factor * (ports > 0 ? ports - 1 : 0);
+    PowerDelay pd;
+    double bits = static_cast<double>(entries) * match_bits;
+    pd.read_energy_pj = (tech_.compare_pj_per_bit * bits +
+                         tech_.wordline_pj_per_col * match_bits) *
+                        pf;
+    pd.write_energy_pj = pd.read_energy_pj * 1.4;
+    pd.access_ns = (tech_.compare_ns_per_bit * match_bits +
+                    tech_.bitline_ns_per_row *
+                        std::sqrt(static_cast<double>(entries)) * 4.0 +
+                    tech_.senseamp_ns * 0.5) *
+                   std::sqrt(pf);
+    pd.bits = entries * match_bits;
+    pd.leakage_mw = tech_.leakage_mw_per_kbit *
+                    (bits / 1024.0) * 2.0 * pf; // CAM cells leak more
+    return pd;
+}
+
+} // namespace mnm

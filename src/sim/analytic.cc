@@ -1,0 +1,51 @@
+#include "sim/analytic.hh"
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+namespace
+{
+
+/** Shared walk: returns {total_time, miss_time}. */
+std::pair<double, double>
+accumulate(const std::vector<LevelTiming> &levels, double memory_latency)
+{
+    double reach = 1.0; // prod of miss rates of the levels above
+    double total = 0.0;
+    double miss_part = 0.0;
+    for (const LevelTiming &lvl : levels) {
+        MNM_ASSERT(lvl.miss_rate >= 0.0 && lvl.miss_rate <= 1.0,
+                   "miss rate outside [0,1]");
+        MNM_ASSERT(lvl.abort_fraction >= 0.0 && lvl.abort_fraction <= 1.0,
+                   "abort fraction outside [0,1]");
+        double hit_term = lvl.hit_time * (1.0 - lvl.miss_rate);
+        double miss_term =
+            lvl.miss_time * (1.0 - lvl.abort_fraction) * lvl.miss_rate;
+        total += reach * (hit_term + miss_term);
+        miss_part += reach * miss_term;
+        reach *= lvl.miss_rate;
+    }
+    total += reach * memory_latency;
+    return {total, miss_part};
+}
+
+} // anonymous namespace
+
+double
+analyticDataAccessTime(const std::vector<LevelTiming> &levels,
+                       double memory_latency)
+{
+    return accumulate(levels, memory_latency).first;
+}
+
+double
+analyticMissTimeFraction(const std::vector<LevelTiming> &levels,
+                         double memory_latency)
+{
+    auto [total, miss] = accumulate(levels, memory_latency);
+    return total > 0.0 ? miss / total : 0.0;
+}
+
+} // namespace mnm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The paper's analytical data-access-time model (Equations 1 and 2).
+ *
+ * Equation 1 (no MNM):
+ *   T = sum_{i=1..L} [ prod_{n<i} m_n ] *
+ *         ( h_i * (1 - m_i) + d_i * m_i )
+ *       + [ prod_{n<=L} m_n ] * T_mem
+ *
+ * Equation 2 (with MNM): the miss-detection term of level i is only
+ * paid for the fraction of level-i misses the MNM did NOT abort:
+ *   ... + d_i * (1 - abort_i) * m_i ...
+ *
+ * where h_i = cache_hit_time, d_i = cache_miss_time (time to detect a
+ * miss), m_i = local miss rate, abort_i = fraction of level-i misses the
+ * MNM bypassed, and T_mem = memory latency.
+ */
+
+#ifndef MNM_SIM_ANALYTIC_HH
+#define MNM_SIM_ANALYTIC_HH
+
+#include <vector>
+
+namespace mnm
+{
+
+/** Per-level inputs to the analytical model. */
+struct LevelTiming
+{
+    double hit_time = 0.0;
+    double miss_time = 0.0;
+    /** Local miss rate in [0,1]. */
+    double miss_rate = 0.0;
+    /** Fraction of this level's misses the MNM aborts (Eq. 2). */
+    double abort_fraction = 0.0;
+};
+
+/** Average data access time under Equations 1/2. */
+double analyticDataAccessTime(const std::vector<LevelTiming> &levels,
+                              double memory_latency);
+
+/** Fraction of the average access time spent detecting misses. */
+double analyticMissTimeFraction(const std::vector<LevelTiming> &levels,
+                                double memory_latency);
+
+} // namespace mnm
+
+#endif // MNM_SIM_ANALYTIC_HH

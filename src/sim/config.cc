@@ -1,0 +1,113 @@
+#include "sim/config.hh"
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+namespace
+{
+
+constexpr std::uint64_t kB = 1024;
+constexpr std::uint64_t MB = 1024 * 1024;
+
+CacheParams
+cacheParams(const char *name, std::uint64_t capacity, std::uint32_t assoc,
+            std::uint32_t block, Cycles latency)
+{
+    CacheParams p;
+    p.name = name;
+    p.capacity_bytes = capacity;
+    p.associativity = assoc;
+    p.block_bytes = block;
+    p.hit_latency = latency;
+    return p;
+}
+
+LevelParams
+splitLevel(const char *iname, const char *dname, std::uint64_t capacity,
+           std::uint32_t assoc, std::uint32_t block, Cycles latency)
+{
+    LevelParams lvl;
+    lvl.split = true;
+    lvl.instr = cacheParams(iname, capacity, assoc, block, latency);
+    lvl.data = cacheParams(dname, capacity, assoc, block, latency);
+    return lvl;
+}
+
+LevelParams
+unifiedLevel(const char *name, std::uint64_t capacity, std::uint32_t assoc,
+             std::uint32_t block, Cycles latency)
+{
+    LevelParams lvl;
+    lvl.split = false;
+    lvl.data = cacheParams(name, capacity, assoc, block, latency);
+    return lvl;
+}
+
+} // anonymous namespace
+
+HierarchyParams
+paperHierarchy(int levels)
+{
+    HierarchyParams params;
+    params.memory_latency = 320;
+
+    // The split L1 used by every configuration (paper Section 4.1).
+    LevelParams l1 = splitLevel("il1", "dl1", 4 * kB, 1, 32, 2);
+
+    switch (levels) {
+      case 2:
+        // Not detailed in the paper: a classic two-level machine with a
+        // large unified L2 as the last level.
+        params.levels = {l1, unifiedLevel("ul2", 512 * kB, 4, 64, 16)};
+        return params;
+      case 3:
+        // Not detailed in the paper: the 5-level machine's L1/L2 with a
+        // single large last-level cache.
+        params.levels = {
+            l1,
+            splitLevel("il2", "dl2", 16 * kB, 2, 32, 8),
+            unifiedLevel("ul3", 1 * MB, 8, 64, 24),
+        };
+        return params;
+      case 5:
+        // Exactly the paper's configuration.
+        params.levels = {
+            l1,
+            splitLevel("il2", "dl2", 16 * kB, 2, 32, 8),
+            unifiedLevel("ul3", 128 * kB, 4, 64, 18),
+            unifiedLevel("ul4", 512 * kB, 4, 128, 34),
+            unifiedLevel("ul5", 2 * MB, 8, 128, 70),
+        };
+        return params;
+      case 7:
+        // Extrapolated beyond the paper (DESIGN.md decision 8).
+        params.levels = {
+            l1,
+            splitLevel("il2", "dl2", 16 * kB, 2, 32, 8),
+            unifiedLevel("ul3", 128 * kB, 4, 64, 18),
+            unifiedLevel("ul4", 512 * kB, 4, 128, 34),
+            unifiedLevel("ul5", 2 * MB, 8, 128, 70),
+            unifiedLevel("ul6", 8 * MB, 8, 128, 110),
+            unifiedLevel("ul7", 32 * MB, 16, 128, 200),
+        };
+        return params;
+      default:
+        fatal("no paper configuration with %d cache levels "
+              "(supported: 2, 3, 5, 7)",
+              levels);
+    }
+}
+
+CpuParams
+paperCpu(int levels)
+{
+    // "The processors used in the simulations for 2 and 3 level caches
+    // are 4-way processors. The results for 5 and 7 level caches are
+    // obtained using an 8-way processor with resources twice of the
+    // processor for 2 and 3 level cache simulations."
+    return levels <= 3 ? CpuParams::fourWay() : CpuParams::eightWay();
+}
+
+} // namespace mnm

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The paper's machine configurations (Section 4.1).
+ *
+ * The 5-level hierarchy is specified exactly in the paper:
+ *   L1  split, 4 KB direct-mapped, 32 B blocks, 2 cycles
+ *   L2  split, 16 KB 2-way, 32 B blocks, 8 cycles
+ *   L3  unified, 128 KB 4-way, 64 B blocks, 18 cycles
+ *   L4  unified, 512 KB 4-way, 128 B blocks, 34 cycles
+ *   L5  unified, 2 MB 8-way, 128 B blocks, 70 cycles
+ *   memory 320 cycles (DESIGN.md decision 7)
+ *
+ * The 2-, 3- and 7-level variants used by Figures 2/3 are not detailed
+ * in the paper; ours keep the same L1/L2 and scale the last levels (see
+ * config.cc and DESIGN.md decision 8).
+ */
+
+#ifndef MNM_SIM_CONFIG_HH
+#define MNM_SIM_CONFIG_HH
+
+#include "cache/hierarchy.hh"
+#include "cpu/ooo_core.hh"
+
+namespace mnm
+{
+
+/** Hierarchy with @p levels cache levels (2, 3, 5 or 7). */
+HierarchyParams paperHierarchy(int levels);
+
+/** The paper's core for a given hierarchy depth: 4-way for 2/3-level
+ *  machines, 8-way with doubled resources for 5/7-level. */
+CpuParams paperCpu(int levels);
+
+/** The MNM probe delay used throughout the paper's experiments. */
+constexpr Cycles paper_mnm_delay = 2;
+
+} // namespace mnm
+
+#endif // MNM_SIM_CONFIG_HH

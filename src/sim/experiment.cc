@@ -1,0 +1,69 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "trace/spec2000.hh"
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+ExperimentOptions
+ExperimentOptions::fromEnv()
+{
+    ExperimentOptions opts;
+    if (const char *env = std::getenv("MNM_INSTRUCTIONS")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end == env || v == 0)
+            fatal("MNM_INSTRUCTIONS='%s' is not a positive integer", env);
+        opts.instructions = v;
+    }
+    if (const char *env = std::getenv("MNM_APPS")) {
+        std::stringstream stream(env);
+        std::string app;
+        while (std::getline(stream, app, ',')) {
+            if (app.empty())
+                continue;
+            // Accept both "164.gzip" and "gzip".
+            bool found = false;
+            for (const std::string &full : specAllNames()) {
+                if (full == app || shortName(full) == app) {
+                    opts.apps.push_back(full);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                fatal("MNM_APPS: unknown workload '%s'", app.c_str());
+        }
+    }
+    if (opts.apps.empty())
+        opts.apps = specAllNames();
+    if (const char *env = std::getenv("MNM_CSV"))
+        opts.csv = env[0] == '1';
+    return opts;
+}
+
+std::string
+ExperimentOptions::shortName(const std::string &app)
+{
+    auto dot = app.find('.');
+    return dot == std::string::npos ? app : app.substr(dot + 1);
+}
+
+MemSimResult
+runFunctional(const HierarchyParams &hierarchy,
+              const std::optional<MnmSpec> &mnm, const std::string &app,
+              std::uint64_t instructions)
+{
+    MemorySimulator sim(hierarchy, mnm);
+    auto workload = makeSpecWorkload(app);
+    std::uint64_t warmup = instructions / 10;
+    if (warmup)
+        sim.run(*workload, warmup); // discard accounting; warm state
+    return sim.run(*workload, instructions);
+}
+
+} // namespace mnm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harnesses in bench/.
+ *
+ * Every bench sweeps the same twenty SPEC2000-like workloads; the
+ * instruction budget and the workload subset are controlled by
+ * environment variables so a quick run and a paper-scale run use the
+ * same binaries:
+ *
+ *   MNM_INSTRUCTIONS  instructions per workload (default 2,000,000)
+ *   MNM_APPS          comma-separated workload names (default: all 20)
+ *   MNM_CSV           set to 1 to also emit CSV after each table
+ */
+
+#ifndef MNM_SIM_EXPERIMENT_HH
+#define MNM_SIM_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mnm_unit.hh"
+#include "sim/memory_sim.hh"
+
+namespace mnm
+{
+
+/** Environment-derived run options. */
+struct ExperimentOptions
+{
+    std::uint64_t instructions = 2'000'000;
+    std::vector<std::string> apps;
+    bool csv = false;
+
+    /** Parse MNM_INSTRUCTIONS / MNM_APPS / MNM_CSV. */
+    static ExperimentOptions fromEnv();
+
+    /** Short app label for table rows ("164.gzip" -> "gzip"). */
+    static std::string shortName(const std::string &app);
+};
+
+/**
+ * Run one workload through a fresh functional simulator: a warm-up
+ * window (10% of the budget, accounting discarded) followed by the
+ * measured window.
+ */
+MemSimResult runFunctional(const HierarchyParams &hierarchy,
+                           const std::optional<MnmSpec> &mnm,
+                           const std::string &app,
+                           std::uint64_t instructions);
+
+} // namespace mnm
+
+#endif // MNM_SIM_EXPERIMENT_HH

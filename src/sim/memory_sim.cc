@@ -1,0 +1,147 @@
+#include "sim/memory_sim.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+MemorySimulator::MemorySimulator(const HierarchyParams &hierarchy_params,
+                                 std::optional<MnmSpec> mnm_spec,
+                                 std::uint64_t seed)
+    : hierarchy_(hierarchy_params, seed)
+{
+    if (mnm_spec)
+        mnm_ = std::make_unique<MnmUnit>(*mnm_spec, hierarchy_);
+
+    // Pre-compute every cache's probe/fill energy.
+    SramModel sram;
+    for (CacheId id = 0; id < hierarchy_.numCaches(); ++id) {
+        const CacheParams &cp = hierarchy_.cache(id).params();
+        CacheGeometry geom;
+        geom.capacity_bytes = cp.capacity_bytes;
+        geom.block_bytes = cp.block_bytes;
+        geom.associativity = cp.associativity;
+        std::uint64_t blocks = cp.capacity_bytes / cp.block_bytes;
+        std::uint32_t ways =
+            cp.associativity ? cp.associativity
+                             : static_cast<std::uint32_t>(blocks);
+        unsigned set_bits = exactLog2(blocks / ways);
+        unsigned block_bits = exactLog2(cp.block_bytes);
+        // 32-bit paper addresses: tag = addr minus index minus offset,
+        // plus valid/dirty state.
+        geom.tag_bits = 32u - set_bits - block_bits + 2u;
+        cache_power_.push_back(sram.cache(geom));
+    }
+}
+
+void
+MemorySimulator::request(AccessType type, Addr addr, MemSimResult &result)
+{
+    BypassMask mask;
+    if (mnm_)
+        mask = mnm_->computeBypass(type, addr);
+
+    AccessResult access = hierarchy_.access(type, addr, mask);
+    ++result.requests;
+    if (mnm_)
+        result.coverage.record(access);
+
+    Cycles latency = access.latency;
+    Cycles supply_cost;
+    if (access.from_memory) {
+        ++result.memory_accesses;
+        supply_cost = hierarchy_.memoryLatency();
+    } else {
+        const Cache &supplier =
+            hierarchy_.cacheAt(access.supply_level, type);
+        supply_cost = supplier.params().hit_latency;
+    }
+
+    if (mnm_)
+        latency += mnm_->applyPlacementCosts(access);
+
+    result.total_access_cycles += latency;
+    result.miss_cycles += latency - supply_cost;
+
+    // Energy: probes split hit/miss; every level under the supplier was
+    // (re)filled on the way back.
+    for (std::uint8_t i = 0; i < access.num_probes; ++i) {
+        const ProbeRecord &probe = access.probes[i];
+        if (!probe.bypassed) {
+            const PowerDelay &pd = cache_power_[probe.cache];
+            if (probe.hit) {
+                result.energy.probe_hit_pj += pd.read_energy_pj;
+            } else {
+                result.energy.probe_miss_pj += pd.read_energy_pj;
+            }
+        }
+        if (probe.level < access.supply_level) {
+            result.energy.fill_pj +=
+                cache_power_[probe.cache].write_energy_pj;
+        }
+    }
+    for (std::uint8_t i = 0; i < access.num_writebacks; ++i) {
+        const WritebackRecord &wb = access.writebacks[i];
+        // Absorbing dirties a resident copy (a write); passing through
+        // still paid a tag probe (charged as a read).
+        result.energy.writeback_pj +=
+            wb.absorbed ? cache_power_[wb.cache].write_energy_pj
+                        : cache_power_[wb.cache].read_energy_pj;
+    }
+}
+
+MemSimResult
+MemorySimulator::run(WorkloadGenerator &workload,
+                     std::uint64_t instructions)
+{
+    MemSimResult result;
+    result.instructions = instructions;
+
+    const Cache &l1i = hierarchy_.cacheAt(1, AccessType::InstFetch);
+
+    Instruction inst;
+    for (std::uint64_t i = 0; i < instructions; ++i) {
+        workload.next(inst);
+        Addr line = l1i.blockAddr(inst.pc);
+        if (line != cur_fetch_line_) {
+            cur_fetch_line_ = line;
+            ++result.fetch_requests;
+            request(AccessType::InstFetch, inst.pc, result);
+        }
+        if (inst.isMem()) {
+            ++result.data_requests;
+            request(inst.cls == InstClass::Load ? AccessType::Load
+                                                : AccessType::Store,
+                    inst.mem_addr, result);
+        }
+    }
+
+    if (mnm_) {
+        // Drain the MNM's internally-accumulated energy (lookups charged
+        // above plus bookkeeping updates) incrementally per run() call.
+        PicoJoules now = mnm_->consumedEnergyPj();
+        result.energy.mnm_pj = now - mnm_energy_seen_;
+        mnm_energy_seen_ = now;
+        result.soundness_violations = mnm_->soundnessViolations();
+        result.filter_anomalies = mnm_->filterAnomalies();
+        result.mnm_storage_bits = mnm_->storageBits();
+    }
+
+    for (CacheId id = 0; id < hierarchy_.numCaches(); ++id) {
+        const Cache &c = hierarchy_.cache(id);
+        CacheSnapshot snap;
+        snap.name = c.params().name;
+        snap.level = hierarchy_.levelOf(id);
+        snap.accesses = c.stats().accesses.value();
+        snap.hits = c.stats().hits.value();
+        snap.mru_hits = c.stats().mru_hits.value();
+        snap.misses = c.stats().misses.value();
+        snap.bypasses = c.stats().bypasses.value();
+        snap.hit_rate = c.stats().hitRate();
+        result.caches.push_back(snap);
+    }
+    return result;
+}
+
+} // namespace mnm

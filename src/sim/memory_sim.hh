@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fast functional-mode memory-system simulator.
+ *
+ * Streams a workload's instruction-fetch and data requests through a
+ * hierarchy (optionally shielded by an MNM) and accounts for:
+ *  - data access time per request (paper Section 1.1) and the portion
+ *    spent probing caches that missed (Figure 2's metric);
+ *  - dynamic energy split into hit probes, miss probes, fills, and MNM
+ *    structures (Figure 3's and Figure 16's metrics);
+ *  - MNM coverage (Figures 10-14).
+ *
+ * No core timing is modelled here; use OooCore (cpu/) for execution
+ * cycles (Figure 15). This mode is an order of magnitude faster, which
+ * is what lets the benches sweep 20 workloads x many configurations.
+ */
+
+#ifndef MNM_SIM_MEMORY_SIM_HH
+#define MNM_SIM_MEMORY_SIM_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "core/coverage.hh"
+#include "core/mnm_unit.hh"
+#include "power/sram_model.hh"
+#include "trace/workload.hh"
+
+namespace mnm
+{
+
+/** Dynamic-energy breakdown of a run, picojoules. */
+struct EnergyBreakdown
+{
+    PicoJoules probe_hit_pj = 0.0;  //!< probes that hit
+    PicoJoules probe_miss_pj = 0.0; //!< probes that missed (wasted)
+    PicoJoules fill_pj = 0.0;       //!< allocations on the fill path
+    PicoJoules writeback_pj = 0.0;  //!< dirty-victim drain traffic
+    PicoJoules mnm_pj = 0.0;        //!< MNM lookups + updates
+
+    PicoJoules cacheTotal() const
+    {
+        return probe_hit_pj + probe_miss_pj + fill_pj + writeback_pj;
+    }
+    PicoJoules total() const { return cacheTotal() + mnm_pj; }
+    double missFraction() const
+    {
+        double t = cacheTotal();
+        return t > 0.0 ? probe_miss_pj / t : 0.0;
+    }
+};
+
+/** Snapshot of one cache's counters after a run. */
+struct CacheSnapshot
+{
+    std::string name;
+    std::uint32_t level = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t mru_hits = 0; //!< hits a way predictor would guess
+    std::uint64_t misses = 0;
+    std::uint64_t bypasses = 0;
+    double hit_rate = 0.0;
+};
+
+/** Everything a functional run produces. */
+struct MemSimResult
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t requests = 0; //!< fetch-line + load/store accesses
+    std::uint64_t data_requests = 0;
+    std::uint64_t fetch_requests = 0;
+    Cycles total_access_cycles = 0;
+    Cycles miss_cycles = 0; //!< spent probing caches that missed
+    std::uint64_t memory_accesses = 0;
+
+    EnergyBreakdown energy;
+    CoverageTracker coverage;
+    std::uint64_t soundness_violations = 0;
+    std::uint64_t filter_anomalies = 0;
+    std::uint64_t mnm_storage_bits = 0;
+    std::vector<CacheSnapshot> caches;
+
+    double avgAccessTime() const
+    {
+        return requests ? static_cast<double>(total_access_cycles) /
+                              static_cast<double>(requests)
+                        : 0.0;
+    }
+    /** Figure 2's metric. */
+    double missTimeFraction() const
+    {
+        return total_access_cycles
+                   ? static_cast<double>(miss_cycles) /
+                         static_cast<double>(total_access_cycles)
+                   : 0.0;
+    }
+};
+
+/** The functional simulator. */
+class MemorySimulator
+{
+  public:
+    /**
+     * @param hierarchy_params machine configuration
+     * @param mnm_spec         optional MNM shielding the hierarchy
+     * @param seed             replacement-policy randomness seed
+     */
+    explicit MemorySimulator(const HierarchyParams &hierarchy_params,
+                             std::optional<MnmSpec> mnm_spec = std::nullopt,
+                             std::uint64_t seed = 1);
+
+    /**
+     * Stream @p instructions instructions from @p workload. Repeatable:
+     * each call continues from the current (warm) state; accounting is
+     * per call.
+     */
+    MemSimResult run(WorkloadGenerator &workload,
+                     std::uint64_t instructions);
+
+    CacheHierarchy &hierarchy() { return hierarchy_; }
+    MnmUnit *mnm() { return mnm_ ? mnm_.get() : nullptr; }
+
+  private:
+    /** One request through MNM + hierarchy with full accounting. */
+    void request(AccessType type, Addr addr, MemSimResult &result);
+
+    CacheHierarchy hierarchy_;
+    std::unique_ptr<MnmUnit> mnm_;
+    /** Per-cache probe/fill energies from the analytical model. */
+    std::vector<PowerDelay> cache_power_;
+    PicoJoules mnm_energy_seen_ = 0.0; //!< consumed total at last drain
+    Addr cur_fetch_line_ = invalid_addr;
+};
+
+} // namespace mnm
+
+#endif // MNM_SIM_MEMORY_SIM_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sampled simulation (the paper's methodology, Section 4.1: SPEC runs
+ * are fast-forwarded per Sherwood et al.'s simulation points and then a
+ * window is measured).
+ *
+ * For synthetic workloads there is no one "right" simulation point, so
+ * the sampler generalizes: fast-forward F instructions functionally
+ * (warming caches and MNM state, discarding accounting), then measure N
+ * windows of W instructions separated by S skipped (but still warming)
+ * instructions, and report the per-window spread so the caller can see
+ * whether the workload has phase behaviour.
+ */
+
+#ifndef MNM_SIM_SAMPLING_HH
+#define MNM_SIM_SAMPLING_HH
+
+#include <vector>
+
+#include "sim/memory_sim.hh"
+#include "util/stats.hh"
+
+namespace mnm
+{
+
+/** Sampling plan. */
+struct SamplingPlan
+{
+    /** Instructions to fast-forward before the first window. */
+    std::uint64_t fast_forward = 200'000;
+    /** Measured window length, instructions. */
+    std::uint64_t window = 100'000;
+    /** Number of measured windows. */
+    std::uint32_t windows = 5;
+    /** Instructions skipped (still executed) between windows. */
+    std::uint64_t stride = 100'000;
+};
+
+/** Aggregated outcome of a sampled functional run. */
+struct SampledResult
+{
+    /** Accounting summed over all measured windows. */
+    MemSimResult combined;
+    /** Per-window key metrics, for phase inspection. */
+    RunningStat access_time;
+    RunningStat miss_time_fraction;
+    RunningStat coverage;
+
+    /** Relative spread (stddev/mean) of the access time: a quick
+     *  phase-behaviour indicator. */
+    double
+    accessTimeSpread() const
+    {
+        return access_time.mean() > 0.0
+                   ? access_time.stddev() / access_time.mean()
+                   : 0.0;
+    }
+};
+
+/**
+ * Run @p workload through @p sim under @p plan. The simulator keeps all
+ * warm state across windows (as a real checkpointed run would).
+ */
+SampledResult runSampled(MemorySimulator &sim, WorkloadGenerator &workload,
+                         const SamplingPlan &plan);
+
+} // namespace mnm
+
+#endif // MNM_SIM_SAMPLING_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The dynamic instruction record streamed from workload generators into
+ * the simulators.
+ *
+ * The record is ISA-free: it carries exactly what the cache hierarchy
+ * and the out-of-order timing model need -- a PC for the instruction
+ * fetch stream, a memory address for loads/stores, producer distances
+ * for dependence modelling, an execution latency class, and branch
+ * outcome information.
+ */
+
+#ifndef MNM_TRACE_INSTRUCTION_HH
+#define MNM_TRACE_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace mnm
+{
+
+/** Broad operation class of a dynamic instruction. */
+enum class InstClass : std::uint8_t
+{
+    IntAlu,
+    FpAlu,
+    Load,
+    Store,
+    Branch,
+};
+
+/** One dynamic instruction. */
+struct Instruction
+{
+    InstClass cls = InstClass::IntAlu;
+    /** Program counter (byte address in the code region). */
+    Addr pc = 0;
+    /** Effective address; meaningful for Load/Store only. */
+    Addr mem_addr = 0;
+    /**
+     * Register-dependence distances: this instruction consumes the
+     * results of the instructions @p dep1 and @p dep2 positions earlier
+     * in program order (0 = no dependence). Keeping distances rather
+     * than register names sidesteps renaming in the timing model.
+     */
+    std::uint16_t dep1 = 0;
+    std::uint16_t dep2 = 0;
+    /** Functional-unit latency in cycles (1 for simple ALU ops). */
+    std::uint8_t exec_latency = 1;
+    /** Branch only: will the front-end mispredict this branch? */
+    bool mispredicted = false;
+
+    bool isMem() const
+    {
+        return cls == InstClass::Load || cls == InstClass::Store;
+    }
+    bool isBranch() const { return cls == InstClass::Branch; }
+};
+
+} // namespace mnm
+
+#endif // MNM_TRACE_INSTRUCTION_HH

@@ -1,0 +1,314 @@
+#include "trace/spec2000.hh"
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+namespace
+{
+
+constexpr std::uint64_t kB = 1024;
+constexpr std::uint64_t MB = 1024 * 1024;
+
+/** Shorthand region constructors. */
+RegionParams
+seq(double weight, std::uint64_t footprint, std::uint32_t stride = 8,
+    double dwell = 16.0)
+{
+    RegionParams r;
+    r.weight = weight;
+    r.footprint_bytes = footprint;
+    r.pattern = RegionPattern::Sequential;
+    r.stride = stride;
+    r.dwell = dwell;
+    return r;
+}
+
+RegionParams
+rnd(double weight, std::uint64_t footprint, double dwell = 6.0)
+{
+    RegionParams r;
+    r.weight = weight;
+    r.footprint_bytes = footprint;
+    r.pattern = RegionPattern::RandomUniform;
+    r.dwell = dwell;
+    return r;
+}
+
+RegionParams
+chase(double weight, std::uint64_t footprint, std::uint32_t stride = 32,
+      double dwell = 24.0)
+{
+    RegionParams r;
+    r.weight = weight;
+    r.footprint_bytes = footprint;
+    r.pattern = RegionPattern::PointerChase;
+    r.stride = stride;
+    r.dwell = dwell;
+    return r;
+}
+
+RegionParams
+hot(double weight, std::uint64_t footprint, double hot_frac,
+    double hot_prob, double dwell = 8.0)
+{
+    RegionParams r;
+    r.weight = weight;
+    r.footprint_bytes = footprint;
+    r.pattern = RegionPattern::HotCold;
+    r.hot_fraction = hot_frac;
+    r.hot_probability = hot_prob;
+    r.dwell = dwell;
+    return r;
+}
+
+/** Base mixes: integer-style and FP-style instruction blends. */
+SyntheticParams
+intBase(const std::string &name, std::uint64_t seed)
+{
+    SyntheticParams p;
+    p.name = name;
+    p.load_frac = 0.26;
+    p.store_frac = 0.11;
+    p.branch_frac = 0.16;
+    p.fp_frac = 0.0;
+    p.mispredict_rate = 0.06;
+    p.dep_dist_mean = 5.0;
+    p.code_footprint_bytes = 48 * kB;
+    p.loop_body_bytes_mean = 192;
+    p.loop_iterations_mean = 24.0;
+    p.seed = seed;
+    return p;
+}
+
+SyntheticParams
+fpBase(const std::string &name, std::uint64_t seed)
+{
+    SyntheticParams p;
+    p.name = name;
+    p.load_frac = 0.30;
+    p.store_frac = 0.12;
+    p.branch_frac = 0.05;
+    p.fp_frac = 0.6;
+    p.mispredict_rate = 0.02;
+    p.dep_dist_mean = 8.0;
+    p.code_footprint_bytes = 24 * kB;
+    p.loop_body_bytes_mean = 512;
+    p.loop_iterations_mean = 200.0;
+    p.seed = seed;
+    return p;
+}
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+specIntNames()
+{
+    static const std::vector<std::string> names = {
+        "164.gzip",    "175.vpr",    "176.gcc",    "181.mcf",
+        "186.crafty",  "197.parser", "252.eon",    "253.perlbmk",
+        "255.vortex",  "300.twolf"};
+    return names;
+}
+
+const std::vector<std::string> &
+specFpNames()
+{
+    static const std::vector<std::string> names = {
+        "168.wupwise", "171.swim",   "172.mgrid",  "173.applu",
+        "177.mesa",    "179.art",    "183.equake", "188.ammp",
+        "200.sixtrack", "301.apsi"};
+    return names;
+}
+
+const std::vector<std::string> &
+specAllNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> all = specIntNames();
+        const auto &fp = specFpNames();
+        all.insert(all.end(), fp.begin(), fp.end());
+        return all;
+    }();
+    return names;
+}
+
+SyntheticParams
+specWorkloadParams(const std::string &name)
+{
+    // --- integer suite ---------------------------------------------
+    if (name == "164.gzip") {
+        // Compression: streaming input + hot hash tables.
+        SyntheticParams p = intBase(name, 164);
+        p.regions = {seq(0.55, 1 * MB, 8, 32.0),
+                     hot(0.45, 192 * kB, 0.04, 0.85)};
+        return p;
+    }
+    if (name == "175.vpr") {
+        // Place & route: medium random graph structure.
+        SyntheticParams p = intBase(name, 175);
+        p.regions = {rnd(0.5, 320 * kB), chase(0.3, 96 * kB),
+                     hot(0.2, 24 * kB, 0.2, 0.9)};
+        return p;
+    }
+    if (name == "176.gcc") {
+        // Compiler: big code footprint, spread-out data.
+        SyntheticParams p = intBase(name, 176);
+        p.code_footprint_bytes = 640 * kB;
+        p.loop_iterations_mean = 6.0;
+        p.regions = {hot(0.5, 448 * kB, 0.08, 0.7), rnd(0.3, 1 * MB),
+                     seq(0.2, 128 * kB)};
+        return p;
+    }
+    if (name == "181.mcf") {
+        // Network simplex: pointer chasing over a huge arena.
+        SyntheticParams p = intBase(name, 181);
+        p.temporal_reuse = 0.35;
+        p.load_frac = 0.32;
+        p.dep_dist_mean = 3.0;
+        p.regions = {chase(0.7, 6 * MB, 32, 48.0), rnd(0.2, 3 * MB),
+                     hot(0.1, 16 * kB, 0.25, 0.9)};
+        return p;
+    }
+    if (name == "186.crafty") {
+        // Chess: hot board state, branchy.
+        SyntheticParams p = intBase(name, 186);
+        p.branch_frac = 0.2;
+        p.mispredict_rate = 0.08;
+        p.regions = {hot(0.7, 96 * kB, 0.15, 0.92),
+                     rnd(0.3, 2816 * kB, 4.0)};
+        return p;
+    }
+    if (name == "197.parser") {
+        // Dictionary chasing with a hot dictionary head.
+        SyntheticParams p = intBase(name, 197);
+        p.regions = {chase(0.45, 640 * kB, 32), hot(0.4, 48 * kB, 0.2, 0.9),
+                     rnd(0.15, 1536 * kB)};
+        return p;
+    }
+    if (name == "252.eon") {
+        // C++ ray tracing: small working set, well-behaved.
+        SyntheticParams p = intBase(name, 252);
+        p.fp_frac = 0.3;
+        p.regions = {hot(0.75, 24 * kB, 0.12, 0.95, 16.0),
+                     seq(0.25, 96 * kB)};
+        return p;
+    }
+    if (name == "253.perlbmk") {
+        // Interpreter: big code, hash-heavy data.
+        SyntheticParams p = intBase(name, 253);
+        p.code_footprint_bytes = 384 * kB;
+        p.loop_iterations_mean = 10.0;
+        p.regions = {hot(0.5, 320 * kB, 0.1, 0.8), rnd(0.35, 896 * kB),
+                     seq(0.15, 64 * kB)};
+        return p;
+    }
+    if (name == "255.vortex") {
+        // OO database: large mixed footprint.
+        SyntheticParams p = intBase(name, 255);
+        p.code_footprint_bytes = 256 * kB;
+        p.regions = {rnd(0.45, 1408 * kB), chase(0.25, 384 * kB),
+                     hot(0.3, 96 * kB, 0.12, 0.85)};
+        return p;
+    }
+    if (name == "300.twolf") {
+        // Standard-cell place/route: modest footprint, high locality.
+        SyntheticParams p = intBase(name, 300);
+        p.regions = {hot(0.55, 56 * kB, 0.25, 0.9), chase(0.3, 160 * kB),
+                     rnd(0.15, 448 * kB)};
+        return p;
+    }
+
+    // --- floating-point suite --------------------------------------
+    if (name == "168.wupwise") {
+        // Lattice QCD: long unit-stride sweeps.
+        SyntheticParams p = fpBase(name, 168);
+        p.regions = {seq(0.6, 2 * MB, 8, 64.0), seq(0.25, 768 * kB, 8),
+                     hot(0.15, 16 * kB, 0.4, 0.95)};
+        return p;
+    }
+    if (name == "171.swim") {
+        // Shallow water: several big streamed grids; spills L5.
+        SyntheticParams p = fpBase(name, 171);
+        p.temporal_reuse = 0.45;
+        p.regions = {seq(0.4, 3 * MB, 8, 96.0), seq(0.35, 3 * MB, 8, 96.0),
+                     seq(0.25, 1536 * kB, 8, 96.0)};
+        return p;
+    }
+    if (name == "172.mgrid") {
+        // Multigrid: strided sweeps at multiple granularities.
+        SyntheticParams p = fpBase(name, 172);
+        p.regions = {seq(0.45, 1 * MB, 8, 64.0), seq(0.3, 1 * MB, 64, 32.0),
+                     seq(0.25, 256 * kB, 8)};
+        return p;
+    }
+    if (name == "173.applu") {
+        // SSOR solver: blocked strided access over a big grid.
+        SyntheticParams p = fpBase(name, 173);
+        p.regions = {seq(0.5, 2560 * kB, 8, 64.0),
+                     seq(0.3, 640 * kB, 128, 16.0),
+                     hot(0.2, 96 * kB, 0.2, 0.85)};
+        return p;
+    }
+    if (name == "177.mesa") {
+        // Software rendering: hot state + streamed framebuffer.
+        SyntheticParams p = fpBase(name, 177);
+        p.branch_frac = 0.1;
+        p.regions = {hot(0.5, 64 * kB, 0.3, 0.92), seq(0.5, 1 * MB, 8)};
+        return p;
+    }
+    if (name == "179.art") {
+        // Neural net: repeated full sweeps of weights > L5.
+        SyntheticParams p = fpBase(name, 179);
+        p.temporal_reuse = 0.40;
+        p.load_frac = 0.34;
+        p.regions = {seq(0.55, 5 * MB, 8, 128.0), rnd(0.35, 4 * MB),
+                     hot(0.1, 8 * kB, 0.5, 0.95)};
+        return p;
+    }
+    if (name == "183.equake") {
+        // FEM: sparse matrix (indirect) + sequential vectors.
+        SyntheticParams p = fpBase(name, 183);
+        p.regions = {chase(0.35, 1536 * kB, 32), seq(0.4, 1 * MB, 8),
+                     hot(0.25, 48 * kB, 0.25, 0.9)};
+        return p;
+    }
+    if (name == "188.ammp") {
+        // Molecular dynamics: neighbour lists, scattered.
+        SyntheticParams p = fpBase(name, 188);
+        p.temporal_reuse = 0.50;
+        p.regions = {rnd(0.45, 1 * MB), chase(0.3, 512 * kB, 32),
+                     seq(0.25, 384 * kB)};
+        return p;
+    }
+    if (name == "200.sixtrack") {
+        // Particle tracking: tight kernels over a near-L1-resident
+        // state block (the suite's "lives in L1" anchor).
+        SyntheticParams p = fpBase(name, 200);
+        p.regions = {hot(0.88, 12 * kB, 0.2, 0.97, 32.0),
+                     seq(0.12, 64 * kB, 8, 24.0)};
+        return p;
+    }
+    if (name == "301.apsi") {
+        // Meteorology: large code with big loops (the paper notes the
+        // L2-I pressure), strided grids.
+        SyntheticParams p = fpBase(name, 301);
+        p.code_footprint_bytes = 512 * kB;
+        p.loop_body_bytes_mean = 2048;
+        p.loop_iterations_mean = 12.0;
+        p.regions = {seq(0.5, 768 * kB, 8, 48.0), seq(0.3, 192 * kB, 64),
+                     rnd(0.2, 1280 * kB)};
+        return p;
+    }
+
+    fatal("unknown SPEC2000-like workload '%s'", name.c_str());
+}
+
+std::unique_ptr<SyntheticWorkload>
+makeSpecWorkload(const std::string &name)
+{
+    return std::make_unique<SyntheticWorkload>(specWorkloadParams(name));
+}
+
+} // namespace mnm

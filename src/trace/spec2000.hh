@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The twenty named synthetic workloads standing in for the paper's
+ * SPEC2000 selection (10 integer + 10 floating point).
+ *
+ * Parameters are tuned so the per-level hit-rate profiles of the paper's
+ * 5-level hierarchy span the same qualitative range as paper Table 2:
+ * tight-loop apps that live in L1/L2, medium-footprint apps that stress
+ * L3/L4, and pointer-chasing / huge-footprint apps (the mcf/art
+ * analogues) that spill past L5 into memory. Absolute rates will differ
+ * from the real binaries; see DESIGN.md "Paper -> our substitutions".
+ */
+
+#ifndef MNM_TRACE_SPEC2000_HH
+#define MNM_TRACE_SPEC2000_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.hh"
+
+namespace mnm
+{
+
+/** The ten integer workload names (SPEC CINT2000 style). */
+const std::vector<std::string> &specIntNames();
+
+/** The ten floating-point workload names (SPEC CFP2000 style). */
+const std::vector<std::string> &specFpNames();
+
+/** All twenty names, integer first. */
+const std::vector<std::string> &specAllNames();
+
+/** Parameters of the named workload (fatal on unknown name). */
+SyntheticParams specWorkloadParams(const std::string &name);
+
+/** Convenience: construct the generator for a named workload. */
+std::unique_ptr<SyntheticWorkload>
+makeSpecWorkload(const std::string &name);
+
+} // namespace mnm
+
+#endif // MNM_TRACE_SPEC2000_HH

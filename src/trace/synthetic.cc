@@ -1,0 +1,204 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+namespace
+{
+
+/** Data regions are laid out from here, 64MB apart. */
+constexpr Addr data_base = 0x40000000ull;
+constexpr Addr region_spacing = 64ull * 1024 * 1024;
+
+} // anonymous namespace
+
+SyntheticWorkload::SyntheticWorkload(const SyntheticParams &params)
+    : params_(params), rng_(params.seed)
+{
+    if (params_.regions.empty())
+        fatal("synthetic workload '%s' has no data regions",
+              params_.name.c_str());
+    if (params_.load_frac + params_.store_frac + params_.branch_frac > 1.0)
+        fatal("synthetic workload '%s': instruction mix exceeds 1",
+              params_.name.c_str());
+    for (const RegionParams &r : params_.regions) {
+        if (r.footprint_bytes < 64)
+            fatal("region footprint below 64 bytes");
+        if (r.stride == 0)
+            fatal("region with zero stride");
+        total_weight_ += r.weight;
+    }
+    if (total_weight_ <= 0.0)
+        fatal("synthetic workload '%s': zero total region weight",
+              params_.name.c_str());
+    reset();
+}
+
+void
+SyntheticWorkload::reset()
+{
+    rng_ = Rng(params_.seed);
+    regions_.clear();
+    regions_.resize(params_.regions.size());
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+        regions_[i].base = data_base + region_spacing * i;
+        regions_[i].cursor = 0;
+        regions_[i].chase = 1 + i;
+    }
+    active_region_ = 0;
+    dwell_left_ = 0;
+    recent_count_ = 0;
+    recent_pos_ = 0;
+    pc_ = code_base_;
+    loop_start_ = code_base_;
+    loop_bytes_ = 0;
+    loop_iters_left_ = 0;
+    startLoop();
+}
+
+void
+SyntheticWorkload::startLoop()
+{
+    // Pick a loop body somewhere in the text and a repeat count. Loop
+    // bodies are 16-byte aligned; sizes are geometric around the mean.
+    std::uint64_t body =
+        16 + 16 * rng_.nextGeometric(
+                      static_cast<double>(params_.loop_body_bytes_mean) /
+                      16.0);
+    if (body > params_.code_footprint_bytes)
+        body = params_.code_footprint_bytes;
+    std::uint64_t span = params_.code_footprint_bytes - body;
+    Addr start =
+        code_base_ + (span ? (rng_.nextBelow(span) & ~15ull) : 0);
+    loop_start_ = start;
+    loop_bytes_ = body;
+    loop_iters_left_ = 1 + rng_.nextGeometric(params_.loop_iterations_mean);
+    pc_ = loop_start_;
+}
+
+void
+SyntheticWorkload::advancePc()
+{
+    pc_ += 4;
+    if (pc_ >= loop_start_ + loop_bytes_) {
+        if (loop_iters_left_ > 1) {
+            --loop_iters_left_;
+            pc_ = loop_start_;
+        } else {
+            startLoop();
+        }
+    }
+}
+
+Addr
+SyntheticWorkload::dataAddress()
+{
+    // Short-range temporal reuse first: re-touch a recent address.
+    if (recent_count_ > 0 && rng_.nextBool(params_.temporal_reuse)) {
+        return recent_[rng_.nextBelow(
+            std::min(recent_count_, reuse_depth))];
+    }
+    if (dwell_left_ == 0) {
+        double draw = rng_.nextDouble() * total_weight_;
+        active_region_ = params_.regions.size() - 1;
+        for (std::size_t i = 0; i < params_.regions.size(); ++i) {
+            if (draw < params_.regions[i].weight) {
+                active_region_ = i;
+                break;
+            }
+            draw -= params_.regions[i].weight;
+        }
+        dwell_left_ =
+            1 + rng_.nextGeometric(params_.regions[active_region_].dwell);
+    }
+    --dwell_left_;
+
+    const RegionParams &rp = params_.regions[active_region_];
+    RegionState &rs = regions_[active_region_];
+    std::uint64_t offset = 0;
+    switch (rp.pattern) {
+      case RegionPattern::Sequential:
+        offset = rs.cursor;
+        rs.cursor = (rs.cursor + rp.stride) % rp.footprint_bytes;
+        break;
+      case RegionPattern::RandomUniform:
+        offset = rng_.nextBelow(rp.footprint_bytes) & ~std::uint64_t{7};
+        break;
+      case RegionPattern::PointerChase: {
+        // A full-period LCG walk over the region's cache-block grid:
+        // serially dependent and locality-free, like chasing a shuffled
+        // linked list. (a = 8*k+5, c odd gives full period mod 2^n.)
+        std::uint64_t cells = rp.footprint_bytes / rp.stride;
+        std::uint64_t n = std::uint64_t{1} << floorLog2(cells | 1);
+        rs.chase = (rs.chase * 1664525 + 1013904223) & (n - 1);
+        offset = rs.chase * rp.stride;
+        break;
+      }
+      case RegionPattern::HotCold: {
+        std::uint64_t hot_bytes = std::max<std::uint64_t>(
+            64, static_cast<std::uint64_t>(
+                    rp.hot_fraction *
+                    static_cast<double>(rp.footprint_bytes)));
+        if (rng_.nextBool(rp.hot_probability)) {
+            offset = rng_.nextBelow(hot_bytes) & ~std::uint64_t{7};
+        } else {
+            offset = rng_.nextBelow(rp.footprint_bytes) & ~std::uint64_t{7};
+        }
+        break;
+      }
+    }
+    Addr addr = rs.base + offset;
+    recent_[recent_pos_] = addr;
+    recent_pos_ = (recent_pos_ + 1) % reuse_depth;
+    if (recent_count_ < reuse_depth)
+        ++recent_count_;
+    return addr;
+}
+
+void
+SyntheticWorkload::next(Instruction &out)
+{
+    out = Instruction();
+    advancePc();
+    out.pc = pc_;
+
+    double draw = rng_.nextDouble();
+    if (draw < params_.load_frac) {
+        out.cls = InstClass::Load;
+        out.mem_addr = dataAddress();
+        out.exec_latency = 1; // cache latency added by the memory model
+    } else if (draw < params_.load_frac + params_.store_frac) {
+        out.cls = InstClass::Store;
+        out.mem_addr = dataAddress();
+        out.exec_latency = 1;
+    } else if (draw < params_.load_frac + params_.store_frac +
+                          params_.branch_frac) {
+        out.cls = InstClass::Branch;
+        out.exec_latency = 1;
+        out.mispredicted = rng_.nextBool(params_.mispredict_rate);
+    } else if (rng_.nextBool(params_.fp_frac)) {
+        out.cls = InstClass::FpAlu;
+        out.exec_latency = 4;
+    } else {
+        out.cls = InstClass::IntAlu;
+        out.exec_latency = 1;
+    }
+
+    // Producer distances: geometric around the mean, capped so they
+    // always reference an earlier instruction in any realistic window.
+    auto dist = [&]() -> std::uint16_t {
+        std::uint64_t d = rng_.nextGeometric(params_.dep_dist_mean);
+        return static_cast<std::uint16_t>(std::min<std::uint64_t>(d, 512));
+    };
+    out.dep1 = dist();
+    if (rng_.nextBool(0.5))
+        out.dep2 = dist();
+    return;
+}
+
+} // namespace mnm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Binary trace serialization.
+ *
+ * Lets a generated instruction stream be captured once and replayed
+ * byte-identically (e.g. to hand the exact same trace to multiple
+ * simulator configurations, or to archive a workload). The format is a
+ * fixed 24-byte little-endian record per instruction with a small
+ * header carrying a magic, a version, and the workload name.
+ */
+
+#ifndef MNM_TRACE_TRACE_IO_HH
+#define MNM_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace mnm
+{
+
+/** Writes instruction records to a trace file. */
+class TraceWriter
+{
+  public:
+    /** Opens @p path for writing (fatal on failure). */
+    TraceWriter(const std::string &path, const std::string &workload_name);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const Instruction &inst);
+
+    /** Capture @p count instructions from @p gen. */
+    void capture(WorkloadGenerator &gen, std::uint64_t count);
+
+    std::uint64_t written() const { return written_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t written_ = 0;
+};
+
+/** Replays a trace file as a WorkloadGenerator (cycles at EOF). */
+class TraceReader : public WorkloadGenerator
+{
+  public:
+    /** Loads the whole trace into memory (fatal on bad file). */
+    explicit TraceReader(const std::string &path);
+
+    void next(Instruction &out) override;
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return name_; }
+
+    std::uint64_t length() const { return trace_.size(); }
+
+  private:
+    std::vector<Instruction> trace_;
+    std::string name_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace mnm
+
+#endif // MNM_TRACE_TRACE_IO_HH

@@ -1,0 +1,62 @@
+#include "trace/workload.hh"
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+ScriptedWorkload::ScriptedWorkload(std::vector<Instruction> script,
+                                   std::string name)
+    : script_(std::move(script)), name_(std::move(name))
+{
+    if (script_.empty())
+        fatal("scripted workload with empty script");
+}
+
+void
+ScriptedWorkload::next(Instruction &out)
+{
+    out = script_[pos_];
+    pos_ = (pos_ + 1) % script_.size();
+}
+
+UniformRandomWorkload::UniformRandomWorkload(std::uint64_t footprint_bytes,
+                                             double load_frac,
+                                             double store_frac,
+                                             std::uint64_t seed)
+    : footprint_(footprint_bytes), load_frac_(load_frac),
+      store_frac_(store_frac), seed_(seed), rng_(seed)
+{
+    if (footprint_ == 0)
+        fatal("uniform workload with zero footprint");
+    if (load_frac_ + store_frac_ > 1.0)
+        fatal("load + store fraction exceeds 1");
+}
+
+void
+UniformRandomWorkload::next(Instruction &out)
+{
+    out = Instruction();
+    pc_ += 4;
+    out.pc = pc_;
+    double draw = rng_.nextDouble();
+    if (draw < load_frac_) {
+        out.cls = InstClass::Load;
+    } else if (draw < load_frac_ + store_frac_) {
+        out.cls = InstClass::Store;
+    } else {
+        out.cls = InstClass::IntAlu;
+        return;
+    }
+    out.mem_addr = 0x40000000ull + (rng_.nextBelow(footprint_) & ~7ull);
+    out.dep1 = static_cast<std::uint16_t>(rng_.nextBelow(8));
+}
+
+void
+UniformRandomWorkload::reset()
+{
+    rng_ = Rng(seed_);
+    pc_ = 0x00100000;
+}
+
+} // namespace mnm

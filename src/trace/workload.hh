@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The workload-generator interface plus two simple implementations used
+ * heavily by the tests: a scripted (replay) workload and a uniformly
+ * random address stream.
+ */
+
+#ifndef MNM_TRACE_WORKLOAD_HH
+#define MNM_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+#include "util/random.hh"
+
+namespace mnm
+{
+
+/** A deterministic, restartable stream of dynamic instructions. */
+class WorkloadGenerator
+{
+  public:
+    virtual ~WorkloadGenerator() = default;
+
+    /** Produce the next instruction into @p out. */
+    virtual void next(Instruction &out) = 0;
+
+    /** Restart the stream from the beginning (same sequence again). */
+    virtual void reset() = 0;
+
+    /** Display name (the SPEC-like label for synthetic workloads). */
+    virtual std::string name() const = 0;
+};
+
+/** Replays a fixed vector of instructions, cycling at the end. */
+class ScriptedWorkload : public WorkloadGenerator
+{
+  public:
+    explicit ScriptedWorkload(std::vector<Instruction> script,
+                              std::string name = "scripted");
+
+    void next(Instruction &out) override;
+    void reset() override { pos_ = 0; }
+    std::string name() const override { return name_; }
+
+    std::size_t length() const { return script_.size(); }
+
+  private:
+    std::vector<Instruction> script_;
+    std::string name_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Memoryless random workload: uniform loads/stores over a footprint.
+ * Primarily a property-test fuzzer and a worst-case locality baseline.
+ */
+class UniformRandomWorkload : public WorkloadGenerator
+{
+  public:
+    UniformRandomWorkload(std::uint64_t footprint_bytes, double load_frac,
+                          double store_frac, std::uint64_t seed = 1);
+
+    void next(Instruction &out) override;
+    void reset() override;
+    std::string name() const override { return "uniform-random"; }
+
+  private:
+    std::uint64_t footprint_;
+    double load_frac_;
+    double store_frac_;
+    std::uint64_t seed_;
+    Rng rng_;
+    Addr pc_ = 0x00100000;
+};
+
+} // namespace mnm
+
+#endif // MNM_TRACE_WORKLOAD_HH

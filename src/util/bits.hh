@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the cache and MNM models.
+ */
+
+#ifndef MNM_UTIL_BITS_HH
+#define MNM_UTIL_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace mnm
+{
+
+/** Return true if @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); @p v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v | 1));
+}
+
+/** Exact log2 for powers of two (panics otherwise). */
+inline unsigned
+exactLog2(std::uint64_t v)
+{
+    MNM_ASSERT(isPowerOf2(v), "exactLog2 of non-power-of-2");
+    return floorLog2(v);
+}
+
+/** A mask with the low @p n bits set (n may be 0..64). */
+constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/**
+ * Extract @p width bits of @p value starting at bit @p first (LSB = 0).
+ * Bits beyond bit 63 read as zero.
+ */
+constexpr std::uint64_t
+bitSlice(std::uint64_t value, unsigned first, unsigned width)
+{
+    if (first >= 64)
+        return 0;
+    return (value >> first) & lowMask(width);
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace mnm
+
+#endif // MNM_UTIL_BITS_HH

@@ -1,0 +1,56 @@
+#include "util/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace mnm
+{
+namespace detail
+{
+
+namespace
+{
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // anonymous namespace
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    std::FILE *stream = (level == LogLevel::Info) ? stdout : stderr;
+    std::fprintf(stream, "%s: %s\n", levelPrefix(level), msg.c_str());
+    std::fflush(stream);
+}
+
+std::string
+vformat(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+} // namespace detail
+} // namespace mnm

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Status-message and error helpers in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated: a bug in this library.
+ *            Aborts (so a debugger/core dump catches it).
+ * fatal()  — the user asked for something impossible (bad configuration,
+ *            invalid arguments). Exits with status 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef MNM_UTIL_LOGGING_HH
+#define MNM_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mnm
+{
+
+/** Severity of a log message; used to route and prefix output. */
+enum class LogLevel
+{
+    Info,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/** Emit one formatted message with a severity prefix. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Print an informational message to stdout. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Info, detail::vformat(fmt, args...));
+}
+
+/** Print a warning to stderr; execution continues. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Warn, detail::vformat(fmt, args...));
+}
+
+/** Report a user-caused error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Fatal, detail::vformat(fmt, args...));
+    std::exit(1);
+}
+
+/** Report an internal bug and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Panic, detail::vformat(fmt, args...));
+    std::abort();
+}
+
+/**
+ * Check an internal invariant; panics with location info on failure.
+ * Unlike assert(), stays active in release builds: the soundness
+ * invariants this library rests on must never be compiled out.
+ */
+#define MNM_ASSERT(cond, msg)                                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::mnm::panic("assertion '%s' failed at %s:%d: %s", #cond,    \
+                         __FILE__, __LINE__,                             \
+                         static_cast<const char *>(msg));                \
+        }                                                                \
+    } while (0)
+
+} // namespace mnm
+
+#endif // MNM_UTIL_LOGGING_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the simulator (workload generators, random
+ * replacement, property tests) draws from an explicitly-seeded Rng so that
+ * runs are exactly reproducible. The generator is xoshiro256**, which is
+ * fast, has a 256-bit state, and passes BigCrush.
+ */
+
+#ifndef MNM_UTIL_RANDOM_HH
+#define MNM_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace mnm
+{
+
+/** A deterministic xoshiro256** pseudo-random generator. */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 expansion of a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) (bound must be nonzero). */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool nextBool(double p);
+
+    /**
+     * Draw from a (clamped) geometric distribution with mean ~@p mean.
+     * Used for dependency distances and region dwell times.
+     */
+    std::uint64_t nextGeometric(double mean);
+
+    /** Standard-normal variate (Box-Muller). */
+    double nextGaussian();
+
+    /** Split off an independent stream (seeded from this one). */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace mnm
+
+#endif // MNM_UTIL_RANDOM_HH

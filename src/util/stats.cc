@@ -1,0 +1,138 @@
+#include "util/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+void
+RunningStat::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    if (count_ == 1) {
+        mean_ = sample;
+        min_ = sample;
+        max_ = sample;
+        m2_ = 0.0;
+        return;
+    }
+    double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    if (sample < min_)
+        min_ = sample;
+    if (sample > max_)
+        max_ = sample;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::size_t bucket_count, double bucket_width)
+    : buckets_(bucket_count, 0), bucket_width_(bucket_width)
+{
+    MNM_ASSERT(bucket_count > 0 && bucket_width > 0.0,
+               "degenerate histogram");
+}
+
+void
+Histogram::add(double sample)
+{
+    ++samples_;
+    if (sample < 0.0)
+        sample = 0.0;
+    auto idx = static_cast<std::size_t>(sample / bucket_width_);
+    if (idx >= buckets_.size()) {
+        ++overflow_;
+    } else {
+        ++buckets_[idx];
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    overflow_ = 0;
+    samples_ = 0;
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    if (fraction < 0.0)
+        fraction = 0.0;
+    if (fraction > 1.0)
+        fraction = 1.0;
+    double target = fraction * static_cast<double>(samples_);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double next = cumulative + static_cast<double>(buckets_[i]);
+        if (next >= target && buckets_[i] > 0) {
+            double inside = (target - cumulative) /
+                            static_cast<double>(buckets_[i]);
+            return (static_cast<double>(i) + inside) * bucket_width_;
+        }
+        cumulative = next;
+    }
+    return static_cast<double>(buckets_.size()) * bucket_width_;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        out << bucket_width_ * static_cast<double>(i) << ".."
+            << bucket_width_ * static_cast<double>(i + 1) << ": "
+            << buckets_[i] << "\n";
+    }
+    if (overflow_)
+        out << "overflow: " << overflow_ << "\n";
+    return out.str();
+}
+
+double
+ratio(double num, double denom)
+{
+    return denom == 0.0 ? 0.0 : num / denom;
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace mnm

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Lightweight statistics primitives in the spirit of a simulator stats
+ * package: named counters, means, ratios, and histograms that experiment
+ * harnesses can print uniformly.
+ */
+
+#ifndef MNM_UTIL_STATS_HH
+#define MNM_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnm
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean / min / max / variance over a stream of samples. */
+class RunningStat
+{
+  public:
+    void add(double sample);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Population variance of the samples seen so far. */
+    double variance() const;
+    double stddev() const;
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, bucket_count * bucket_width); samples
+ * past the top land in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::size_t bucket_count, double bucket_width);
+
+    void add(double sample);
+    void reset();
+
+    std::size_t bucketCount() const { return buckets_.size(); }
+    double bucketWidth() const { return bucket_width_; }
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t samples() const { return samples_; }
+
+    /** Sample value below which @p fraction of samples fall (linear
+     *  interpolation inside the bucket; overflow counts as top). */
+    double percentile(double fraction) const;
+
+    /** Render as "bucket_lo..hi: count" lines. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    double bucket_width_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+/** Safe ratio helper: returns 0 when the denominator is 0. */
+double ratio(double num, double denom);
+
+/** Arithmetic mean of a vector (0 for empty input). */
+double arithmeticMean(const std::vector<double> &values);
+
+} // namespace mnm
+
+#endif // MNM_UTIL_STATS_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every mnm module.
+ */
+
+#ifndef MNM_UTIL_TYPES_HH
+#define MNM_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace mnm
+{
+
+/** A physical/virtual byte address. The model is untranslated (flat). */
+using Addr = std::uint64_t;
+
+/** A block address: a byte address with the block offset shifted away. */
+using BlockAddr = std::uint64_t;
+
+/** Simulation time in processor cycles. */
+using Cycles = std::uint64_t;
+
+/** Energy in picojoules. All power-model outputs use this unit. */
+using PicoJoules = double;
+
+/** Delay in nanoseconds (power/delay model output). */
+using Nanoseconds = double;
+
+/** An invalid / "no address" sentinel. */
+constexpr Addr invalid_addr = ~static_cast<Addr>(0);
+
+} // namespace mnm
+
+#endif // MNM_UTIL_TYPES_HH

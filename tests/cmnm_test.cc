@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the Common-Address MNM: virtual-tag register
+ * allocation, mask widening under both policies, table bookkeeping, and
+ * shadow-set soundness of the Monotone policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cmnm.hh"
+#include "util/random.hh"
+
+namespace mnm
+{
+namespace
+{
+
+CmnmSpec
+spec(std::uint32_t regs, std::uint32_t bits,
+     CmnmMaskPolicy policy = CmnmMaskPolicy::Monotone)
+{
+    return CmnmSpec{regs, bits, 3, policy};
+}
+
+TEST(CmnmTest, ColdFilterSaysMiss)
+{
+    Cmnm cmnm(spec(4, 10));
+    EXPECT_TRUE(cmnm.definitelyMiss(0xabcdef));
+}
+
+TEST(CmnmTest, PlacementAllocatesRegisterAndTableEntry)
+{
+    Cmnm cmnm(spec(4, 10));
+    cmnm.onPlacement(0xabcdef);
+    EXPECT_EQ(cmnm.registersInUse(), 1u);
+    EXPECT_FALSE(cmnm.definitelyMiss(0xabcdef));
+}
+
+TEST(CmnmTest, UnknownRegionIsDefiniteMiss)
+{
+    Cmnm cmnm(spec(4, 10));
+    cmnm.onPlacement(0x000400); // prefix 0x1
+    // A block in a never-seen region misses regardless of low bits.
+    EXPECT_TRUE(cmnm.definitelyMiss(0xff0400));
+}
+
+TEST(CmnmTest, SameRegionDifferentLowBitsIsMiss)
+{
+    Cmnm cmnm(spec(4, 10));
+    cmnm.onPlacement(0xabc001);
+    EXPECT_TRUE(cmnm.definitelyMiss(0xabc002)); // same prefix, counter 0
+}
+
+TEST(CmnmTest, ReplacementRestoresMiss)
+{
+    Cmnm cmnm(spec(4, 10));
+    cmnm.onPlacement(0xabc001);
+    cmnm.onReplacement(0xabc001);
+    EXPECT_TRUE(cmnm.definitelyMiss(0xabc001));
+}
+
+TEST(CmnmTest, DistinctRegionsUseDistinctRegisters)
+{
+    Cmnm cmnm(spec(4, 10));
+    cmnm.onPlacement(0x111400);
+    cmnm.onPlacement(0x222400);
+    cmnm.onPlacement(0x333400);
+    EXPECT_EQ(cmnm.registersInUse(), 3u);
+    EXPECT_FALSE(cmnm.definitelyMiss(0x111400));
+    EXPECT_FALSE(cmnm.definitelyMiss(0x222400));
+    EXPECT_FALSE(cmnm.definitelyMiss(0x333400));
+}
+
+TEST(CmnmTest, RegisterExhaustionWidensMask)
+{
+    Cmnm cmnm(spec(2, 4)); // 2 registers, 4 table bits
+    cmnm.onPlacement(0x1000);
+    cmnm.onPlacement(0x2000);
+    EXPECT_EQ(cmnm.registersInUse(), 2u);
+    EXPECT_EQ(cmnm.maskWidenings(), 0u);
+    // Third region forces widening until some register matches.
+    cmnm.onPlacement(0x3000);
+    EXPECT_GE(cmnm.maskWidenings(), 1u);
+    EXPECT_FALSE(cmnm.definitelyMiss(0x3000));
+}
+
+TEST(CmnmTest, MonotoneSoundAfterWidening)
+{
+    Cmnm cmnm(spec(2, 4));
+    // Fill both registers, then force widening, then replace blocks and
+    // verify verdicts never claim a resident block is absent.
+    std::vector<BlockAddr> blocks = {0x1001, 0x2002, 0x3003,
+                                     0x4004, 0x5005};
+    std::set<BlockAddr> resident;
+    for (BlockAddr b : blocks) {
+        cmnm.onPlacement(b);
+        resident.insert(b);
+    }
+    for (BlockAddr b : blocks)
+        EXPECT_FALSE(cmnm.definitelyMiss(b)) << std::hex << b;
+    // Remove two, re-check the rest.
+    cmnm.onReplacement(0x1001);
+    cmnm.onReplacement(0x4004);
+    resident.erase(0x1001);
+    resident.erase(0x4004);
+    for (BlockAddr b : resident)
+        EXPECT_FALSE(cmnm.definitelyMiss(b)) << std::hex << b;
+    EXPECT_EQ(cmnm.anomalies(), 0u);
+}
+
+TEST(CmnmTest, FlushClearsAllState)
+{
+    Cmnm cmnm(spec(4, 10));
+    cmnm.onPlacement(0xabc001);
+    cmnm.onFlush();
+    EXPECT_EQ(cmnm.registersInUse(), 0u);
+    EXPECT_TRUE(cmnm.definitelyMiss(0xabc001));
+}
+
+TEST(CmnmTest, StickyCountersHandleHeavyAliasing)
+{
+    Cmnm cmnm(spec(1, 2)); // 1 register, 4-entry table: heavy aliasing
+    // 9+ blocks landing on one counter saturate it; removals must not
+    // produce a false miss.
+    std::vector<BlockAddr> blocks;
+    for (std::uint64_t i = 1; i <= 9; ++i)
+        blocks.push_back(i << 2); // same low bits (00), same counter
+    for (BlockAddr b : blocks)
+        cmnm.onPlacement(b);
+    for (std::uint64_t i = 0; i < 8; ++i)
+        cmnm.onReplacement(blocks[i]);
+    // One block remains; the saturated counter keeps saying "maybe".
+    EXPECT_FALSE(cmnm.definitelyMiss(blocks.back()));
+    EXPECT_EQ(cmnm.anomalies(), 0u);
+}
+
+TEST(CmnmTest, PaperResetPolicyFlagsUnsound)
+{
+    Cmnm monotone(spec(4, 10, CmnmMaskPolicy::Monotone));
+    Cmnm reset(spec(4, 10, CmnmMaskPolicy::PaperReset));
+    EXPECT_FALSE(monotone.maybeUnsound());
+    EXPECT_TRUE(reset.maybeUnsound());
+}
+
+TEST(CmnmTest, PaperResetBasicOperationStillWorks)
+{
+    Cmnm cmnm(spec(4, 10, CmnmMaskPolicy::PaperReset));
+    cmnm.onPlacement(0xabc001);
+    EXPECT_FALSE(cmnm.definitelyMiss(0xabc001));
+    EXPECT_TRUE(cmnm.definitelyMiss(0xdef001));
+    cmnm.onReplacement(0xabc001);
+    EXPECT_TRUE(cmnm.definitelyMiss(0xabc001));
+}
+
+TEST(CmnmTest, NamesAndStorage)
+{
+    EXPECT_EQ(Cmnm(spec(8, 10)).name(), "CMNM_8_10");
+    EXPECT_EQ(Cmnm(spec(8, 10, CmnmMaskPolicy::PaperReset)).name(),
+              "CMNM_8_10(paper-reset)");
+    // 8 registers x (22 prefix + 5 mask) bits + 8*2^10 x 3-bit counters.
+    EXPECT_EQ(Cmnm(spec(8, 10)).storageBits(),
+              8ull * 27 + 8ull * 1024 * 3);
+}
+
+TEST(CmnmTest, PowerModelScalesWithTable)
+{
+    SramModel sram;
+    CheckerModel checker;
+    Cmnm small(spec(2, 9));
+    Cmnm large(spec(8, 12));
+    EXPECT_GT(large.power(sram, checker).read_energy_pj,
+              small.power(sram, checker).read_energy_pj);
+}
+
+TEST(CmnmTest, RejectsBadSpecs)
+{
+    EXPECT_EXIT(Cmnm(spec(0, 10)), ::testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(Cmnm(spec(4, 0)), ::testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(Cmnm(spec(65, 10)), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+/**
+ * Soundness property for the Monotone policy: random churn with a small
+ * register file (constant widening pressure) must never produce a
+ * verdict contradicting the shadow set.
+ */
+TEST(CmnmTest, MonotoneSoundAgainstShadowSetUnderRandomChurn)
+{
+    for (std::uint32_t regs : {1u, 2u, 4u, 8u}) {
+        Cmnm cmnm(spec(regs, 6));
+        std::set<BlockAddr> shadow;
+        Rng rng(1000 + regs);
+        for (int step = 0; step < 25000; ++step) {
+            BlockAddr block = rng.nextBelow(1 << 20);
+            if (!shadow.empty() && rng.nextBool(0.45)) {
+                auto it = shadow.lower_bound(block);
+                if (it == shadow.end())
+                    it = shadow.begin();
+                cmnm.onReplacement(*it);
+                shadow.erase(it);
+            } else if (!shadow.count(block)) {
+                cmnm.onPlacement(block);
+                shadow.insert(block);
+            }
+            BlockAddr probe = rng.nextBelow(1 << 20);
+            if (cmnm.definitelyMiss(probe))
+                ASSERT_FALSE(shadow.count(probe))
+                    << "unsound verdict with " << regs << " registers";
+        }
+        EXPECT_EQ(cmnm.anomalies(), 0u);
+    }
+}
+
+} // anonymous namespace
+} // namespace mnm

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the out-of-order timing model: throughput ceilings,
+ * dependence serialization, branch/mispredict costs, memory-latency
+ * sensitivity, resource bounds, and MNM interaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+#include "cpu/ooo_core.hh"
+#include "sim/config.hh"
+#include "trace/spec2000.hh"
+#include "trace/workload.hh"
+
+namespace mnm
+{
+namespace
+{
+
+HierarchyParams
+tinyParams(Cycles memory_latency = 100)
+{
+    HierarchyParams params;
+    LevelParams l1;
+    l1.data.name = "l1";
+    l1.data.capacity_bytes = 1024;
+    l1.data.associativity = 1;
+    l1.data.block_bytes = 32;
+    l1.data.hit_latency = 2;
+    LevelParams l2;
+    l2.data.name = "l2";
+    l2.data.capacity_bytes = 8192;
+    l2.data.associativity = 2;
+    l2.data.block_bytes = 32;
+    l2.data.hit_latency = 8;
+    params.levels = {l1, l2};
+    params.memory_latency = memory_latency;
+    return params;
+}
+
+/** Independent single-cycle ALU ops on one I-line. */
+std::vector<Instruction>
+independentAlus()
+{
+    Instruction alu;
+    alu.cls = InstClass::IntAlu;
+    alu.pc = 0x1000;
+    return {alu};
+}
+
+TEST(CpuTest, IpcBoundedByWidth)
+{
+    CacheHierarchy h(tinyParams());
+    OooCore core(CpuParams::eightWay(), h);
+    ScriptedWorkload w(independentAlus());
+    CpuRunStats stats = core.run(w, 100000);
+    EXPECT_LE(stats.ipc(), 8.0 + 1e-9);
+    EXPECT_GT(stats.ipc(), 6.0); // independent ops should near the bound
+}
+
+TEST(CpuTest, SerialDependenceChainRunsAtOneIpc)
+{
+    CacheHierarchy h(tinyParams());
+    OooCore core(CpuParams::eightWay(), h);
+    Instruction chained;
+    chained.cls = InstClass::IntAlu;
+    chained.pc = 0x1000;
+    chained.dep1 = 1; // every op depends on its predecessor
+    ScriptedWorkload w({chained});
+    CpuRunStats stats = core.run(w, 50000);
+    EXPECT_NEAR(stats.ipc(), 1.0, 0.05);
+}
+
+TEST(CpuTest, FourWayBoundsBelowEightWay)
+{
+    CacheHierarchy h4(tinyParams());
+    CacheHierarchy h8(tinyParams());
+    OooCore core4(CpuParams::fourWay(), h4);
+    OooCore core8(CpuParams::eightWay(), h8);
+    ScriptedWorkload w4(independentAlus());
+    ScriptedWorkload w8(independentAlus());
+    CpuRunStats s4 = core4.run(w4, 50000);
+    CpuRunStats s8 = core8.run(w8, 50000);
+    EXPECT_LE(s4.ipc(), 4.0 + 1e-9);
+    EXPECT_GT(s8.ipc(), s4.ipc());
+}
+
+TEST(CpuTest, MispredictsCostCycles)
+{
+    CacheHierarchy ha(tinyParams());
+    CacheHierarchy hb(tinyParams());
+    OooCore core_a(CpuParams::eightWay(), ha);
+    OooCore core_b(CpuParams::eightWay(), hb);
+    Instruction good;
+    good.cls = InstClass::Branch;
+    good.pc = 0x1000;
+    Instruction bad = good;
+    bad.mispredicted = true;
+    ScriptedWorkload wg({good});
+    ScriptedWorkload wb({bad});
+    CpuRunStats sg = core_a.run(wg, 20000);
+    CpuRunStats sb = core_b.run(wb, 20000);
+    EXPECT_GT(sb.cycles, sg.cycles * 2);
+    EXPECT_EQ(sb.mispredicts, 20000u);
+    EXPECT_EQ(sg.mispredicts, 0u);
+}
+
+TEST(CpuTest, MemoryLatencySensitivity)
+{
+    // A pointer-chase-like serial load stream: cycles must track the
+    // memory latency.
+    Instruction load;
+    load.cls = InstClass::Load;
+    load.pc = 0x1000;
+    load.mem_addr = 0x40000000;
+    load.dep1 = 1;
+    std::vector<Instruction> script;
+    // March over a footprint larger than L2 so loads miss.
+    for (int i = 0; i < 4096; ++i) {
+        Instruction l = load;
+        l.mem_addr = 0x40000000ull + std::uint64_t(i) * 4096;
+        script.push_back(l);
+    }
+    CacheHierarchy fast(tinyParams(50));
+    CacheHierarchy slow(tinyParams(400));
+    OooCore core_f(CpuParams::eightWay(), fast);
+    OooCore core_s(CpuParams::eightWay(), slow);
+    ScriptedWorkload wf(script);
+    ScriptedWorkload ws(script);
+    CpuRunStats sf = core_f.run(wf, 4096);
+    CpuRunStats ss = core_s.run(ws, 4096);
+    EXPECT_GT(ss.cycles, sf.cycles * 3);
+}
+
+TEST(CpuTest, MlpBoundedByMshrs)
+{
+    // Independent missing loads: more MSHRs -> more overlap -> fewer
+    // cycles.
+    std::vector<Instruction> script;
+    for (int i = 0; i < 2048; ++i) {
+        Instruction l;
+        l.cls = InstClass::Load;
+        l.pc = 0x1000;
+        l.mem_addr = 0x40000000ull + std::uint64_t(i) * 4096;
+        script.push_back(l);
+    }
+    CpuParams few = CpuParams::eightWay();
+    few.mshrs = 1;
+    CpuParams many = CpuParams::eightWay();
+    many.mshrs = 16;
+    CacheHierarchy h1(tinyParams());
+    CacheHierarchy h2(tinyParams());
+    OooCore core_few(few, h1);
+    OooCore core_many(many, h2);
+    ScriptedWorkload w1(script);
+    ScriptedWorkload w2(script);
+    EXPECT_GT(core_few.run(w1, 2048).cycles,
+              core_many.run(w2, 2048).cycles * 4);
+}
+
+TEST(CpuTest, WindowSizeLimitsOverlap)
+{
+    std::vector<Instruction> script;
+    for (int i = 0; i < 2048; ++i) {
+        Instruction l;
+        l.cls = InstClass::Load;
+        l.pc = 0x1000;
+        l.mem_addr = 0x40000000ull + std::uint64_t(i) * 4096;
+        script.push_back(l);
+    }
+    CpuParams small = CpuParams::eightWay();
+    small.window_size = 8;
+    CacheHierarchy h1(tinyParams());
+    CacheHierarchy h2(tinyParams());
+    OooCore core_small(small, h1);
+    OooCore core_big(CpuParams::eightWay(), h2);
+    ScriptedWorkload w1(script);
+    ScriptedWorkload w2(script);
+    EXPECT_GT(core_small.run(w1, 2048).cycles,
+              core_big.run(w2, 2048).cycles);
+}
+
+TEST(CpuTest, StoresDoNotStallCommit)
+{
+    // Missing stores vs missing loads with a serial dependence: the
+    // store stream must be far cheaper (store buffer).
+    std::vector<Instruction> loads, stores;
+    for (int i = 0; i < 1024; ++i) {
+        Instruction m;
+        m.pc = 0x1000;
+        m.mem_addr = 0x40000000ull + std::uint64_t(i) * 4096;
+        m.dep1 = 1;
+        m.cls = InstClass::Load;
+        loads.push_back(m);
+        m.cls = InstClass::Store;
+        stores.push_back(m);
+    }
+    CacheHierarchy h1(tinyParams());
+    CacheHierarchy h2(tinyParams());
+    OooCore lc(CpuParams::eightWay(), h1);
+    OooCore sc(CpuParams::eightWay(), h2);
+    ScriptedWorkload wl(loads);
+    ScriptedWorkload ws(stores);
+    EXPECT_GT(lc.run(wl, 1024).cycles, sc.run(ws, 1024).cycles * 2);
+}
+
+TEST(CpuTest, StatsCountsClasses)
+{
+    CacheHierarchy h(tinyParams());
+    OooCore core(CpuParams::eightWay(), h);
+    auto w = makeSpecWorkload("164.gzip");
+    CpuRunStats stats = core.run(*w, 20000);
+    EXPECT_EQ(stats.instructions, 20000u);
+    EXPECT_GT(stats.loads, 0u);
+    EXPECT_GT(stats.stores, 0u);
+    EXPECT_GT(stats.branches, 0u);
+    EXPECT_GT(stats.fetch_line_accesses, 0u);
+    EXPECT_GT(stats.data_accesses, 0u);
+    EXPECT_GT(stats.avgDataAccessTime(), 0.0);
+}
+
+TEST(CpuTest, ParallelMnmNeverSlowsDown)
+{
+    for (const char *app : {"181.mcf", "176.gcc"}) {
+        CacheHierarchy hb(paperHierarchy(5));
+        OooCore base(paperCpu(5), hb);
+        auto w1 = makeSpecWorkload(app);
+        CpuRunStats sb = base.run(*w1, 50000);
+
+        CacheHierarchy hm(paperHierarchy(5));
+        MnmSpec spec = makePerfectSpec();
+        MnmUnit mnm(spec, hm);
+        OooCore shielded(paperCpu(5), hm, &mnm);
+        auto w2 = makeSpecWorkload(app);
+        CpuRunStats sm = shielded.run(*w2, 50000);
+
+        EXPECT_LE(sm.cycles, sb.cycles) << app;
+        EXPECT_LT(sm.avgDataAccessTime(), sb.avgDataAccessTime()) << app;
+    }
+}
+
+TEST(CpuTest, SerialMnmDelayVisibleInDataAccessTime)
+{
+    Instruction load;
+    load.cls = InstClass::Load;
+    load.pc = 0x1000;
+    std::vector<Instruction> script;
+    for (int i = 0; i < 512; ++i) {
+        Instruction l = load;
+        l.mem_addr = 0x40000000ull + std::uint64_t(i) * 4096;
+        script.push_back(l);
+    }
+    auto run_with = [&](MnmPlacement placement) {
+        CacheHierarchy h(tinyParams());
+        MnmSpec spec = makeUniformSpec(TmnmSpec{4, 1, 3});
+        spec.placement = placement;
+        MnmUnit mnm(spec, h);
+        OooCore core(CpuParams::eightWay(), h, &mnm);
+        ScriptedWorkload w(script);
+        return core.run(w, 512).data_access_cycles;
+    };
+    // Every data access misses L1, so serial placement pays +2 per
+    // access relative to parallel.
+    EXPECT_GT(run_with(MnmPlacement::Serial),
+              run_with(MnmPlacement::Parallel));
+}
+
+TEST(CpuTest, CoverageAccumulates)
+{
+    CacheHierarchy h(paperHierarchy(5));
+    MnmSpec spec = mnmSpecByName("HMNM2");
+    MnmUnit mnm(spec, h);
+    OooCore core(paperCpu(5), h, &mnm);
+    auto w = makeSpecWorkload("255.vortex");
+    core.run(*w, 30000);
+    EXPECT_GT(core.coverage().opportunities(), 0u);
+    EXPECT_GE(core.coverage().coverage(), 0.0);
+    EXPECT_LE(core.coverage().coverage(), 1.0);
+    EXPECT_EQ(mnm.soundnessViolations(), 0u);
+}
+
+TEST(CpuTest, RejectsZeroResources)
+{
+    CacheHierarchy h(tinyParams());
+    CpuParams p = CpuParams::eightWay();
+    p.issue_width = 0;
+    EXPECT_EXIT(OooCore(p, h), ::testing::ExitedWithCode(1),
+                "zero-width");
+    p = CpuParams::eightWay();
+    p.mshrs = 0;
+    EXPECT_EXIT(OooCore(p, h), ::testing::ExitedWithCode(1), "zero");
+}
+
+} // anonymous namespace
+} // namespace mnm

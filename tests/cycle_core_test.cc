@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the cycle-driven core, including cross-validation against
+ * the fast dataflow model (ooo_core): both must respect the same
+ * throughput bounds and rank machine configurations identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+#include "cpu/cycle_core.hh"
+#include "sim/config.hh"
+#include "trace/spec2000.hh"
+#include "trace/workload.hh"
+
+namespace mnm
+{
+namespace
+{
+
+HierarchyParams
+tinyParams(Cycles memory_latency = 100)
+{
+    HierarchyParams params;
+    LevelParams l1;
+    l1.data.name = "l1";
+    l1.data.capacity_bytes = 1024;
+    l1.data.associativity = 1;
+    l1.data.block_bytes = 32;
+    l1.data.hit_latency = 2;
+    LevelParams l2;
+    l2.data.name = "l2";
+    l2.data.capacity_bytes = 8192;
+    l2.data.associativity = 2;
+    l2.data.block_bytes = 32;
+    l2.data.hit_latency = 8;
+    params.levels = {l1, l2};
+    params.memory_latency = memory_latency;
+    return params;
+}
+
+std::vector<Instruction>
+independentAlus()
+{
+    Instruction alu;
+    alu.cls = InstClass::IntAlu;
+    alu.pc = 0x1000;
+    return {alu};
+}
+
+TEST(CycleCoreTest, IpcBoundedByWidth)
+{
+    CacheHierarchy h(tinyParams());
+    CycleOooCore core(CpuParams::eightWay(), h);
+    ScriptedWorkload w(independentAlus());
+    CpuRunStats stats = core.run(w, 50000);
+    EXPECT_LE(stats.ipc(), 8.0 + 1e-9);
+    EXPECT_GT(stats.ipc(), 5.0);
+}
+
+TEST(CycleCoreTest, SerialChainRunsNearOneIpc)
+{
+    CacheHierarchy h(tinyParams());
+    CycleOooCore core(CpuParams::eightWay(), h);
+    Instruction chained;
+    chained.cls = InstClass::IntAlu;
+    chained.pc = 0x1000;
+    chained.dep1 = 1;
+    ScriptedWorkload w({chained});
+    CpuRunStats stats = core.run(w, 20000);
+    EXPECT_LE(stats.ipc(), 1.0 + 1e-9);
+    EXPECT_GT(stats.ipc(), 0.8);
+}
+
+TEST(CycleCoreTest, MispredictsCostCycles)
+{
+    CacheHierarchy ha(tinyParams());
+    CacheHierarchy hb(tinyParams());
+    CycleOooCore core_a(CpuParams::eightWay(), ha);
+    CycleOooCore core_b(CpuParams::eightWay(), hb);
+    Instruction good;
+    good.cls = InstClass::Branch;
+    good.pc = 0x1000;
+    Instruction bad = good;
+    bad.mispredicted = true;
+    ScriptedWorkload wg({good});
+    ScriptedWorkload wb({bad});
+    CpuRunStats sg = core_a.run(wg, 5000);
+    CpuRunStats sb = core_b.run(wb, 5000);
+    EXPECT_GT(sb.cycles, sg.cycles * 2);
+}
+
+TEST(CycleCoreTest, MemoryLatencySensitivity)
+{
+    std::vector<Instruction> script;
+    for (int i = 0; i < 2048; ++i) {
+        Instruction l;
+        l.cls = InstClass::Load;
+        l.pc = 0x1000;
+        l.mem_addr = 0x40000000ull + std::uint64_t(i) * 4096;
+        l.dep1 = 1;
+        script.push_back(l);
+    }
+    CacheHierarchy fast(tinyParams(50));
+    CacheHierarchy slow(tinyParams(400));
+    CycleOooCore cf(CpuParams::eightWay(), fast);
+    CycleOooCore cs(CpuParams::eightWay(), slow);
+    ScriptedWorkload wf(script);
+    ScriptedWorkload ws(script);
+    EXPECT_GT(cs.run(ws, 2048).cycles, cf.run(wf, 2048).cycles * 3);
+}
+
+TEST(CycleCoreTest, MshrsBoundMlp)
+{
+    std::vector<Instruction> script;
+    for (int i = 0; i < 1024; ++i) {
+        Instruction l;
+        l.cls = InstClass::Load;
+        l.pc = 0x1000;
+        l.mem_addr = 0x40000000ull + std::uint64_t(i) * 4096;
+        script.push_back(l);
+    }
+    CpuParams few = CpuParams::eightWay();
+    few.mshrs = 1;
+    CacheHierarchy h1(tinyParams());
+    CacheHierarchy h2(tinyParams());
+    CycleOooCore core_few(few, h1);
+    CycleOooCore core_many(CpuParams::eightWay(), h2);
+    ScriptedWorkload w1(script);
+    ScriptedWorkload w2(script);
+    EXPECT_GT(core_few.run(w1, 1024).cycles,
+              core_many.run(w2, 1024).cycles * 3);
+}
+
+TEST(CycleCoreTest, WindowBoundsOverlap)
+{
+    std::vector<Instruction> script;
+    for (int i = 0; i < 1024; ++i) {
+        Instruction l;
+        l.cls = InstClass::Load;
+        l.pc = 0x1000;
+        l.mem_addr = 0x40000000ull + std::uint64_t(i) * 4096;
+        script.push_back(l);
+    }
+    CpuParams small = CpuParams::eightWay();
+    small.window_size = 4;
+    CacheHierarchy h1(tinyParams());
+    CacheHierarchy h2(tinyParams());
+    CycleOooCore cs(small, h1);
+    CycleOooCore cb(CpuParams::eightWay(), h2);
+    ScriptedWorkload w1(script);
+    ScriptedWorkload w2(script);
+    EXPECT_GT(cs.run(w1, 1024).cycles, cb.run(w2, 1024).cycles);
+}
+
+TEST(CycleCoreTest, MnmReducesCycles)
+{
+    auto run = [&](bool with_mnm) {
+        CacheHierarchy h(paperHierarchy(5));
+        std::unique_ptr<MnmUnit> mnm;
+        if (with_mnm)
+            mnm = std::make_unique<MnmUnit>(makePerfectSpec(), h);
+        CycleOooCore core(paperCpu(5), h, mnm.get());
+        auto w = makeSpecWorkload("181.mcf");
+        return core.run(*w, 30000).cycles;
+    };
+    EXPECT_LT(run(true), run(false));
+}
+
+/** Cross-validation against the dataflow model. */
+TEST(CycleCoreTest, AgreesWithDataflowModelWithinBand)
+{
+    for (const char *app : {"164.gzip", "181.mcf", "171.swim"}) {
+        CacheHierarchy h1(paperHierarchy(5));
+        CacheHierarchy h2(paperHierarchy(5));
+        OooCore fast(paperCpu(5), h1);
+        CycleOooCore slow(paperCpu(5), h2);
+        auto w1 = makeSpecWorkload(app);
+        auto w2 = makeSpecWorkload(app);
+        double ipc_fast = fast.run(*w1, 30000).ipc();
+        double ipc_slow = slow.run(*w2, 30000).ipc();
+        EXPECT_GT(ipc_fast, ipc_slow * 0.5) << app;
+        EXPECT_LT(ipc_fast, ipc_slow * 2.0) << app;
+    }
+}
+
+TEST(CycleCoreTest, ModelsRankConfigurationsIdentically)
+{
+    // Both models must order {baseline, HMNM4, Perfect} the same way
+    // (non-increasing cycles), for a miss-heavy app.
+    auto run_both = [&](const std::string &config) {
+        std::pair<Cycles, Cycles> out;
+        {
+            CacheHierarchy h(paperHierarchy(5));
+            std::unique_ptr<MnmUnit> mnm;
+            if (!config.empty())
+                mnm = std::make_unique<MnmUnit>(mnmSpecByName(config), h);
+            OooCore core(paperCpu(5), h, mnm.get());
+            auto w = makeSpecWorkload("181.mcf");
+            out.first = core.run(*w, 30000).cycles;
+        }
+        {
+            CacheHierarchy h(paperHierarchy(5));
+            std::unique_ptr<MnmUnit> mnm;
+            if (!config.empty())
+                mnm = std::make_unique<MnmUnit>(mnmSpecByName(config), h);
+            CycleOooCore core(paperCpu(5), h, mnm.get());
+            auto w = makeSpecWorkload("181.mcf");
+            out.second = core.run(*w, 30000).cycles;
+        }
+        return out;
+    };
+    auto base = run_both("");
+    auto hmnm = run_both("HMNM4");
+    auto perfect = run_both("Perfect");
+    EXPECT_LE(hmnm.first, base.first);
+    EXPECT_LE(perfect.first, hmnm.first);
+    EXPECT_LE(hmnm.second, base.second);
+    EXPECT_LE(perfect.second, hmnm.second);
+}
+
+TEST(CycleCoreTest, SerialMnmAddsDelayOnMissyLoads)
+{
+    std::vector<Instruction> script;
+    for (int i = 0; i < 512; ++i) {
+        Instruction l;
+        l.cls = InstClass::Load;
+        l.pc = 0x1000;
+        l.mem_addr = 0x40000000ull + std::uint64_t(i) * 4096;
+        script.push_back(l);
+    }
+    auto run_with = [&](MnmPlacement placement) {
+        CacheHierarchy h(tinyParams());
+        MnmSpec spec = makeUniformSpec(TmnmSpec{4, 1, 3});
+        spec.placement = placement;
+        MnmUnit mnm(spec, h);
+        CycleOooCore core(CpuParams::eightWay(), h, &mnm);
+        ScriptedWorkload w(script);
+        return core.run(w, 512).data_access_cycles;
+    };
+    EXPECT_GT(run_with(MnmPlacement::Serial),
+              run_with(MnmPlacement::Parallel));
+}
+
+TEST(CycleCoreTest, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        CacheHierarchy h(paperHierarchy(5));
+        CycleOooCore core(paperCpu(5), h);
+        auto w = makeSpecWorkload("186.crafty");
+        return core.run(*w, 20000).cycles;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(CycleCoreTest, StatsConsistent)
+{
+    CacheHierarchy h(paperHierarchy(5));
+    CycleOooCore core(paperCpu(5), h);
+    auto w = makeSpecWorkload("164.gzip");
+    CpuRunStats stats = core.run(*w, 20000);
+    EXPECT_EQ(stats.instructions, 20000u);
+    EXPECT_GT(stats.cycles, 20000u / 8); // bounded by fetch width
+    EXPECT_LE(stats.mispredicts, stats.branches);
+    EXPECT_EQ(stats.data_accesses,
+              stats.loads + stats.stores + stats.fetch_line_accesses);
+}
+
+TEST(CycleCoreTest, RejectsZeroResources)
+{
+    CacheHierarchy h(tinyParams());
+    CpuParams p = CpuParams::eightWay();
+    p.commit_width = 0;
+    EXPECT_EXIT(CycleOooCore(p, h), ::testing::ExitedWithCode(1),
+                "zero-width");
+}
+
+} // anonymous namespace
+} // namespace mnm

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Cross-cutting parameterized properties: every preset constructs and
+ * behaves sanely on the paper machine under every placement; the
+ * simulators are deterministic; every workload's advertised mix holds;
+ * the analytical model is monotone in the MNM's abort fractions; and
+ * the RMNM's verdicts are a subset of an unbounded shadow log's.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/presets.hh"
+#include "core/rmnm.hh"
+#include "cpu/ooo_core.hh"
+#include "sim/analytic.hh"
+#include "sim/memory_sim.hh"
+#include "sim/config.hh"
+#include "trace/spec2000.hh"
+#include "util/bits.hh"
+#include "util/random.hh"
+
+namespace mnm
+{
+namespace
+{
+
+// ------------------------------------------------ preset x placement
+
+using PresetParam = std::tuple<std::string, MnmPlacement>;
+
+class PresetMatrixTest : public ::testing::TestWithParam<PresetParam>
+{
+};
+
+TEST_P(PresetMatrixTest, ConstructsAndOperatesOnPaperMachine)
+{
+    const auto &[name, placement] = GetParam();
+    MnmSpec spec = mnmSpecByName(name);
+    spec.placement = placement;
+    CacheHierarchy hierarchy(paperHierarchy(5));
+    MnmUnit mnm(spec, hierarchy);
+
+    EXPECT_NE(mnm.describe().find(name), std::string::npos);
+    if (!spec.perfect) {
+        EXPECT_GT(mnm.storageBits(), 0u);
+        EXPECT_GT(mnm.lookupEnergyPerAccess(), 0.0);
+        // Every paper structure must fit comfortably under 128 KB.
+        EXPECT_LT(mnm.storageBits() / 8, 128u * 1024);
+    }
+
+    // Drive a short mixed stream; verdicts must stay sound.
+    Rng rng(42);
+    for (int i = 0; i < 4000; ++i) {
+        AccessType type = static_cast<AccessType>(rng.nextBelow(3));
+        Addr addr = rng.nextBool(0.5) ? rng.nextBelow(64 * 1024)
+                                      : rng.nextBelow(8ull << 20);
+        BypassMask mask = mnm.computeBypass(type, addr);
+        AccessResult r = hierarchy.access(type, addr, mask);
+        Cycles extra = mnm.applyPlacementCosts(r);
+        if (placement == MnmPlacement::Parallel)
+            EXPECT_EQ(extra, 0u);
+    }
+    EXPECT_EQ(mnm.soundnessViolations(), 0u);
+    EXPECT_EQ(mnm.filterAnomalies(), 0u);
+}
+
+std::vector<PresetParam>
+allPresetParams()
+{
+    std::vector<PresetParam> params;
+    for (const auto &list :
+         {rmnmFigureConfigs(), smnmFigureConfigs(), tmnmFigureConfigs(),
+          cmnmFigureConfigs(), hmnmFigureConfigs()}) {
+        for (const std::string &name : list) {
+            params.emplace_back(name, MnmPlacement::Parallel);
+            params.emplace_back(name, MnmPlacement::Serial);
+            params.emplace_back(name, MnmPlacement::Distributed);
+        }
+    }
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, PresetMatrixTest, ::testing::ValuesIn(allPresetParams()),
+    [](const ::testing::TestParamInfo<PresetParam> &info) {
+        std::string name = std::get<0>(info.param);
+        switch (std::get<1>(info.param)) {
+          case MnmPlacement::Parallel: name += "_par"; break;
+          case MnmPlacement::Serial: name += "_ser"; break;
+          case MnmPlacement::Distributed: name += "_dist"; break;
+        }
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+// ------------------------------------------------------- determinism
+
+TEST(DeterminismTest, TimingRunsAreExactlyRepeatable)
+{
+    auto run_once = [] {
+        CacheHierarchy h(paperHierarchy(5));
+        MnmUnit mnm(makeHmnmSpec(3), h);
+        OooCore core(paperCpu(5), h, &mnm);
+        auto w = makeSpecWorkload("255.vortex");
+        return core.run(*w, 40000).cycles;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(DeterminismTest, FunctionalRunsAreExactlyRepeatable)
+{
+    auto run_once = [] {
+        MemorySimulator sim(paperHierarchy(5), makeHmnmSpec(2));
+        auto w = makeSpecWorkload("183.equake");
+        MemSimResult r = sim.run(*w, 40000);
+        return std::make_tuple(r.total_access_cycles,
+                               r.energy.total(),
+                               r.coverage.identified());
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+// ----------------------------------------------- per-workload checks
+
+class WorkloadMatrixTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadMatrixTest, AdvertisedMixIsGenerated)
+{
+    SyntheticParams params = specWorkloadParams(GetParam());
+    SyntheticWorkload w(params);
+    Instruction inst;
+    const int n = 40000;
+    int loads = 0, stores = 0, branches = 0;
+    for (int i = 0; i < n; ++i) {
+        w.next(inst);
+        loads += inst.cls == InstClass::Load;
+        stores += inst.cls == InstClass::Store;
+        branches += inst.cls == InstClass::Branch;
+    }
+    EXPECT_NEAR(loads / double(n), params.load_frac, 0.03);
+    EXPECT_NEAR(stores / double(n), params.store_frac, 0.03);
+    EXPECT_NEAR(branches / double(n), params.branch_frac, 0.03);
+}
+
+TEST_P(WorkloadMatrixTest, ResetReplaysByteExactly)
+{
+    auto w = makeSpecWorkload(GetParam());
+    std::vector<std::uint64_t> sig;
+    Instruction inst;
+    for (int i = 0; i < 2000; ++i) {
+        w->next(inst);
+        sig.push_back(inst.pc ^ (inst.mem_addr << 1) ^ inst.dep1);
+    }
+    w->reset();
+    for (int i = 0; i < 2000; ++i) {
+        w->next(inst);
+        ASSERT_EQ(sig[static_cast<std::size_t>(i)],
+                  inst.pc ^ (inst.mem_addr << 1) ^ inst.dep1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTwenty, WorkloadMatrixTest,
+    ::testing::ValuesIn(specAllNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+// --------------------------------------------- analytic monotonicity
+
+TEST(AnalyticPropertyTest, MoreAbortNeverSlower)
+{
+    Rng rng(5);
+    for (int round = 0; round < 200; ++round) {
+        std::vector<LevelTiming> levels;
+        std::uint32_t n = 2 + static_cast<std::uint32_t>(
+                                  rng.nextBelow(4));
+        for (std::uint32_t i = 0; i < n; ++i) {
+            LevelTiming lt;
+            lt.hit_time = 1.0 + static_cast<double>(rng.nextBelow(40));
+            lt.miss_time = lt.hit_time;
+            lt.miss_rate = rng.nextDouble();
+            lt.abort_fraction = rng.nextDouble();
+            levels.push_back(lt);
+        }
+        double t = analyticDataAccessTime(levels, 300.0);
+        // Raise one level's abort fraction: time must not increase.
+        std::size_t pick = rng.nextBelow(levels.size());
+        double head =
+            levels[pick].abort_fraction +
+            (1.0 - levels[pick].abort_fraction) * rng.nextDouble();
+        levels[pick].abort_fraction = head;
+        double t2 = analyticDataAccessTime(levels, 300.0);
+        ASSERT_LE(t2, t + 1e-9) << "round " << round;
+    }
+}
+
+// --------------------------------------------- RMNM vs unbounded log
+
+TEST(RmnmPropertyTest, VerdictsAreSubsetOfUnboundedShadowLog)
+{
+    // The shadow log tracks exactly which granules are "replaced and
+    // not since placed" per cache, with no capacity limit. A finite
+    // RMNM may forget (fewer verdicts) but must never invent one.
+    Rmnm rmnm({256, 2}, 3, 5);
+    std::set<std::pair<std::uint32_t, std::uint64_t>> shadow;
+    Rng rng(31337);
+    for (int step = 0; step < 60000; ++step) {
+        std::uint32_t cache = static_cast<std::uint32_t>(
+            rng.nextBelow(3));
+        unsigned block_bits = 5 + static_cast<unsigned>(
+                                      rng.nextBelow(3)); // 32/64/128B
+        Addr addr = rng.nextBelow(1 << 22) & ~lowMask(block_bits);
+        std::uint64_t first = addr >> 5;
+        std::uint64_t span = 1ull << (block_bits - 5);
+        if (rng.nextBool(0.5)) {
+            rmnm.onReplacement(cache, addr, block_bits);
+            for (std::uint64_t g = first; g < first + span; ++g)
+                shadow.insert({cache, g});
+        } else {
+            rmnm.onPlacement(cache, addr, block_bits);
+            for (std::uint64_t g = first; g < first + span; ++g)
+                shadow.erase({cache, g});
+        }
+        // Random probes: RMNM "miss" implies the shadow agrees.
+        Addr probe = rng.nextBelow(1 << 22);
+        std::uint32_t pc_cache = static_cast<std::uint32_t>(
+            rng.nextBelow(3));
+        if (rmnm.definitelyMiss(pc_cache, probe)) {
+            ASSERT_TRUE(shadow.count({pc_cache, probe >> 5}))
+                << "RMNM invented a verdict at step " << step;
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace mnm

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the functional-mode memory simulator: request counting,
+ * time and energy accounting, and the serial/parallel MNM placements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "sim/memory_sim.hh"
+#include "trace/spec2000.hh"
+#include "trace/workload.hh"
+
+namespace mnm
+{
+namespace
+{
+
+/** A tiny 2-level hierarchy for precise accounting checks. */
+HierarchyParams
+tinyParams()
+{
+    HierarchyParams params;
+    LevelParams l1;
+    l1.data.name = "l1";
+    l1.data.capacity_bytes = 1024;
+    l1.data.associativity = 1;
+    l1.data.block_bytes = 32;
+    l1.data.hit_latency = 2;
+    LevelParams l2;
+    l2.data.name = "l2";
+    l2.data.capacity_bytes = 8192;
+    l2.data.associativity = 2;
+    l2.data.block_bytes = 32;
+    l2.data.hit_latency = 8;
+    params.levels = {l1, l2};
+    params.memory_latency = 100;
+    return params;
+}
+
+/** All-ALU workload touching one I-line: minimal traffic. */
+std::vector<Instruction>
+aluScript()
+{
+    Instruction alu;
+    alu.cls = InstClass::IntAlu;
+    alu.pc = 0x1000;
+    return {alu};
+}
+
+TEST(MemorySimTest, CountsRequests)
+{
+    MemorySimulator sim(tinyParams());
+    Instruction load;
+    load.cls = InstClass::Load;
+    load.pc = 0x1000;
+    load.mem_addr = 0x40000000;
+    ScriptedWorkload w({load});
+    MemSimResult r = sim.run(w, 10);
+    EXPECT_EQ(r.instructions, 10u);
+    EXPECT_EQ(r.data_requests, 10u);
+    EXPECT_EQ(r.fetch_requests, 1u); // one I-line, touched once
+    EXPECT_EQ(r.requests, 11u);
+}
+
+TEST(MemorySimTest, AccessTimeAccounting)
+{
+    MemorySimulator sim(tinyParams());
+    Instruction load;
+    load.cls = InstClass::Load;
+    load.pc = 0x1000;
+    load.mem_addr = 0x40000000;
+    ScriptedWorkload w({load});
+    MemSimResult r = sim.run(w, 3);
+    // Fetch: cold -> 2+8+100 = 110. Loads: cold 110, then 2, then 2.
+    EXPECT_EQ(r.total_access_cycles, 110u + 110u + 2u + 2u);
+    // Miss portion: fetch 10 (2+8 probing misses), load0 10, rest 0.
+    EXPECT_EQ(r.miss_cycles, 20u);
+    EXPECT_EQ(r.memory_accesses, 2u);
+}
+
+TEST(MemorySimTest, MissTimeFractionBounded)
+{
+    MemorySimulator sim(paperHierarchy(5));
+    auto w = makeSpecWorkload("164.gzip");
+    MemSimResult r = sim.run(*w, 50000);
+    EXPECT_GT(r.missTimeFraction(), 0.0);
+    EXPECT_LT(r.missTimeFraction(), 1.0);
+    EXPECT_GT(r.avgAccessTime(), 2.0); // at least the L1 latency
+}
+
+TEST(MemorySimTest, EnergyBucketsAllPopulated)
+{
+    MemorySimulator sim(paperHierarchy(5));
+    auto w = makeSpecWorkload("175.vpr");
+    MemSimResult r = sim.run(*w, 50000);
+    EXPECT_GT(r.energy.probe_hit_pj, 0.0);
+    EXPECT_GT(r.energy.probe_miss_pj, 0.0);
+    EXPECT_GT(r.energy.fill_pj, 0.0);
+    EXPECT_EQ(r.energy.mnm_pj, 0.0); // no MNM configured
+    EXPECT_GT(r.energy.missFraction(), 0.0);
+    EXPECT_LT(r.energy.missFraction(), 1.0);
+}
+
+TEST(MemorySimTest, CacheSnapshotsMatchTopology)
+{
+    MemorySimulator sim(paperHierarchy(5));
+    auto w = makeSpecWorkload("164.gzip");
+    MemSimResult r = sim.run(*w, 20000);
+    ASSERT_EQ(r.caches.size(), 7u);
+    EXPECT_EQ(r.caches[0].name, "il1");
+    EXPECT_EQ(r.caches[6].name, "ul5");
+    for (const auto &c : r.caches) {
+        EXPECT_GE(c.hit_rate, 0.0);
+        EXPECT_LE(c.hit_rate, 1.0);
+    }
+}
+
+TEST(MemorySimTest, MnmReducesMissCyclesAndProbeMissEnergy)
+{
+    auto w1 = makeSpecWorkload("176.gcc");
+    auto w2 = makeSpecWorkload("176.gcc");
+    MemorySimulator base(paperHierarchy(5));
+    MemorySimulator shielded(paperHierarchy(5),
+                             mnmSpecByName("CMNM_8_12"));
+    MemSimResult rb = base.run(*w1, 100000);
+    MemSimResult rs = shielded.run(*w2, 100000);
+    EXPECT_LT(rs.miss_cycles, rb.miss_cycles);
+    EXPECT_LT(rs.energy.probe_miss_pj, rb.energy.probe_miss_pj);
+    EXPECT_GT(rs.coverage.coverage(), 0.0);
+    EXPECT_EQ(rs.soundness_violations, 0u);
+    // Architectural behaviour unchanged: same memory traffic.
+    EXPECT_EQ(rs.memory_accesses, rb.memory_accesses);
+}
+
+TEST(MemorySimTest, PerfectMnmMaximizesCoverage)
+{
+    auto w1 = makeSpecWorkload("255.vortex");
+    auto w2 = makeSpecWorkload("255.vortex");
+    MemorySimulator real(paperHierarchy(5), mnmSpecByName("HMNM4"));
+    MemorySimulator perfect(paperHierarchy(5), makePerfectSpec());
+    MemSimResult rr = real.run(*w1, 50000);
+    MemSimResult rp = perfect.run(*w2, 50000);
+    EXPECT_DOUBLE_EQ(rp.coverage.coverage(), 1.0);
+    EXPECT_GE(rp.coverage.coverage(), rr.coverage.coverage());
+    EXPECT_EQ(rp.energy.mnm_pj, 0.0);
+}
+
+TEST(MemorySimTest, SerialPlacementAddsDelayOnL1Miss)
+{
+    Instruction load;
+    load.cls = InstClass::Load;
+    load.pc = 0x1000;
+    load.mem_addr = 0x40000000;
+    ScriptedWorkload w1({load});
+    ScriptedWorkload w2({load});
+
+    MnmSpec serial = makeUniformSpec(TmnmSpec{10, 1, 3});
+    serial.placement = MnmPlacement::Serial;
+    serial.delay = 2;
+    MnmSpec parallel = serial;
+    parallel.placement = MnmPlacement::Parallel;
+
+    MemorySimulator ssim(tinyParams(), serial);
+    MemorySimulator psim(tinyParams(), parallel);
+    MemSimResult rs = ssim.run(w1, 1);
+    MemSimResult rp = psim.run(w2, 1);
+    // Two cold requests each (fetch + load); the serial MNM pays +2 on
+    // each L1 miss.
+    EXPECT_EQ(rs.total_access_cycles, rp.total_access_cycles + 4);
+}
+
+TEST(MemorySimTest, SerialPlacementChargesLessMnmEnergyWhenL1Hits)
+{
+    // A loop hitting L1 forever: the serial MNM should consume (almost)
+    // no lookup energy, the parallel one plenty.
+    Instruction load;
+    load.cls = InstClass::Load;
+    load.pc = 0x1000;
+    load.mem_addr = 0x40000000;
+    ScriptedWorkload w1({load});
+    ScriptedWorkload w2({load});
+
+    MnmSpec serial = makeUniformSpec(TmnmSpec{10, 1, 3});
+    serial.placement = MnmPlacement::Serial;
+    MnmSpec parallel = serial;
+    parallel.placement = MnmPlacement::Parallel;
+
+    MemorySimulator ssim(tinyParams(), serial);
+    MemorySimulator psim(tinyParams(), parallel);
+    MemSimResult rs = ssim.run(w1, 10000);
+    MemSimResult rp = psim.run(w2, 10000);
+    EXPECT_LT(rs.energy.mnm_pj, rp.energy.mnm_pj / 100.0);
+}
+
+TEST(MemorySimTest, DistributedPlacementTradesTimeForEnergy)
+{
+    // Distributed pays the filter delay at every level it reaches, so
+    // it is the slowest placement; its energy sits at or below the
+    // parallel placement's (only reached structures are consulted).
+    auto run_with = [](MnmPlacement placement) {
+        MnmSpec spec = makeHmnmSpec(2);
+        spec.placement = placement;
+        MemorySimulator sim(paperHierarchy(5), spec);
+        auto w = makeSpecWorkload("176.gcc");
+        sim.run(*w, 10000);
+        return sim.run(*w, 50000);
+    };
+    MemSimResult par = run_with(MnmPlacement::Parallel);
+    MemSimResult ser = run_with(MnmPlacement::Serial);
+    MemSimResult dist = run_with(MnmPlacement::Distributed);
+    EXPECT_LE(par.total_access_cycles, ser.total_access_cycles);
+    EXPECT_LE(ser.total_access_cycles, dist.total_access_cycles);
+    EXPECT_LT(ser.energy.mnm_pj, par.energy.mnm_pj);
+    EXPECT_LT(dist.energy.mnm_pj, par.energy.mnm_pj);
+    // Coverage is placement-independent (paper Section 4.2).
+    EXPECT_DOUBLE_EQ(par.coverage.coverage(), ser.coverage.coverage());
+    EXPECT_DOUBLE_EQ(par.coverage.coverage(), dist.coverage.coverage());
+}
+
+TEST(MemorySimTest, DistributedChargesPerReachedLevel)
+{
+    // One cold load on the tiny 2-level hierarchy: the walk reaches the
+    // single L2, so distributed adds exactly one MNM delay per request.
+    Instruction load;
+    load.cls = InstClass::Load;
+    load.pc = 0x1000;
+    load.mem_addr = 0x40000000;
+    ScriptedWorkload w1({load});
+    ScriptedWorkload w2({load});
+
+    MnmSpec dist = makeUniformSpec(TmnmSpec{10, 1, 3});
+    dist.placement = MnmPlacement::Distributed;
+    dist.delay = 2;
+    MnmSpec parallel = dist;
+    parallel.placement = MnmPlacement::Parallel;
+
+    MemorySimulator dsim(tinyParams(), dist);
+    MemorySimulator psim(tinyParams(), parallel);
+    MemSimResult rd = dsim.run(w1, 1);
+    MemSimResult rp = psim.run(w2, 1);
+    // Two cold requests (fetch + load), each reaching L2 once: +2 each.
+    EXPECT_EQ(rd.total_access_cycles, rp.total_access_cycles + 4);
+}
+
+TEST(MemorySimTest, WarmStateCarriesAcrossRuns)
+{
+    MemorySimulator sim(tinyParams());
+    Instruction load;
+    load.cls = InstClass::Load;
+    load.pc = 0x1000;
+    load.mem_addr = 0x40000000;
+    ScriptedWorkload w({load});
+    sim.run(w, 5);
+    MemSimResult r2 = sim.run(w, 5);
+    // Second run: everything hits L1.
+    EXPECT_EQ(r2.miss_cycles, 0u);
+    EXPECT_EQ(r2.memory_accesses, 0u);
+}
+
+TEST(MemorySimTest, AluOnlyWorkloadMakesOnlyFetchRequests)
+{
+    MemorySimulator sim(tinyParams());
+    ScriptedWorkload w(aluScript());
+    MemSimResult r = sim.run(w, 100);
+    EXPECT_EQ(r.data_requests, 0u);
+    EXPECT_EQ(r.fetch_requests, 1u);
+}
+
+TEST(MemorySimTest, RunFunctionalHelperWarmsUp)
+{
+    MemSimResult r = runFunctional(paperHierarchy(5), std::nullopt,
+                                   "300.twolf", 20000);
+    EXPECT_EQ(r.instructions, 20000u);
+    EXPECT_GT(r.requests, 0u);
+}
+
+} // anonymous namespace
+} // namespace mnm

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the analytical power/delay models. Absolute numbers are
+ * calibration, not truth, so the tests pin the *relationships* the
+ * paper's conclusions rest on: energy/delay grow with capacity,
+ * associativity and ports, and the MNM structures are far cheaper than
+ * the caches they shield.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/checker_model.hh"
+#include "power/sram_model.hh"
+
+namespace mnm
+{
+namespace
+{
+
+CacheGeometry
+geom(std::uint64_t capacity, std::uint32_t assoc, std::uint32_t block,
+     std::uint32_t ports = 1)
+{
+    CacheGeometry g;
+    g.capacity_bytes = capacity;
+    g.block_bytes = block;
+    g.associativity = assoc;
+    g.tag_bits = 30;
+    g.read_write_ports = ports;
+    return g;
+}
+
+TEST(SramModelTest, EnergyGrowsWithCapacity)
+{
+    SramModel model;
+    PowerDelay small = model.cache(geom(4 * 1024, 1, 32));
+    PowerDelay big = model.cache(geom(2 * 1024 * 1024, 8, 128));
+    EXPECT_GT(big.read_energy_pj, small.read_energy_pj * 10);
+    EXPECT_GT(big.write_energy_pj, small.write_energy_pj);
+    EXPECT_GT(big.leakage_mw, small.leakage_mw);
+}
+
+TEST(SramModelTest, DelayGrowsWithCapacity)
+{
+    SramModel model;
+    PowerDelay l1 = model.cache(geom(4 * 1024, 1, 32));
+    PowerDelay l3 = model.cache(geom(128 * 1024, 4, 64));
+    PowerDelay l5 = model.cache(geom(2 * 1024 * 1024, 8, 128));
+    EXPECT_LT(l1.access_ns, l3.access_ns);
+    EXPECT_LT(l3.access_ns, l5.access_ns);
+}
+
+TEST(SramModelTest, EnergyGrowsWithAssociativity)
+{
+    SramModel model;
+    PowerDelay dm = model.cache(geom(16 * 1024, 1, 32));
+    PowerDelay w8 = model.cache(geom(16 * 1024, 8, 32));
+    EXPECT_GT(w8.read_energy_pj, dm.read_energy_pj);
+}
+
+TEST(SramModelTest, EnergyGrowsWithPorts)
+{
+    SramModel model;
+    PowerDelay p1 = model.cache(geom(16 * 1024, 2, 32, 1));
+    PowerDelay p2 = model.cache(geom(16 * 1024, 2, 32, 2));
+    EXPECT_GT(p2.read_energy_pj, p1.read_energy_pj);
+    EXPECT_GT(p2.access_ns, p1.access_ns);
+}
+
+TEST(SramModelTest, FullyAssociativeSupported)
+{
+    SramModel model;
+    PowerDelay pd = model.cache(geom(4 * 1024, 0, 32));
+    EXPECT_GT(pd.read_energy_pj, 0.0);
+    EXPECT_EQ(pd.bits, (4 * 1024 * 8) + 128ull * 30); // data + tags
+}
+
+TEST(SramModelTest, BitsAccounted)
+{
+    SramModel model;
+    PowerDelay pd = model.cache(geom(4 * 1024, 1, 32));
+    // 128 blocks: 4KB of data plus 128 x 30 tag bits.
+    EXPECT_EQ(pd.bits, 4 * 1024 * 8 + 128ull * 30);
+}
+
+TEST(SramModelTest, TableScalesWithEntries)
+{
+    SramModel model;
+    PowerDelay small = model.table(1024, 3);
+    PowerDelay big = model.table(64 * 1024, 3);
+    EXPECT_GT(big.read_energy_pj, small.read_energy_pj);
+    EXPECT_EQ(small.bits, 1024ull * 3);
+    EXPECT_EQ(big.bits, 64ull * 1024 * 3);
+}
+
+TEST(SramModelTest, CamScalesWithEntriesAndBits)
+{
+    SramModel model;
+    PowerDelay a = model.cam(4, 22);
+    PowerDelay b = model.cam(64, 22);
+    PowerDelay c = model.cam(4, 44);
+    EXPECT_GT(b.read_energy_pj, a.read_energy_pj);
+    EXPECT_GT(c.read_energy_pj, a.read_energy_pj);
+}
+
+TEST(SramModelTest, DegenerateGeometriesRejected)
+{
+    SramModel model;
+    EXPECT_DEATH(model.cache(geom(0, 1, 32)), "zero size");
+    EXPECT_DEATH(model.table(0, 3), "degenerate");
+    EXPECT_DEATH(model.cam(0, 8), "degenerate");
+}
+
+TEST(SramModelTest, MnmStructuresFarCheaperThanShieldedCaches)
+{
+    // The paper's premise: probing the MNM costs much less than probing
+    // the caches it shields. Compare the largest TMNM table (12 bits x 3
+    // tables ~ modelled as one here) to the L3 it protects.
+    SramModel model;
+    PowerDelay tmnm = model.table(1 << 12, 3);
+    PowerDelay l3 = model.cache(geom(128 * 1024, 4, 64));
+    EXPECT_LT(tmnm.read_energy_pj * 3, l3.read_energy_pj / 5);
+}
+
+TEST(SramModelTest, WayPredictedReadCheaperThanFull)
+{
+    SramModel model;
+    for (std::uint32_t ways : {2u, 4u, 8u}) {
+        CacheGeometry g = geom(64 * 1024, ways, 64);
+        auto [predicted, extra] = model.wayPredictedRead(g);
+        PowerDelay full = model.cache(g);
+        EXPECT_LT(predicted, full.read_energy_pj) << ways << " ways";
+        EXPECT_GT(extra, 0.0);
+        // Prediction + full replay should cost about a full read or
+        // more (no free lunch on mispredicts).
+        EXPECT_GT(predicted + extra, full.read_energy_pj * 0.8);
+    }
+}
+
+TEST(SramModelTest, WayPredictionSavingsGrowWithAssociativity)
+{
+    SramModel model;
+    auto saving = [&](std::uint32_t ways) {
+        CacheGeometry g = geom(64 * 1024, ways, 64);
+        auto [predicted, extra] = model.wayPredictedRead(g);
+        (void)extra;
+        return 1.0 - predicted / model.cache(g).read_energy_pj;
+    };
+    EXPECT_GT(saving(8), saving(2));
+}
+
+TEST(SramModelTest, DelayToCycles)
+{
+    EXPECT_EQ(delayToCycles(0.0, 1.0), 0u);
+    EXPECT_EQ(delayToCycles(0.5, 1.0), 1u);
+    EXPECT_EQ(delayToCycles(1.0, 1.0), 1u);
+    EXPECT_EQ(delayToCycles(1.0001, 1.0), 2u);
+    EXPECT_EQ(delayToCycles(1.0, 2.0), 2u); // 2 GHz: 0.5ns cycles
+    EXPECT_DEATH(delayToCycles(1.0, 0.0), "clock");
+}
+
+TEST(CheckerModelTest, FlipFlopsMatchPaperEquation3)
+{
+    // ff(w) = w(w+1)(2w+1)/6
+    EXPECT_EQ(CheckerModel::flipFlops(1), 1u);
+    EXPECT_EQ(CheckerModel::flipFlops(3), 14u);
+    EXPECT_EQ(CheckerModel::flipFlops(10), 385u);
+    EXPECT_EQ(CheckerModel::flipFlops(13), 819u);
+    EXPECT_EQ(CheckerModel::flipFlops(20), 2870u);
+}
+
+TEST(CheckerModelTest, LogicGatesGrowAsW4ish)
+{
+    // gates(2w) / gates(w) should approach 2^4 = 16 for the O(w^4) law.
+    double r = static_cast<double>(CheckerModel::logicGates(24)) /
+               static_cast<double>(CheckerModel::logicGates(12));
+    EXPECT_GT(r, 10.0);
+    EXPECT_LT(r, 20.0);
+}
+
+TEST(CheckerModelTest, EnergyScalesWithReplication)
+{
+    CheckerModel model;
+    PowerDelay one = model.evaluate(13, 1);
+    PowerDelay two = model.evaluate(13, 2);
+    EXPECT_NEAR(two.read_energy_pj, 2 * one.read_energy_pj, 1e-9);
+    EXPECT_DOUBLE_EQ(two.access_ns, one.access_ns); // parallel checkers
+}
+
+TEST(CheckerModelTest, DelayGrowsWithWidth)
+{
+    CheckerModel model;
+    EXPECT_LT(model.evaluate(10, 1).access_ns,
+              model.evaluate(20, 1).access_ns);
+}
+
+TEST(CheckerModelTest, RejectsDegenerateConfigs)
+{
+    CheckerModel model;
+    EXPECT_DEATH(model.evaluate(1, 1), "narrower");
+    EXPECT_DEATH(model.evaluate(10, 0), "zero checkers");
+}
+
+TEST(PowerDelayTest, ToStringMentionsFields)
+{
+    PowerDelay pd;
+    pd.read_energy_pj = 1.5;
+    pd.bits = 42;
+    std::string s = pd.toString();
+    EXPECT_NE(s.find("read=1.5"), std::string::npos);
+    EXPECT_NE(s.find("bits=42"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace mnm

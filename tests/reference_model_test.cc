@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Reference-model property tests: the Cache is cross-checked against an
+ * exact independently-written LRU model under randomized operation
+ * streams, and the hierarchy's structural invariants are fuzzed across
+ * randomized configurations (including randomized MNM attachments with
+ * oracle checking).
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cache/hierarchy.hh"
+#include "core/mnm_unit.hh"
+#include "core/presets.hh"
+#include "util/random.hh"
+
+namespace mnm
+{
+namespace
+{
+
+/** An obviously-correct (slow) set-associative LRU cache. */
+class ReferenceLruCache
+{
+  public:
+    ReferenceLruCache(std::uint32_t sets, std::uint32_t ways)
+        : sets_(sets), ways_(ways), lru_(sets)
+    {
+    }
+
+    bool
+    probe(BlockAddr block)
+    {
+        auto &set = lru_[block % sets_];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == block) {
+                set.erase(it);
+                set.push_front(block); // most recently used at front
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::optional<BlockAddr>
+    fill(BlockAddr block)
+    {
+        auto &set = lru_[block % sets_];
+        for (auto it = set.begin(); it != set.end(); ++it) {
+            if (*it == block) {
+                set.erase(it);
+                set.push_front(block);
+                return std::nullopt;
+            }
+        }
+        std::optional<BlockAddr> evicted;
+        if (set.size() == ways_) {
+            evicted = set.back();
+            set.pop_back();
+        }
+        set.push_front(block);
+        return evicted;
+    }
+
+    bool
+    contains(BlockAddr block) const
+    {
+        const auto &set = lru_[block % sets_];
+        for (BlockAddr b : set) {
+            if (b == block)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::vector<std::list<BlockAddr>> lru_;
+};
+
+using CacheGeomParam = std::tuple<std::uint32_t, std::uint32_t>;
+
+class CacheVsReferenceTest
+    : public ::testing::TestWithParam<CacheGeomParam>
+{
+};
+
+TEST_P(CacheVsReferenceTest, AgreesWithReferenceLru)
+{
+    auto [sets, ways] = GetParam();
+    CacheParams params;
+    params.name = "dut";
+    params.block_bytes = 32;
+    params.associativity = ways;
+    params.capacity_bytes =
+        static_cast<std::uint64_t>(sets) * ways * params.block_bytes;
+    params.policy = ReplPolicy::Lru;
+    Cache dut(params);
+    ReferenceLruCache ref(sets, ways);
+
+    Rng rng(sets * 131 + ways);
+    for (int step = 0; step < 40000; ++step) {
+        BlockAddr block = rng.nextBelow(sets * ways * 4);
+        switch (rng.nextBelow(3)) {
+          case 0: {
+            bool dut_hit = dut.probe(block);
+            bool ref_hit = ref.probe(block);
+            ASSERT_EQ(dut_hit, ref_hit)
+                << "probe divergence at step " << step;
+            break;
+          }
+          case 1: {
+            auto dut_fill = dut.fill(block);
+            auto ref_evicted = ref.fill(block);
+            ASSERT_EQ(dut_fill.evicted.has_value(),
+                      ref_evicted.has_value())
+                << "fill divergence at step " << step;
+            if (ref_evicted)
+                ASSERT_EQ(*dut_fill.evicted, *ref_evicted)
+                    << "victim divergence at step " << step;
+            break;
+          }
+          default: {
+            ASSERT_EQ(dut.contains(block), ref.contains(block))
+                << "contains divergence at step " << step;
+            break;
+          }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheVsReferenceTest,
+    ::testing::Values(CacheGeomParam{1, 1}, CacheGeomParam{1, 8},
+                      CacheGeomParam{16, 1}, CacheGeomParam{16, 2},
+                      CacheGeomParam{64, 4}, CacheGeomParam{8, 16}),
+    [](const ::testing::TestParamInfo<CacheGeomParam> &info) {
+        return "sets" + std::to_string(std::get<0>(info.param)) +
+               "_ways" + std::to_string(std::get<1>(info.param));
+    });
+
+/** Randomized hierarchy configurations for the invariant fuzzers. */
+HierarchyParams
+randomHierarchy(Rng &rng)
+{
+    HierarchyParams params;
+    std::uint32_t levels = static_cast<std::uint32_t>(rng.nextRange(1, 5));
+    std::uint64_t capacity = 512ull << rng.nextBelow(3); // 512..2K L1
+    std::uint32_t block = 16u << rng.nextBelow(2);       // 16/32
+    for (std::uint32_t i = 0; i < levels; ++i) {
+        LevelParams lvl;
+        lvl.split = (i == 0) && rng.nextBool(0.5);
+        auto make = [&](const char *name) {
+            CacheParams cp;
+            cp.name = name + std::to_string(i + 1);
+            cp.capacity_bytes = capacity;
+            cp.associativity = 1u << rng.nextBelow(3); // 1/2/4
+            cp.block_bytes = block;
+            cp.hit_latency = 2 + 6 * i;
+            return cp;
+        };
+        lvl.data = make(lvl.split ? "d" : "u");
+        if (lvl.split)
+            lvl.instr = make("i");
+        params.levels.push_back(lvl);
+        capacity *= 4;
+        if (rng.nextBool(0.4) && block < 128)
+            block *= 2;
+    }
+    params.memory_latency = 100 + rng.nextBelow(200);
+    return params;
+}
+
+TEST(HierarchyFuzzTest, StructuralInvariantsUnderRandomTraffic)
+{
+    Rng master(20260707);
+    for (int config = 0; config < 12; ++config) {
+        HierarchyParams params = randomHierarchy(master);
+        CacheHierarchy h(params, config + 1);
+        Rng rng = master.split();
+
+        std::uint64_t expected_latency_sum = 0;
+        std::uint64_t observed_latency_sum = 0;
+        for (int step = 0; step < 20000; ++step) {
+            AccessType type = static_cast<AccessType>(rng.nextBelow(3));
+            // Mix of hot and cold addresses.
+            Addr addr = rng.nextBool(0.7)
+                            ? rng.nextBelow(16 * 1024)
+                            : rng.nextBelow(64ull * 1024 * 1024);
+            AccessResult r = h.access(type, addr);
+
+            // Invariant: the supplying level and every level above it
+            // now hold the block.
+            std::uint32_t top =
+                std::min<std::uint32_t>(r.supply_level, h.levels());
+            for (std::uint32_t level = 1; level <= top; ++level) {
+                const Cache &c = h.cacheAt(level, type);
+                ASSERT_TRUE(c.contains(c.blockAddr(addr)))
+                    << "config " << config << " step " << step
+                    << " level " << level;
+            }
+            // Invariant: latency decomposes over the probes + memory.
+            Cycles expect = 0;
+            for (std::uint8_t i = 0; i < r.num_probes; ++i) {
+                const ProbeRecord &p = r.probes[i];
+                if (p.bypassed)
+                    continue;
+                const Cache &c = h.cache(p.cache);
+                expect += p.hit ? c.params().hit_latency
+                                : c.params().missLatency();
+            }
+            if (r.from_memory)
+                expect += params.memory_latency;
+            ASSERT_EQ(r.latency, expect);
+            expected_latency_sum += expect;
+            observed_latency_sum += r.latency;
+
+            // Invariant: the last probe is the supplier (or a miss when
+            // memory supplied).
+            ASSERT_GT(r.num_probes, 0u);
+            const ProbeRecord &last = r.probes[r.num_probes - 1];
+            if (!r.from_memory) {
+                ASSERT_TRUE(last.hit);
+                ASSERT_EQ(last.level, r.supply_level);
+            }
+        }
+        ASSERT_EQ(expected_latency_sum, observed_latency_sum);
+
+        // Invariant: per-cache counters are internally consistent.
+        for (CacheId id = 0; id < h.numCaches(); ++id) {
+            const CacheStats &s = h.cache(id).stats();
+            ASSERT_EQ(s.hits.value() + s.misses.value(),
+                      s.accesses.value());
+            ASSERT_LE(h.cache(id).blocksResident(),
+                      h.cache(id).params().capacity_bytes /
+                          h.cache(id).params().block_bytes);
+        }
+    }
+}
+
+TEST(HierarchyFuzzTest, RandomizedConfigsStaySoundWithRandomMnms)
+{
+    Rng master(777);
+    const std::vector<std::string> configs = {
+        "TMNM_8x2", "SMNM_12x2", "CMNM_4_8", "HMNM1", "RMNM_512_2"};
+    for (int round = 0; round < 10; ++round) {
+        HierarchyParams params = randomHierarchy(master);
+        if (params.levels.size() < 2)
+            continue; // nothing to filter
+        CacheHierarchy h(params, round + 100);
+        MnmSpec spec = mnmSpecByName(
+            configs[master.nextBelow(configs.size())]);
+        spec.oracle_check = true;
+        MnmUnit mnm(spec, h);
+
+        Rng rng = master.split();
+        for (int step = 0; step < 15000; ++step) {
+            AccessType type = static_cast<AccessType>(rng.nextBelow(3));
+            Addr addr = rng.nextBool(0.6)
+                            ? rng.nextBelow(32 * 1024)
+                            : rng.nextBelow(16ull * 1024 * 1024);
+            BypassMask mask = mnm.computeBypass(type, addr);
+            h.access(type, addr, mask);
+        }
+        ASSERT_EQ(mnm.soundnessViolations(), 0u)
+            << "round " << round << " with " << spec.name;
+        ASSERT_EQ(mnm.filterAnomalies(), 0u)
+            << "round " << round << " with " << spec.name;
+    }
+}
+
+} // anonymous namespace
+} // namespace mnm

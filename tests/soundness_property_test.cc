@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Property tests of the paper's central invariant (Section 3.6): an MNM
+ * "miss" verdict is NEVER produced for a block that is resident.
+ *
+ * Every paper configuration is swept against every stress workload with
+ * oracle checking enabled: any unsound verdict is counted by the
+ * MnmUnit, and the tests require zero. A second property checks
+ * architectural transparency: with a sound MNM the memory-system state
+ * evolution (supply levels, memory traffic) is identical to a run
+ * without an MNM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "sim/memory_sim.hh"
+#include "trace/spec2000.hh"
+#include "trace/synthetic.hh"
+
+namespace mnm
+{
+namespace
+{
+
+/** Stress workloads with very different aliasing behaviour. */
+SyntheticParams
+stressWorkload(const std::string &kind)
+{
+    SyntheticParams p;
+    p.name = kind;
+    p.load_frac = 0.4;
+    p.store_frac = 0.2;
+    p.branch_frac = 0.05;
+    p.seed = 1234;
+    RegionParams r;
+    if (kind == "thrash") {
+        // Footprint just above L2: constant replacement churn.
+        r.footprint_bytes = 48 * 1024;
+        r.pattern = RegionPattern::RandomUniform;
+    } else if (kind == "chase") {
+        r.footprint_bytes = 512 * 1024;
+        r.pattern = RegionPattern::PointerChase;
+        r.stride = 32;
+    } else if (kind == "stream") {
+        r.footprint_bytes = 1024 * 1024;
+        r.pattern = RegionPattern::Sequential;
+    } else { // "hotcold"
+        r.footprint_bytes = 256 * 1024;
+        r.pattern = RegionPattern::HotCold;
+        r.hot_fraction = 0.02;
+        r.hot_probability = 0.85;
+    }
+    p.regions = {r};
+    return p;
+}
+
+using SoundnessParam = std::tuple<std::string, std::string>;
+
+class SoundnessTest : public ::testing::TestWithParam<SoundnessParam>
+{
+};
+
+TEST_P(SoundnessTest, NoUnsoundVerdictsUnderOracleCheck)
+{
+    const auto &[config, workload_kind] = GetParam();
+    MnmSpec spec = mnmSpecByName(config);
+    spec.oracle_check = true;
+
+    MemorySimulator sim(paperHierarchy(5), spec);
+    SyntheticWorkload workload(stressWorkload(workload_kind));
+    MemSimResult r = sim.run(workload, 60000);
+
+    EXPECT_EQ(r.soundness_violations, 0u)
+        << config << " on " << workload_kind;
+    EXPECT_EQ(r.filter_anomalies, 0u)
+        << config << " on " << workload_kind;
+    EXPECT_GE(r.coverage.coverage(), 0.0);
+    EXPECT_LE(r.coverage.coverage(), 1.0);
+}
+
+TEST_P(SoundnessTest, ArchitecturallyTransparent)
+{
+    const auto &[config, workload_kind] = GetParam();
+
+    MemorySimulator base(paperHierarchy(5));
+    MemorySimulator shielded(paperHierarchy(5), mnmSpecByName(config));
+    SyntheticWorkload w1(stressWorkload(workload_kind));
+    SyntheticWorkload w2(stressWorkload(workload_kind));
+    MemSimResult rb = base.run(w1, 40000);
+    MemSimResult rs = shielded.run(w2, 40000);
+
+    // Bypassing must not change what the memory system does -- only
+    // what it costs: same traffic to memory, same per-cache fills, and
+    // never more probes+bypasses than baseline probes.
+    EXPECT_EQ(rs.memory_accesses, rb.memory_accesses);
+    ASSERT_EQ(rs.caches.size(), rb.caches.size());
+    for (std::size_t i = 0; i < rb.caches.size(); ++i) {
+        EXPECT_EQ(rs.caches[i].accesses + rs.caches[i].bypasses,
+                  rb.caches[i].accesses)
+            << rb.caches[i].name;
+        EXPECT_EQ(rs.caches[i].hits, rb.caches[i].hits)
+            << rb.caches[i].name << ": a bypass skipped a would-be hit";
+    }
+    // And it can only help the time/energy metrics.
+    EXPECT_LE(rs.miss_cycles, rb.miss_cycles);
+    EXPECT_LE(rs.energy.probe_miss_pj, rb.energy.probe_miss_pj + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigsAllWorkloads, SoundnessTest,
+    ::testing::Combine(
+        ::testing::Values("RMNM_128_1", "RMNM_4096_8", "SMNM_10x2",
+                          "SMNM_20x3", "TMNM_10x1", "TMNM_12x3",
+                          "CMNM_2_9", "CMNM_8_12", "HMNM1", "HMNM4",
+                          "Perfect"),
+        ::testing::Values("thrash", "chase", "stream", "hotcold")),
+    [](const ::testing::TestParamInfo<SoundnessParam> &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param);
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+/**
+ * The PaperReset CMNM ablation: the literal mask-reset scheme is
+ * expected to produce violations under register pressure -- that is the
+ * point of the ablation -- and the MnmUnit must catch every one (so the
+ * simulation stays architecturally correct).
+ */
+TEST(PaperResetAblation, ViolationsAreCaughtNotActedOn)
+{
+    MnmSpec spec;
+    spec.name = "CMNM_2_6(paper-reset)";
+    // Few registers + tiny table: maximum widening/reset churn.
+    spec.level_filters.push_back(LevelFilters{
+        2, 99, {CmnmSpec{2, 6, 3, CmnmMaskPolicy::PaperReset}}});
+
+    MemorySimulator base(paperHierarchy(5));
+    MemorySimulator shielded(paperHierarchy(5), spec);
+    SyntheticWorkload w1(stressWorkload("hotcold"));
+    SyntheticWorkload w2(stressWorkload("hotcold"));
+    MemSimResult rb = base.run(w1, 60000);
+    MemSimResult rs = shielded.run(w2, 60000);
+
+    // Caught violations mean no would-be hit was ever bypassed:
+    for (std::size_t i = 0; i < rb.caches.size(); ++i)
+        EXPECT_EQ(rs.caches[i].hits, rb.caches[i].hits);
+    EXPECT_EQ(rs.memory_accesses, rb.memory_accesses);
+    // (Whether violations occur depends on the stream; we only require
+    // that IF they occur they are counted, which the equality above
+    // demonstrates. Report for visibility.)
+    RecordProperty("soundness_violations",
+                   static_cast<int>(rs.soundness_violations));
+}
+
+/** Coverage is monotone in structure size within a technique family. */
+TEST(CoverageMonotonicity, BiggerTmnmCoversAtLeastAsMuch)
+{
+    SyntheticWorkload w1(stressWorkload("thrash"));
+    SyntheticWorkload w2(stressWorkload("thrash"));
+    MemorySimulator small(paperHierarchy(5),
+                          makeUniformSpec(TmnmSpec{6, 1, 3}));
+    MemorySimulator large(paperHierarchy(5),
+                          makeUniformSpec(TmnmSpec{14, 3, 3}));
+    double c_small = small.run(w1, 60000).coverage.coverage();
+    double c_large = large.run(w2, 60000).coverage.coverage();
+    EXPECT_GE(c_large, c_small);
+}
+
+TEST(CoverageMonotonicity, PerfectDominatesEverything)
+{
+    for (const std::string &config : headlineConfigs()) {
+        SyntheticWorkload w1(stressWorkload("chase"));
+        SyntheticWorkload w2(stressWorkload("chase"));
+        MemorySimulator real(paperHierarchy(5), mnmSpecByName(config));
+        MemorySimulator perfect(paperHierarchy(5), makePerfectSpec());
+        double c_real = real.run(w1, 30000).coverage.coverage();
+        double c_perfect = perfect.run(w2, 30000).coverage.coverage();
+        EXPECT_LE(c_real, c_perfect + 1e-12) << config;
+    }
+}
+
+} // anonymous namespace
+} // namespace mnm

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Split a bench_output.txt into per-experiment CSV files.
+
+The bench binaries print aligned tables of the form
+
+    == <title> ==
+    app   col1  col2
+    -----------------
+    gzip  1.0   2.0
+    ...
+
+This tool parses every such table and writes one CSV per table into an
+output directory, named from a slug of the title -- handy for feeding
+gnuplot/matplotlib when regenerating the paper's figures.
+
+usage: tools/extract_results.py bench_output.txt [outdir]
+"""
+
+import os
+import re
+import sys
+
+
+def slugify(title: str) -> str:
+    slug = re.sub(r"[^A-Za-z0-9]+", "_", title).strip("_").lower()
+    return slug[:80] or "table"
+
+
+def split_row(line: str):
+    # Columns are separated by runs of >= 2 spaces.
+    return [cell.strip() for cell in re.split(r"\s{2,}", line.strip())
+            if cell.strip()]
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = sys.argv[1]
+    outdir = sys.argv[2] if len(sys.argv) > 2 else "results"
+    os.makedirs(outdir, exist_ok=True)
+
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+
+    written = 0
+    i = 0
+    while i < len(lines):
+        match = re.match(r"^== (.*) ==$", lines[i])
+        if not match:
+            i += 1
+            continue
+        title = match.group(1)
+        header = None
+        rows = []
+        i += 1
+        while i < len(lines):
+            line = lines[i]
+            if not line.strip() or line.startswith("== "):
+                break
+            if re.fullmatch(r"-+", line.strip()):
+                i += 1
+                continue
+            cells = split_row(line)
+            if header is None:
+                header = cells
+            elif len(cells) == len(header):
+                rows.append(cells)
+            i += 1
+        if header and rows:
+            out_path = os.path.join(outdir, slugify(title) + ".csv")
+            with open(out_path, "w", encoding="utf-8") as out:
+                out.write(",".join(header) + "\n")
+                for row in rows:
+                    out.write(",".join(row) + "\n")
+            written += 1
+            print(f"wrote {out_path} ({len(rows)} rows)")
+    print(f"{written} tables extracted")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
