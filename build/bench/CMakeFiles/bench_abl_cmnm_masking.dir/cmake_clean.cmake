@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_cmnm_masking.dir/bench_abl_cmnm_masking.cc.o"
+  "CMakeFiles/bench_abl_cmnm_masking.dir/bench_abl_cmnm_masking.cc.o.d"
+  "bench_abl_cmnm_masking"
+  "bench_abl_cmnm_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_cmnm_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_cpu_models.dir/bench_abl_cpu_models.cc.o"
+  "CMakeFiles/bench_abl_cpu_models.dir/bench_abl_cpu_models.cc.o.d"
+  "bench_abl_cpu_models"
+  "bench_abl_cpu_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_cpu_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_inclusion.dir/bench_abl_inclusion.cc.o"
+  "CMakeFiles/bench_abl_inclusion.dir/bench_abl_inclusion.cc.o.d"
+  "bench_abl_inclusion"
+  "bench_abl_inclusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_inclusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

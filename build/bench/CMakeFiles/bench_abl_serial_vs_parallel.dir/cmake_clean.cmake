@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_serial_vs_parallel.dir/bench_abl_serial_vs_parallel.cc.o"
+  "CMakeFiles/bench_abl_serial_vs_parallel.dir/bench_abl_serial_vs_parallel.cc.o.d"
+  "bench_abl_serial_vs_parallel"
+  "bench_abl_serial_vs_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_serial_vs_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_smnm_modes.dir/bench_abl_smnm_modes.cc.o"
+  "CMakeFiles/bench_abl_smnm_modes.dir/bench_abl_smnm_modes.cc.o.d"
+  "bench_abl_smnm_modes"
+  "bench_abl_smnm_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_smnm_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_tmnm_counter_width.dir/bench_abl_tmnm_counter_width.cc.o"
+  "CMakeFiles/bench_abl_tmnm_counter_width.dir/bench_abl_tmnm_counter_width.cc.o.d"
+  "bench_abl_tmnm_counter_width"
+  "bench_abl_tmnm_counter_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_tmnm_counter_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_way_prediction.dir/bench_abl_way_prediction.cc.o"
+  "CMakeFiles/bench_abl_way_prediction.dir/bench_abl_way_prediction.cc.o.d"
+  "bench_abl_way_prediction"
+  "bench_abl_way_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_way_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_eq12_analytic_validation.cc" "bench/CMakeFiles/bench_eq12_analytic_validation.dir/bench_eq12_analytic_validation.cc.o" "gcc" "bench/CMakeFiles/bench_eq12_analytic_validation.dir/bench_eq12_analytic_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mnm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mnm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mnm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mnm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mnm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mnm_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mnm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq12_analytic_validation.dir/bench_eq12_analytic_validation.cc.o"
+  "CMakeFiles/bench_eq12_analytic_validation.dir/bench_eq12_analytic_validation.cc.o.d"
+  "bench_eq12_analytic_validation"
+  "bench_eq12_analytic_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq12_analytic_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

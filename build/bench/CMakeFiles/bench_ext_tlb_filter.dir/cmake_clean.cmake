@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tlb_filter.dir/bench_ext_tlb_filter.cc.o"
+  "CMakeFiles/bench_ext_tlb_filter.dir/bench_ext_tlb_filter.cc.o.d"
+  "bench_ext_tlb_filter"
+  "bench_ext_tlb_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tlb_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rmnm_scenario.dir/bench_table1_rmnm_scenario.cc.o"
+  "CMakeFiles/bench_table1_rmnm_scenario.dir/bench_table1_rmnm_scenario.cc.o.d"
+  "bench_table1_rmnm_scenario"
+  "bench_table1_rmnm_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rmnm_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnmsim.dir/mnmsim.cpp.o"
+  "CMakeFiles/mnmsim.dir/mnmsim.cpp.o.d"
+  "mnmsim"
+  "mnmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

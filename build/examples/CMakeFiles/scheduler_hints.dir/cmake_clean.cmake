@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_hints.dir/scheduler_hints.cpp.o"
+  "CMakeFiles/scheduler_hints.dir/scheduler_hints.cpp.o.d"
+  "scheduler_hints"
+  "scheduler_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

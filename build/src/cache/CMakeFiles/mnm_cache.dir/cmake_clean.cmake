@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnm_cache.dir/cache.cc.o"
+  "CMakeFiles/mnm_cache.dir/cache.cc.o.d"
+  "CMakeFiles/mnm_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/mnm_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mnm_cache.dir/tlb.cc.o"
+  "CMakeFiles/mnm_cache.dir/tlb.cc.o.d"
+  "libmnm_cache.a"
+  "libmnm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cmnm.cc" "src/core/CMakeFiles/mnm_core.dir/cmnm.cc.o" "gcc" "src/core/CMakeFiles/mnm_core.dir/cmnm.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "src/core/CMakeFiles/mnm_core.dir/coverage.cc.o" "gcc" "src/core/CMakeFiles/mnm_core.dir/coverage.cc.o.d"
+  "/root/repo/src/core/mnm_unit.cc" "src/core/CMakeFiles/mnm_core.dir/mnm_unit.cc.o" "gcc" "src/core/CMakeFiles/mnm_core.dir/mnm_unit.cc.o.d"
+  "/root/repo/src/core/presets.cc" "src/core/CMakeFiles/mnm_core.dir/presets.cc.o" "gcc" "src/core/CMakeFiles/mnm_core.dir/presets.cc.o.d"
+  "/root/repo/src/core/rmnm.cc" "src/core/CMakeFiles/mnm_core.dir/rmnm.cc.o" "gcc" "src/core/CMakeFiles/mnm_core.dir/rmnm.cc.o.d"
+  "/root/repo/src/core/smnm.cc" "src/core/CMakeFiles/mnm_core.dir/smnm.cc.o" "gcc" "src/core/CMakeFiles/mnm_core.dir/smnm.cc.o.d"
+  "/root/repo/src/core/tlb_filter.cc" "src/core/CMakeFiles/mnm_core.dir/tlb_filter.cc.o" "gcc" "src/core/CMakeFiles/mnm_core.dir/tlb_filter.cc.o.d"
+  "/root/repo/src/core/tmnm.cc" "src/core/CMakeFiles/mnm_core.dir/tmnm.cc.o" "gcc" "src/core/CMakeFiles/mnm_core.dir/tmnm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mnm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mnm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnm_core.dir/cmnm.cc.o"
+  "CMakeFiles/mnm_core.dir/cmnm.cc.o.d"
+  "CMakeFiles/mnm_core.dir/coverage.cc.o"
+  "CMakeFiles/mnm_core.dir/coverage.cc.o.d"
+  "CMakeFiles/mnm_core.dir/mnm_unit.cc.o"
+  "CMakeFiles/mnm_core.dir/mnm_unit.cc.o.d"
+  "CMakeFiles/mnm_core.dir/presets.cc.o"
+  "CMakeFiles/mnm_core.dir/presets.cc.o.d"
+  "CMakeFiles/mnm_core.dir/rmnm.cc.o"
+  "CMakeFiles/mnm_core.dir/rmnm.cc.o.d"
+  "CMakeFiles/mnm_core.dir/smnm.cc.o"
+  "CMakeFiles/mnm_core.dir/smnm.cc.o.d"
+  "CMakeFiles/mnm_core.dir/tlb_filter.cc.o"
+  "CMakeFiles/mnm_core.dir/tlb_filter.cc.o.d"
+  "CMakeFiles/mnm_core.dir/tmnm.cc.o"
+  "CMakeFiles/mnm_core.dir/tmnm.cc.o.d"
+  "libmnm_core.a"
+  "libmnm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cycle_core.cc" "src/cpu/CMakeFiles/mnm_cpu.dir/cycle_core.cc.o" "gcc" "src/cpu/CMakeFiles/mnm_cpu.dir/cycle_core.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/cpu/CMakeFiles/mnm_cpu.dir/ooo_core.cc.o" "gcc" "src/cpu/CMakeFiles/mnm_cpu.dir/ooo_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mnm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mnm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mnm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mnm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnm_cpu.dir/cycle_core.cc.o"
+  "CMakeFiles/mnm_cpu.dir/cycle_core.cc.o.d"
+  "CMakeFiles/mnm_cpu.dir/ooo_core.cc.o"
+  "CMakeFiles/mnm_cpu.dir/ooo_core.cc.o.d"
+  "libmnm_cpu.a"
+  "libmnm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

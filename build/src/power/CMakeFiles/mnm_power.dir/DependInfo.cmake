@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/checker_model.cc" "src/power/CMakeFiles/mnm_power.dir/checker_model.cc.o" "gcc" "src/power/CMakeFiles/mnm_power.dir/checker_model.cc.o.d"
+  "/root/repo/src/power/sram_model.cc" "src/power/CMakeFiles/mnm_power.dir/sram_model.cc.o" "gcc" "src/power/CMakeFiles/mnm_power.dir/sram_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mnm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

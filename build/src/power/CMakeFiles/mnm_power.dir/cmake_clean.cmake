@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnm_power.dir/checker_model.cc.o"
+  "CMakeFiles/mnm_power.dir/checker_model.cc.o.d"
+  "CMakeFiles/mnm_power.dir/sram_model.cc.o"
+  "CMakeFiles/mnm_power.dir/sram_model.cc.o.d"
+  "libmnm_power.a"
+  "libmnm_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnm_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

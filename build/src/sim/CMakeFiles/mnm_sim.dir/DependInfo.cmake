@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analytic.cc" "src/sim/CMakeFiles/mnm_sim.dir/analytic.cc.o" "gcc" "src/sim/CMakeFiles/mnm_sim.dir/analytic.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/mnm_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/mnm_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/mnm_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/mnm_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/memory_sim.cc" "src/sim/CMakeFiles/mnm_sim.dir/memory_sim.cc.o" "gcc" "src/sim/CMakeFiles/mnm_sim.dir/memory_sim.cc.o.d"
+  "/root/repo/src/sim/sampling.cc" "src/sim/CMakeFiles/mnm_sim.dir/sampling.cc.o" "gcc" "src/sim/CMakeFiles/mnm_sim.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mnm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mnm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mnm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mnm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mnm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mnm_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

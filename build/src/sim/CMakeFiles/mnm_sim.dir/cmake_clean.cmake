@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnm_sim.dir/analytic.cc.o"
+  "CMakeFiles/mnm_sim.dir/analytic.cc.o.d"
+  "CMakeFiles/mnm_sim.dir/config.cc.o"
+  "CMakeFiles/mnm_sim.dir/config.cc.o.d"
+  "CMakeFiles/mnm_sim.dir/experiment.cc.o"
+  "CMakeFiles/mnm_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/mnm_sim.dir/memory_sim.cc.o"
+  "CMakeFiles/mnm_sim.dir/memory_sim.cc.o.d"
+  "CMakeFiles/mnm_sim.dir/sampling.cc.o"
+  "CMakeFiles/mnm_sim.dir/sampling.cc.o.d"
+  "libmnm_sim.a"
+  "libmnm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/spec2000.cc" "src/trace/CMakeFiles/mnm_trace.dir/spec2000.cc.o" "gcc" "src/trace/CMakeFiles/mnm_trace.dir/spec2000.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/mnm_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/mnm_trace.dir/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/mnm_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/mnm_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/trace/CMakeFiles/mnm_trace.dir/workload.cc.o" "gcc" "src/trace/CMakeFiles/mnm_trace.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mnm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

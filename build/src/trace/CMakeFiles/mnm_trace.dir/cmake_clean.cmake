@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnm_trace.dir/spec2000.cc.o"
+  "CMakeFiles/mnm_trace.dir/spec2000.cc.o.d"
+  "CMakeFiles/mnm_trace.dir/synthetic.cc.o"
+  "CMakeFiles/mnm_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/mnm_trace.dir/trace_io.cc.o"
+  "CMakeFiles/mnm_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/mnm_trace.dir/workload.cc.o"
+  "CMakeFiles/mnm_trace.dir/workload.cc.o.d"
+  "libmnm_trace.a"
+  "libmnm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

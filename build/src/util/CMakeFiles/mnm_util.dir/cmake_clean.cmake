@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnm_util.dir/logging.cc.o"
+  "CMakeFiles/mnm_util.dir/logging.cc.o.d"
+  "CMakeFiles/mnm_util.dir/random.cc.o"
+  "CMakeFiles/mnm_util.dir/random.cc.o.d"
+  "CMakeFiles/mnm_util.dir/stats.cc.o"
+  "CMakeFiles/mnm_util.dir/stats.cc.o.d"
+  "CMakeFiles/mnm_util.dir/table.cc.o"
+  "CMakeFiles/mnm_util.dir/table.cc.o.d"
+  "libmnm_util.a"
+  "libmnm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmnm_util.a"
+)

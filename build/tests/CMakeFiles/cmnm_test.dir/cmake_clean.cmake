@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmnm_test.dir/cmnm_test.cc.o"
+  "CMakeFiles/cmnm_test.dir/cmnm_test.cc.o.d"
+  "cmnm_test"
+  "cmnm_test.pdb"
+  "cmnm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmnm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_core_test.dir/cycle_core_test.cc.o"
+  "CMakeFiles/cycle_core_test.dir/cycle_core_test.cc.o.d"
+  "cycle_core_test"
+  "cycle_core_test.pdb"
+  "cycle_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

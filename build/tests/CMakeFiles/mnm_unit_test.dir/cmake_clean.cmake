@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnm_unit_test.dir/mnm_unit_test.cc.o"
+  "CMakeFiles/mnm_unit_test.dir/mnm_unit_test.cc.o.d"
+  "mnm_unit_test"
+  "mnm_unit_test.pdb"
+  "mnm_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnm_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmnm_test.dir/rmnm_test.cc.o"
+  "CMakeFiles/rmnm_test.dir/rmnm_test.cc.o.d"
+  "rmnm_test"
+  "rmnm_test.pdb"
+  "rmnm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmnm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smnm_test.dir/smnm_test.cc.o"
+  "CMakeFiles/smnm_test.dir/smnm_test.cc.o.d"
+  "smnm_test"
+  "smnm_test.pdb"
+  "smnm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smnm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmnm_test.dir/tmnm_test.cc.o"
+  "CMakeFiles/tmnm_test.dir/tmnm_test.cc.o.d"
+  "tmnm_test"
+  "tmnm_test.pdb"
+  "tmnm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmnm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/power_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/rmnm_test[1]_include.cmake")
+include("/root/repo/build/tests/smnm_test[1]_include.cmake")
+include("/root/repo/build/tests/tmnm_test[1]_include.cmake")
+include("/root/repo/build/tests/cmnm_test[1]_include.cmake")
+include("/root/repo/build/tests/mnm_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/analytic_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/soundness_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/reference_model_test[1]_include.cmake")
+include("/root/repo/build/tests/cycle_core_test[1]_include.cmake")
+include("/root/repo/build/tests/sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_property_test[1]_include.cmake")
+include("/root/repo/build/tests/api_surface_test[1]_include.cmake")
+include("/root/repo/build/tests/deep_hierarchy_test[1]_include.cmake")
