@@ -11,7 +11,7 @@
 #include "util/logging.hh"
 #include "core/presets.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -25,15 +25,19 @@ main()
     table.setHeader({"app", "monotone cov%", "paper-reset cov%",
                      "violations"});
 
-    for (const std::string &app : opts.apps) {
-        MnmSpec monotone = makeUniformSpec(
-            CmnmSpec{4, 10, 3, CmnmMaskPolicy::Monotone});
-        MnmSpec reset = makeUniformSpec(
-            CmnmSpec{4, 10, 3, CmnmMaskPolicy::PaperReset});
-        MemSimResult rm = runFunctional(paperHierarchy(5), monotone, app,
-                                        opts.instructions);
-        MemSimResult rr = runFunctional(paperHierarchy(5), reset, app,
-                                        opts.instructions);
+    std::vector<SweepVariant> variants = {
+        {"monotone", paperHierarchy(5),
+         makeUniformSpec(CmnmSpec{4, 10, 3, CmnmMaskPolicy::Monotone})},
+        {"paper-reset", paperHierarchy(5),
+         makeUniformSpec(
+             CmnmSpec{4, 10, 3, CmnmMaskPolicy::PaperReset})}};
+    std::vector<MemSimResult> results = runSweep(
+        makeGridCells(opts.apps, variants, opts.instructions), opts);
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+        const std::string &app = opts.apps[a];
+        const MemSimResult &rm = results[a * 2];
+        const MemSimResult &rr = results[a * 2 + 1];
         table.addRow(ExperimentOptions::shortName(app),
                      {100.0 * rm.coverage.coverage(),
                       100.0 * rr.coverage.coverage(),

@@ -12,7 +12,7 @@
 #include "core/presets.hh"
 #include "cpu/cycle_core.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "trace/spec2000.hh"
 #include "util/table.hh"
 
@@ -49,13 +49,24 @@ main()
     table.setHeader({"app", "df HMNM4", "cyc HMNM4", "df Perfect",
                      "cyc Perfect", "ipc ratio"});
 
-    for (const std::string &app : opts.apps) {
-        Cycles df_base = runCore<OooCore>(app, "", n);
-        Cycles df_hmnm = runCore<OooCore>(app, "HMNM4", n);
-        Cycles df_perf = runCore<OooCore>(app, "Perfect", n);
-        Cycles cy_base = runCore<CycleOooCore>(app, "", n);
-        Cycles cy_hmnm = runCore<CycleOooCore>(app, "HMNM4", n);
-        Cycles cy_perf = runCore<CycleOooCore>(app, "Perfect", n);
+    // Six timing runs per app (2 core models x 3 configs), flattened
+    // into one cell grid so every run parallelizes independently.
+    const char *configs[] = {"", "HMNM4", "Perfect"};
+    constexpr std::size_t kinds = 6;
+    ParallelRunner runner(opts.jobs);
+    std::vector<Cycles> cycles = runner.map<Cycles>(
+        opts.apps.size() * kinds, [&](std::size_t i) {
+            const std::string &app = opts.apps[i / kinds];
+            std::size_t k = i % kinds;
+            const char *config = configs[k % 3];
+            return k < 3 ? runCore<OooCore>(app, config, n)
+                         : runCore<CycleOooCore>(app, config, n);
+        });
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+        const Cycles *c = &cycles[a * kinds];
+        Cycles df_base = c[0], df_hmnm = c[1], df_perf = c[2];
+        Cycles cy_base = c[3], cy_hmnm = c[4], cy_perf = c[5];
 
         auto reduction = [](Cycles base, Cycles with) {
             return 100.0 *
@@ -63,7 +74,7 @@ main()
                     static_cast<double>(with)) /
                    static_cast<double>(base);
         };
-        table.addRow(ExperimentOptions::shortName(app),
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
                      {reduction(df_base, df_hmnm),
                       reduction(cy_base, cy_hmnm),
                       reduction(df_base, df_perf),

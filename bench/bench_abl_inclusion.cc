@@ -10,7 +10,7 @@
 
 #include "core/presets.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -24,16 +24,18 @@ main()
     table.setHeader({"app", "noninc cov%", "inc cov%", "noninc t[cyc]",
                      "inc t[cyc]", "violations"});
 
-    for (const std::string &app : opts.apps) {
-        HierarchyParams noninc = paperHierarchy(5);
-        HierarchyParams inc = paperHierarchy(5);
-        inc.inclusion = InclusionPolicy::Inclusive;
+    HierarchyParams inc = paperHierarchy(5);
+    inc.inclusion = InclusionPolicy::Inclusive;
+    std::vector<SweepVariant> variants = {
+        {"non-inclusive", paperHierarchy(5), makeHmnmSpec(4)},
+        {"inclusive", inc, makeHmnmSpec(4)}};
+    std::vector<MemSimResult> results = runSweep(
+        makeGridCells(opts.apps, variants, opts.instructions), opts);
 
-        MemSimResult rn = runFunctional(noninc, makeHmnmSpec(4), app,
-                                        opts.instructions);
-        MemSimResult ri = runFunctional(inc, makeHmnmSpec(4), app,
-                                        opts.instructions);
-        table.addRow(ExperimentOptions::shortName(app),
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+        const MemSimResult &rn = results[a * 2];
+        const MemSimResult &ri = results[a * 2 + 1];
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
                      {100.0 * rn.coverage.coverage(),
                       100.0 * ri.coverage.coverage(),
                       rn.avgAccessTime(), ri.avgAccessTime(),

@@ -13,7 +13,7 @@
 
 #include "core/presets.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -27,23 +27,25 @@ main()
     table.setHeader({"app", "par t[cyc]", "ser t[cyc]", "dist t[cyc]",
                      "par mnm[uJ]", "ser mnm[uJ]", "dist mnm[uJ]"});
 
-    for (const std::string &app : opts.apps) {
-        std::vector<MemSimResult> results;
-        for (MnmPlacement placement :
-             {MnmPlacement::Parallel, MnmPlacement::Serial,
-              MnmPlacement::Distributed}) {
-            MnmSpec spec = makeHmnmSpec(4);
-            spec.placement = placement;
-            results.push_back(runFunctional(paperHierarchy(5), spec, app,
-                                            opts.instructions));
-        }
-        table.addRow(ExperimentOptions::shortName(app),
-                     {results[0].avgAccessTime(),
-                      results[1].avgAccessTime(),
-                      results[2].avgAccessTime(),
-                      results[0].energy.mnm_pj / 1e6,
-                      results[1].energy.mnm_pj / 1e6,
-                      results[2].energy.mnm_pj / 1e6},
+    std::vector<SweepVariant> variants;
+    for (auto [label, placement] :
+         {std::pair{"parallel", MnmPlacement::Parallel},
+          std::pair{"serial", MnmPlacement::Serial},
+          std::pair{"distributed", MnmPlacement::Distributed}}) {
+        MnmSpec spec = makeHmnmSpec(4);
+        spec.placement = placement;
+        variants.push_back({label, paperHierarchy(5), spec});
+    }
+    std::vector<MemSimResult> results = runSweep(
+        makeGridCells(opts.apps, variants, opts.instructions), opts);
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+        const MemSimResult *r = &results[a * variants.size()];
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
+                     {r[0].avgAccessTime(), r[1].avgAccessTime(),
+                      r[2].avgAccessTime(), r[0].energy.mnm_pj / 1e6,
+                      r[1].energy.mnm_pj / 1e6,
+                      r[2].energy.mnm_pj / 1e6},
                      3);
     }
     table.addMeanRow("Arith. Mean", 3);

@@ -11,7 +11,7 @@
 #include "core/mnm_unit.hh"
 #include "core/presets.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -24,17 +24,22 @@ main()
                 "set-only circuit [%]");
     table.setHeader({"app", "counting", "set-only"});
 
-    for (const std::string &app : opts.apps) {
+    std::vector<SweepVariant> variants = {
+        {"counting", paperHierarchy(5),
+         makeUniformSpec(SmnmSpec{13, 2, SmnmUpdateMode::Counting})},
+        {"set-only", paperHierarchy(5),
+         makeUniformSpec(SmnmSpec{13, 2, SmnmUpdateMode::SetOnly})}};
+    std::vector<MemSimResult> results = runSweep(
+        makeGridCells(opts.apps, variants, opts.instructions), opts);
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         std::vector<double> row;
-        for (SmnmUpdateMode mode :
-             {SmnmUpdateMode::Counting, SmnmUpdateMode::SetOnly}) {
-            MnmSpec spec =
-                makeUniformSpec(SmnmSpec{13, 2, mode});
-            MemSimResult r = runFunctional(paperHierarchy(5), spec, app,
-                                           opts.instructions);
-            row.push_back(100.0 * r.coverage.coverage());
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            row.push_back(100.0 *
+                          results[a * variants.size() + v]
+                              .coverage.coverage());
         }
-        table.addRow(ExperimentOptions::shortName(app), row, 2);
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 2);
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);

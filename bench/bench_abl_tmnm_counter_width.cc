@@ -10,7 +10,7 @@
 #include "core/mnm_unit.hh"
 #include "core/presets.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -22,15 +22,23 @@ main()
     Table table("Ablation: TMNM_12x3 coverage by counter width [%]");
     table.setHeader({"app", "2-bit", "3-bit", "4-bit"});
 
-    for (const std::string &app : opts.apps) {
+    std::vector<SweepVariant> variants;
+    for (std::uint32_t bits : {2u, 3u, 4u}) {
+        variants.push_back({std::to_string(bits) + "-bit",
+                            paperHierarchy(5),
+                            makeUniformSpec(TmnmSpec{12, 3, bits})});
+    }
+    std::vector<MemSimResult> results = runSweep(
+        makeGridCells(opts.apps, variants, opts.instructions), opts);
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         std::vector<double> row;
-        for (std::uint32_t bits : {2u, 3u, 4u}) {
-            MnmSpec spec = makeUniformSpec(TmnmSpec{12, 3, bits});
-            MemSimResult r = runFunctional(paperHierarchy(5), spec, app,
-                                           opts.instructions);
-            row.push_back(100.0 * r.coverage.coverage());
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            row.push_back(100.0 *
+                          results[a * variants.size() + v]
+                              .coverage.coverage());
         }
-        table.addRow(ExperimentOptions::shortName(app), row, 2);
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 2);
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);

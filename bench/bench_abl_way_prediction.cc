@@ -15,7 +15,7 @@
 #include "core/presets.hh"
 #include "power/sram_model.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/bits.hh"
 #include "util/table.hh"
 
@@ -71,13 +71,17 @@ main()
                 "(way prediction / serial HMNM4 / both)");
     table.setHeader({"app", "waypred", "mnm", "both"});
 
-    for (const std::string &app : opts.apps) {
-        MemSimResult base = runFunctional(params, std::nullopt, app,
-                                          opts.instructions);
-        MnmSpec spec = makeHmnmSpec(4);
-        spec.placement = MnmPlacement::Serial;
-        MemSimResult mnm = runFunctional(params, spec, app,
-                                         opts.instructions);
+    MnmSpec serial_spec = makeHmnmSpec(4);
+    serial_spec.placement = MnmPlacement::Serial;
+    std::vector<SweepVariant> variants = {
+        {"baseline", params, std::nullopt},
+        {"serial HMNM4", params, serial_spec}};
+    std::vector<MemSimResult> results = runSweep(
+        makeGridCells(opts.apps, variants, opts.instructions), opts);
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+        const MemSimResult &base = results[a * 2];
+        const MemSimResult &mnm = results[a * 2 + 1];
 
         double base_probe =
             base.energy.probe_hit_pj + base.energy.probe_miss_pj;
@@ -93,7 +97,7 @@ main()
         double both_probe =
             wayPredictedProbeEnergy(mnm, params) + mnm.energy.mnm_pj;
 
-        table.addRow(ExperimentOptions::shortName(app),
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
                      {100.0 * (base_probe - wp_probe) / base_probe,
                       100.0 * (base_probe - mnm_probe) / base_probe,
                       100.0 * (base_probe - both_probe) / base_probe},

@@ -12,7 +12,7 @@
 #include "core/presets.hh"
 #include "sim/analytic.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -61,18 +61,22 @@ main()
     table.setHeader({"app", "sim (eq1)", "analytic (eq1)", "sim (eq2)",
                      "analytic (eq2)"});
 
-    for (const std::string &app : opts.apps) {
-        MemSimResult base = runFunctional(params, std::nullopt, app,
-                                          opts.instructions);
-        MemSimResult mnm = runFunctional(params, makeHmnmSpec(4), app,
-                                         opts.instructions);
+    std::vector<SweepVariant> variants = {
+        {"baseline", params, std::nullopt},
+        {"HMNM4", params, makeHmnmSpec(4)}};
+    std::vector<MemSimResult> results = runSweep(
+        makeGridCells(opts.apps, variants, opts.instructions), opts);
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+        const MemSimResult &base = results[a * 2];
+        const MemSimResult &mnm = results[a * 2 + 1];
         double analytic_base = analyticDataAccessTime(
             levelTimings(base, params),
             static_cast<double>(params.memory_latency));
         double analytic_mnm = analyticDataAccessTime(
             levelTimings(mnm, params),
             static_cast<double>(params.memory_latency));
-        table.addRow(ExperimentOptions::shortName(app),
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
                      {base.avgAccessTime(), analytic_base,
                       mnm.avgAccessTime(), analytic_mnm},
                      2);

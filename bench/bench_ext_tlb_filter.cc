@@ -11,12 +11,24 @@
 #include "cache/tlb.hh"
 #include "core/tlb_filter.hh"
 #include "power/sram_model.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "trace/spec2000.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace mnm;
+
+namespace
+{
+
+/** One app's measurements, produced by its sweep cell. */
+struct TlbRow
+{
+    std::vector<double> cells;
+    std::uint64_t violations = 0;
+};
+
+} // anonymous namespace
 
 int
 main()
@@ -30,7 +42,9 @@ main()
     // A 64-entry fully-associative TLB is a CAM probe per access.
     PowerDelay tlb_probe = sram.cam(64, 20);
 
-    for (const std::string &app : opts.apps) {
+    ParallelRunner runner(opts.jobs);
+    auto rows = runner.map<TlbRow>(opts.apps.size(), [&](std::size_t a) {
+        const std::string &app = opts.apps[a];
         TlbParams params;
         params.entries = 64;
         params.associativity = 0;
@@ -67,8 +81,7 @@ main()
             tlb_probe.read_energy_pj *
                 static_cast<double>(filtered.stats().accesses.value()) +
             filter.consumedEnergyPj();
-        table.addRow(
-            ExperimentOptions::shortName(app),
+        return TlbRow{
             {100.0 * (1.0 - base.stats().hitRate()),
              100.0 * filter.coverage(),
              100.0 * (base_energy - filt_energy) / base_energy,
@@ -76,9 +89,14 @@ main()
                    static_cast<double>(accesses)),
              ratio(static_cast<double>(filt_cycles),
                    static_cast<double>(accesses))},
-            2);
-        if (filter.soundnessViolations() != 0)
-            warn("TLB filter violations on %s", app.c_str());
+            filter.soundnessViolations()};
+    });
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
+                     rows[a].cells, 2);
+        if (rows[a].violations != 0)
+            warn("TLB filter violations on %s", opts.apps[a].c_str());
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);

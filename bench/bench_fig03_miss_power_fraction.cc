@@ -10,7 +10,7 @@
  */
 
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -23,15 +23,21 @@ main()
         "Figure 3: fraction of misses in cache power consumption [%]");
     table.setHeader({"app", "2-level", "3-level", "5-level", "7-level"});
 
-    for (const std::string &app : opts.apps) {
+    std::vector<SweepVariant> variants;
+    for (int levels : {2, 3, 5, 7}) {
+        variants.push_back({std::to_string(levels) + "-level",
+                            paperHierarchy(levels), std::nullopt});
+    }
+    std::vector<MemSimResult> results = runSweep(
+        makeGridCells(opts.apps, variants, opts.instructions), opts);
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         std::vector<double> row;
-        for (int levels : {2, 3, 5, 7}) {
-            MemSimResult r = runFunctional(paperHierarchy(levels),
-                                           std::nullopt, app,
-                                           opts.instructions);
-            row.push_back(100.0 * r.energy.missFraction());
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            row.push_back(100.0 * results[a * variants.size() + v]
+                                      .energy.missFraction());
         }
-        table.addRow(ExperimentOptions::shortName(app), row, 1);
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 1);
     }
     table.addMeanRow("Arith. Mean", 1);
     table.print(opts.csv);

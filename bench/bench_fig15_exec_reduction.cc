@@ -13,7 +13,7 @@
 #include "core/presets.hh"
 #include "cpu/ooo_core.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "trace/spec2000.hh"
 #include "util/table.hh"
 
@@ -49,21 +49,34 @@ main()
     Table table("Figure 15: reduction in execution cycles, parallel MNM "
                 "[%]");
     std::vector<std::string> header = {"app"};
-    for (const std::string &config : headlineConfigs())
+    // Variant 0 is the baseline (no MNM); the headline configs follow.
+    std::vector<std::string> configs = {""};
+    for (const std::string &config : headlineConfigs()) {
         header.push_back(config);
+        configs.push_back(config);
+    }
     table.setHeader(header);
 
-    for (const std::string &app : opts.apps) {
-        Cycles base = runCycles(app, "", opts.instructions);
+    // Timing-core runs, one cell per (app, config), app-major.
+    ParallelRunner runner(opts.jobs);
+    std::vector<Cycles> cycles = runner.map<Cycles>(
+        opts.apps.size() * configs.size(), [&](std::size_t i) {
+            return runCycles(opts.apps[i / configs.size()],
+                             configs[i % configs.size()],
+                             opts.instructions);
+        });
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+        Cycles base = cycles[a * configs.size()];
         std::vector<double> row;
-        for (const std::string &config : headlineConfigs()) {
-            Cycles cycles = runCycles(app, config, opts.instructions);
+        for (std::size_t c = 1; c < configs.size(); ++c) {
             row.push_back(100.0 *
                           (static_cast<double>(base) -
-                           static_cast<double>(cycles)) /
+                           static_cast<double>(
+                               cycles[a * configs.size() + c])) /
                           static_cast<double>(base));
         }
-        table.addRow(ExperimentOptions::shortName(app), row, 2);
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 2);
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);

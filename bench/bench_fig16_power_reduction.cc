@@ -11,7 +11,7 @@
 
 #include "core/presets.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -23,24 +23,30 @@ main()
     Table table("Figure 16: reduction in cache power consumption, "
                 "serial MNM [%]");
     std::vector<std::string> header = {"app"};
-    for (const std::string &config : headlineConfigs())
+    // Variant 0 is the baseline; the headline configs follow.
+    std::vector<SweepVariant> variants = {
+        {"baseline", paperHierarchy(5), std::nullopt}};
+    for (const std::string &config : headlineConfigs()) {
         header.push_back(config);
+        MnmSpec spec = mnmSpecByName(config);
+        spec.placement = MnmPlacement::Serial;
+        variants.push_back({config, paperHierarchy(5), spec});
+    }
     table.setHeader(header);
 
-    for (const std::string &app : opts.apps) {
-        MemSimResult base = runFunctional(paperHierarchy(5), std::nullopt,
-                                          app, opts.instructions);
+    std::vector<MemSimResult> results = runSweep(
+        makeGridCells(opts.apps, variants, opts.instructions), opts);
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+        const MemSimResult &base = results[a * variants.size()];
         std::vector<double> row;
-        for (const std::string &config : headlineConfigs()) {
-            MnmSpec spec = mnmSpecByName(config);
-            spec.placement = MnmPlacement::Serial;
-            MemSimResult r = runFunctional(paperHierarchy(5), spec, app,
-                                           opts.instructions);
+        for (std::size_t v = 1; v < variants.size(); ++v) {
+            const MemSimResult &r = results[a * variants.size() + v];
             row.push_back(100.0 *
                           (base.energy.total() - r.energy.total()) /
                           base.energy.total());
         }
-        table.addRow(ExperimentOptions::shortName(app), row, 2);
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 2);
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);

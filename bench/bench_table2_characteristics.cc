@@ -7,7 +7,7 @@
 
 #include "cpu/ooo_core.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "trace/spec2000.hh"
 #include "util/table.hh"
 
@@ -22,33 +22,41 @@ main()
                      "dl1 hit%", "dl2 hit%", "il1 hit%", "il2 hit%",
                      "ul3 hit%", "ul4 hit%", "ul5 hit%"});
 
-    for (const std::string &app : opts.apps) {
-        CacheHierarchy hierarchy(paperHierarchy(5));
-        OooCore core(paperCpu(5), hierarchy);
-        auto workload = makeSpecWorkload(app);
-        CpuRunStats stats = core.run(*workload, opts.instructions);
+    // One timing-core run per app; each cell returns its full row.
+    ParallelRunner runner(opts.jobs);
+    auto rows = runner.map<std::vector<double>>(
+        opts.apps.size(), [&](std::size_t a) {
+            CacheHierarchy hierarchy(paperHierarchy(5));
+            OooCore core(paperCpu(5), hierarchy);
+            auto workload = makeSpecWorkload(opts.apps[a]);
+            CpuRunStats stats = core.run(*workload, opts.instructions);
 
-        auto hit_rate = [&](const char *name) {
-            for (CacheId id = 0; id < hierarchy.numCaches(); ++id) {
-                if (hierarchy.cache(id).params().name == name)
-                    return 100.0 * hierarchy.cache(id).stats().hitRate();
-            }
-            return 0.0;
-        };
-        std::vector<double> row = {
-            static_cast<double>(stats.cycles) / 1e6,
-            static_cast<double>(stats.loads + stats.stores) / 1e6,
-            static_cast<double>(stats.fetch_line_accesses) / 1e6,
-            hit_rate("dl1"),
-            hit_rate("dl2"),
-            hit_rate("il1"),
-            hit_rate("il2"),
-            hit_rate("ul3"),
-            hit_rate("ul4"),
-            hit_rate("ul5"),
-        };
-        table.addRow(ExperimentOptions::shortName(app), row, 2);
-    }
+            auto hit_rate = [&](const char *name) {
+                for (CacheId id = 0; id < hierarchy.numCaches(); ++id) {
+                    if (hierarchy.cache(id).params().name == name) {
+                        return 100.0 *
+                               hierarchy.cache(id).stats().hitRate();
+                    }
+                }
+                return 0.0;
+            };
+            return std::vector<double>{
+                static_cast<double>(stats.cycles) / 1e6,
+                static_cast<double>(stats.loads + stats.stores) / 1e6,
+                static_cast<double>(stats.fetch_line_accesses) / 1e6,
+                hit_rate("dl1"),
+                hit_rate("dl2"),
+                hit_rate("il1"),
+                hit_rate("il2"),
+                hit_rate("ul3"),
+                hit_rate("ul4"),
+                hit_rate("ul5"),
+            };
+        });
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a)
+        table.addRow(ExperimentOptions::shortName(opts.apps[a]), rows[a],
+                     2);
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);
     return 0;

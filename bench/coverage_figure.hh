@@ -14,7 +14,7 @@
 
 #include "core/presets.hh"
 #include "sim/config.hh"
-#include "sim/experiment.hh"
+#include "sim/runner.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -29,20 +29,26 @@ runCoverageFigure(const std::string &title,
     ExperimentOptions opts = ExperimentOptions::fromEnv();
     Table table(title);
     std::vector<std::string> header = {"app"};
-    for (const std::string &config : configs)
+    std::vector<SweepVariant> variants;
+    for (const std::string &config : configs) {
         header.push_back(config);
+        variants.push_back({config, paperHierarchy(5),
+                            mnmSpecByName(config)});
+    }
     table.setHeader(header);
 
-    for (const std::string &app : opts.apps) {
+    std::vector<MemSimResult> results = runSweep(
+        makeGridCells(opts.apps, variants, opts.instructions), opts);
+
+    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+        const std::string &app = opts.apps[a];
         std::vector<double> row;
-        for (const std::string &config : configs) {
-            MemSimResult r = runFunctional(
-                paperHierarchy(5), mnmSpecByName(config), app,
-                opts.instructions);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            const MemSimResult &r = results[a * configs.size() + c];
             row.push_back(100.0 * r.coverage.coverage());
             if (r.soundness_violations != 0) {
                 warn("%s on %s: %llu soundness violations",
-                     config.c_str(), app.c_str(),
+                     configs[c].c_str(), app.c_str(),
                      static_cast<unsigned long long>(
                          r.soundness_violations));
             }

@@ -13,26 +13,11 @@
 
 #include "core/presets.hh"
 #include "sim/config.hh"
-#include "sim/memory_sim.hh"
+#include "sim/runner.hh"
 #include "trace/spec2000.hh"
 #include "util/table.hh"
 
 using namespace mnm;
-
-namespace
-{
-
-MemSimResult
-runOnce(const std::string &app, std::uint64_t instructions,
-        const std::optional<MnmSpec> &spec)
-{
-    MemorySimulator sim(paperHierarchy(5), spec);
-    auto workload = makeSpecWorkload(app);
-    sim.run(*workload, instructions / 10);
-    return sim.run(*workload, instructions);
-}
-
-} // anonymous namespace
 
 int
 main(int argc, char **argv)
@@ -41,7 +26,20 @@ main(int argc, char **argv)
     std::uint64_t instructions =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400000;
 
-    MemSimResult base = runOnce(app, instructions, std::nullopt);
+    // Baseline plus every headline config as one parallel sweep.
+    std::vector<SweepCell> cells = {
+        {app, paperHierarchy(5), std::nullopt, instructions,
+         "baseline"}};
+    for (const std::string &config : headlineConfigs()) {
+        MnmSpec spec = mnmSpecByName(config);
+        spec.placement = MnmPlacement::Serial;
+        cells.push_back(
+            {app, paperHierarchy(5), spec, instructions, config});
+    }
+    ExperimentOptions opts;
+    opts.jobs = jobsFromEnv();
+    std::vector<MemSimResult> results = runSweep(cells, opts);
+    const MemSimResult &base = results[0];
 
     Table table("Serial-MNM energy breakdown for " + app + " [uJ]");
     table.setHeader({"config", "hit probes", "miss probes", "fills",
@@ -56,12 +54,8 @@ main(int argc, char **argv)
                           base.energy.total()},
                      2);
     };
-    add("baseline", base);
-    for (const std::string &config : headlineConfigs()) {
-        MnmSpec spec = mnmSpecByName(config);
-        spec.placement = MnmPlacement::Serial;
-        add(config, runOnce(app, instructions, spec));
-    }
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        add(cells[i].label, results[i]);
     table.print();
 
     std::puts("Notes: 'miss probes' is the waste the MNM attacks; "

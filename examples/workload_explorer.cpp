@@ -2,7 +2,8 @@
  * @file
  * Workload explorer: sizing an MNM for a given workload. Sweeps TMNM
  * and CMNM configurations, reporting coverage against storage budget --
- * the trade study an architect would run before committing area.
+ * the trade study an architect would run before committing area. The
+ * candidates run concurrently on the sweep engine (MNM_JOBS workers).
  *
  *   ./workload_explorer [workload] [instructions]
  */
@@ -13,6 +14,7 @@
 #include "core/presets.hh"
 #include "sim/config.hh"
 #include "sim/memory_sim.hh"
+#include "sim/runner.hh"
 #include "trace/spec2000.hh"
 #include "util/table.hh"
 
@@ -27,16 +29,25 @@ struct Candidate
     MnmSpec spec;
 };
 
-double
+/** What one candidate's cell reports back. */
+struct Sizing
+{
+    double coverage = 0.0;
+    std::uint64_t storage_bits = 0;
+};
+
+Sizing
 runCoverage(const MnmSpec &spec, const std::string &app,
-            std::uint64_t instructions, std::uint64_t &storage_bits)
+            std::uint64_t instructions)
 {
     MemorySimulator sim(paperHierarchy(5), spec);
-    storage_bits = sim.mnm()->storageBits();
+    Sizing sizing;
+    sizing.storage_bits = sim.mnm()->storageBits();
     auto workload = makeSpecWorkload(app);
     sim.run(*workload, instructions / 10); // warm-up
     MemSimResult r = sim.run(*workload, instructions);
-    return r.coverage.coverage();
+    sizing.coverage = r.coverage.coverage();
+    return sizing;
 }
 
 } // anonymous namespace
@@ -69,13 +80,17 @@ main(int argc, char **argv)
     Table table("MNM sizing study for " + app);
     table.setHeader({"config", "storage[KB]", "coverage%",
                      "coverage%/KB"});
-    for (const Candidate &c : candidates) {
-        std::uint64_t bits = 0;
-        double coverage = runCoverage(c.spec, app, instructions, bits);
-        double kb = static_cast<double>(bits) / 8.0 / 1024.0;
-        table.addRow(c.spec.name,
-                     {kb, 100.0 * coverage,
-                      kb > 0 ? 100.0 * coverage / kb : 0.0},
+    ParallelRunner runner(jobsFromEnv());
+    std::vector<Sizing> sizings = runner.map<Sizing>(
+        candidates.size(), [&](std::size_t i) {
+            return runCoverage(candidates[i].spec, app, instructions);
+        });
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const Sizing &s = sizings[i];
+        double kb = static_cast<double>(s.storage_bits) / 8.0 / 1024.0;
+        table.addRow(candidates[i].spec.name,
+                     {kb, 100.0 * s.coverage,
+                      kb > 0 ? 100.0 * s.coverage / kb : 0.0},
                      2);
     }
     table.print();

@@ -36,7 +36,6 @@ CheckerModel::evaluate(std::uint32_t sum_width,
     MNM_ASSERT(replication >= 1, "zero checkers");
 
     std::uint64_t ffs = flipFlops(sum_width);
-    std::uint64_t gates = logicGates(sum_width);
 
     PowerDelay pd;
     // Per access only the active slice toggles: the w-level sum network

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "sim/runner.hh"
 #include "trace/spec2000.hh"
 #include "util/logging.hh"
 
@@ -43,6 +44,9 @@ ExperimentOptions::fromEnv()
         opts.apps = specAllNames();
     if (const char *env = std::getenv("MNM_CSV"))
         opts.csv = env[0] == '1';
+    opts.jobs = jobsFromEnv();
+    if (const char *env = std::getenv("MNM_PROGRESS"))
+        opts.progress = env[0] == '1';
     return opts;
 }
 

@@ -10,6 +10,9 @@
  *   MNM_INSTRUCTIONS  instructions per workload (default 2,000,000)
  *   MNM_APPS          comma-separated workload names (default: all 20)
  *   MNM_CSV           set to 1 to also emit CSV after each table
+ *   MNM_JOBS          sweep worker threads (default: all hardware
+ *                     threads; 1 = legacy serial path)
+ *   MNM_PROGRESS      set to 1 to report per-cell completion on stderr
  */
 
 #ifndef MNM_SIM_EXPERIMENT_HH
@@ -31,8 +34,13 @@ struct ExperimentOptions
     std::uint64_t instructions = 2'000'000;
     std::vector<std::string> apps;
     bool csv = false;
+    /** Sweep worker threads (sim/runner.hh); 1 = serial. */
+    unsigned jobs = 1;
+    /** Report per-cell sweep completion via progress(). */
+    bool progress = false;
 
-    /** Parse MNM_INSTRUCTIONS / MNM_APPS / MNM_CSV. */
+    /** Parse MNM_INSTRUCTIONS / MNM_APPS / MNM_CSV / MNM_JOBS /
+     *  MNM_PROGRESS. */
     static ExperimentOptions fromEnv();
 
     /** Short app label for table rows ("164.gzip" -> "gzip"). */

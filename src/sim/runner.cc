@@ -1,0 +1,146 @@
+#include "sim/runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+namespace
+{
+
+unsigned
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+} // anonymous namespace
+
+unsigned
+jobsFromEnv()
+{
+    const char *env = std::getenv("MNM_JOBS");
+    if (!env)
+        return hardwareJobs();
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0)
+        fatal("MNM_JOBS='%s' is not a positive integer", env);
+    return static_cast<unsigned>(v);
+}
+
+std::vector<SweepCell>
+makeGridCells(const std::vector<std::string> &apps,
+              const std::vector<SweepVariant> &variants,
+              std::uint64_t instructions)
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(apps.size() * variants.size());
+    for (const std::string &app : apps) {
+        for (const SweepVariant &variant : variants) {
+            cells.push_back({app, variant.hierarchy, variant.mnm,
+                             instructions, variant.label});
+        }
+    }
+    return cells;
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : hardwareJobs())
+{
+}
+
+std::vector<std::exception_ptr>
+ParallelRunner::run(std::size_t count,
+                    const std::function<void(std::size_t)> &task) const
+{
+    std::vector<std::exception_ptr> errors(count);
+    auto attempt = [&](std::size_t i) {
+        try {
+            task(i);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    if (jobs_ <= 1 || count <= 1) {
+        // Legacy serial path: no threads, no atomics.
+        for (std::size_t i = 0; i < count; ++i)
+            attempt(i);
+        return errors;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < count;
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+            attempt(i);
+        }
+    };
+    std::size_t spawn = std::min<std::size_t>(jobs_, count);
+    {
+        std::vector<std::jthread> pool;
+        pool.reserve(spawn);
+        for (std::size_t t = 0; t < spawn; ++t)
+            pool.emplace_back(worker);
+    } // joins every worker; errors[] is complete past this point
+    return errors;
+}
+
+void
+ParallelRunner::rethrowFirst(const std::vector<std::exception_ptr> &errors)
+{
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
+
+std::vector<MemSimResult>
+runSweep(const std::vector<SweepCell> &cells,
+         const ExperimentOptions &opts)
+{
+    ParallelRunner runner(opts.jobs);
+    std::vector<MemSimResult> results(cells.size());
+    std::atomic<std::size_t> completed{0};
+
+    auto errors = runner.run(cells.size(), [&](std::size_t i) {
+        const SweepCell &cell = cells[i];
+        results[i] = runFunctional(cell.hierarchy, cell.mnm, cell.app,
+                                   cell.instructions);
+        if (opts.progress) {
+            std::size_t done =
+                completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            progress("[%zu/%zu] %s%s%s", done, cells.size(),
+                     cell.app.c_str(), cell.label.empty() ? "" : " · ",
+                     cell.label.c_str());
+        }
+    });
+
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (!errors[i])
+            continue;
+        const SweepCell &cell = cells[i];
+        try {
+            std::rethrow_exception(errors[i]);
+        } catch (const std::exception &e) {
+            fatal("sweep cell %zu (%s%s%s) failed: %s", i,
+                  cell.app.c_str(), cell.label.empty() ? "" : " · ",
+                  cell.label.c_str(), e.what());
+        } catch (...) {
+            fatal("sweep cell %zu (%s%s%s) failed with a non-standard "
+                  "exception",
+                  i, cell.app.c_str(), cell.label.empty() ? "" : " · ",
+                  cell.label.c_str());
+        }
+    }
+    return results;
+}
+
+} // namespace mnm

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parallel sweep engine for the experiment harness.
+ *
+ * Every bench reproduces a paper table/figure by sweeping the twenty
+ * SPEC2000-like workloads over a handful of machine/MNM variants. Each
+ * (workload, hierarchy, MNM, budget) point — a SweepCell — is an
+ * independent simulation on a fresh MemorySimulator, so the grid is
+ * embarrassingly parallel. The ParallelRunner executes cells on a
+ * fixed-size std::jthread pool; results land in a pre-sized output
+ * vector indexed by cell, so aggregation order (and therefore every
+ * printed table) is deterministic and byte-identical to the serial
+ * path.
+ *
+ * Concurrency model: no simulator state is shared between cells. Each
+ * worker claims the next cell off an atomic counter, builds its own
+ * MemorySimulator/workload, and writes only results[i]. The only shared
+ * sinks are the logging mutex (util/logging) and the per-slot
+ * std::exception_ptr array; a throwing cell fails its own slot and the
+ * pool keeps draining.
+ *
+ * Job count comes from MNM_JOBS (default: hardware_concurrency;
+ * 1 = legacy serial path that never spawns a thread).
+ */
+
+#ifndef MNM_SIM_RUNNER_HH
+#define MNM_SIM_RUNNER_HH
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace mnm
+{
+
+/** One independent point of a sweep grid. */
+struct SweepCell
+{
+    std::string app;                 //!< workload name ("164.gzip")
+    HierarchyParams hierarchy;       //!< machine configuration
+    std::optional<MnmSpec> mnm;      //!< optional MNM shielding it
+    std::uint64_t instructions = 0;  //!< measured-window budget
+    std::string label;               //!< variant tag for progress/errors
+};
+
+/** One machine/MNM variant, to be crossed with the workload list. */
+struct SweepVariant
+{
+    std::string label;
+    HierarchyParams hierarchy;
+    std::optional<MnmSpec> mnm;
+};
+
+/**
+ * Cross @p apps with @p variants into an app-major cell grid: the cell
+ * for (app a, variant v) sits at index `a * variants.size() + v`, which
+ * is exactly the order the serial bench loops used to visit.
+ */
+std::vector<SweepCell>
+makeGridCells(const std::vector<std::string> &apps,
+              const std::vector<SweepVariant> &variants,
+              std::uint64_t instructions);
+
+/** MNM_JOBS, or hardware_concurrency when unset (always >= 1). */
+unsigned jobsFromEnv();
+
+/**
+ * Fixed-size worker pool executing an indexed task set. The generic
+ * substrate under runSweep(); benches whose unit of work is not a
+ * functional-simulator run (timing cores, TLB loops) use it directly.
+ */
+class ParallelRunner
+{
+  public:
+    /** @param jobs worker count; 0 = hardware_concurrency, 1 = run
+     *  everything inline on the calling thread (legacy serial path). */
+    explicit ParallelRunner(unsigned jobs);
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute task(0) .. task(count-1), each exactly once. With more
+     * than one job, workers claim indices dynamically (small cells
+     * don't stall the pool behind big ones). An exception escaping
+     * task(i) is captured into slot i of the returned vector; the
+     * remaining indices still run and the pool always joins.
+     *
+     * @return one std::exception_ptr per index, null on success.
+     */
+    std::vector<std::exception_ptr>
+    run(std::size_t count,
+        const std::function<void(std::size_t)> &task) const;
+
+    /**
+     * Convenience: out[i] = fn(i) with results pre-sized so output
+     * order is index order regardless of completion order. Rethrows
+     * the first captured exception (lowest index) after the pool has
+     * drained.
+     */
+    template <typename T, typename F>
+    std::vector<T>
+    map(std::size_t count, F &&fn) const
+    {
+        std::vector<T> out(count);
+        rethrowFirst(run(count,
+                         [&](std::size_t i) { out[i] = fn(i); }));
+        return out;
+    }
+
+    /** Rethrow the lowest-index captured error, if any. */
+    static void
+    rethrowFirst(const std::vector<std::exception_ptr> &errors);
+
+  private:
+    unsigned jobs_;
+};
+
+/**
+ * Run every cell through runFunctional() on @p opts.jobs workers.
+ * Results are indexed like @p cells. Per-cell completion is reported
+ * via progress() when @p opts.progress (MNM_PROGRESS=1); a failed cell
+ * is reported with its app/label and is fatal once the pool drains.
+ */
+std::vector<MemSimResult> runSweep(const std::vector<SweepCell> &cells,
+                                   const ExperimentOptions &opts);
+
+} // namespace mnm
+
+#endif // MNM_SIM_RUNNER_HH

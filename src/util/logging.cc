@@ -1,6 +1,7 @@
 #include "util/logging.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace mnm
@@ -16,11 +17,20 @@ levelPrefix(LogLevel level)
 {
     switch (level) {
       case LogLevel::Info: return "info";
+      case LogLevel::Progress: return "progress";
       case LogLevel::Warn: return "warn";
       case LogLevel::Fatal: return "fatal";
       case LogLevel::Panic: return "panic";
     }
     return "?";
+}
+
+/** Serializes the sink across sweep-runner worker threads. */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
 }
 
 } // anonymous namespace
@@ -29,6 +39,7 @@ void
 logMessage(LogLevel level, const std::string &msg)
 {
     std::FILE *stream = (level == LogLevel::Info) ? stdout : stderr;
+    std::scoped_lock lock(logMutex());
     std::fprintf(stream, "%s: %s\n", levelPrefix(level), msg.c_str());
     std::fflush(stream);
 }

@@ -8,6 +8,11 @@
  *            invalid arguments). Exits with status 1.
  * warn()   — something is suspicious but the run can continue.
  * inform() — plain status output.
+ * progress() — sweep/run progress; goes to stderr so table output on
+ *            stdout stays byte-identical whether or not it is enabled.
+ *
+ * All messages funnel through one mutex-guarded sink, so concurrent
+ * workers (sim/runner.hh) never interleave partial lines.
  */
 
 #ifndef MNM_UTIL_LOGGING_HH
@@ -24,6 +29,7 @@ namespace mnm
 enum class LogLevel
 {
     Info,
+    Progress,
     Warn,
     Fatal,
     Panic,
@@ -47,6 +53,14 @@ void
 inform(const char *fmt, Args... args)
 {
     detail::logMessage(LogLevel::Info, detail::vformat(fmt, args...));
+}
+
+/** Print a progress message to stderr (never pollutes stdout). */
+template <typename... Args>
+void
+progress(const char *fmt, Args... args)
+{
+    detail::logMessage(LogLevel::Progress, detail::vformat(fmt, args...));
 }
 
 /** Print a warning to stderr; execution continues. */

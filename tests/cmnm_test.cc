@@ -208,9 +208,10 @@ TEST(CmnmTest, MonotoneSoundAgainstShadowSetUnderRandomChurn)
                 shadow.insert(block);
             }
             BlockAddr probe = rng.nextBelow(1 << 20);
-            if (cmnm.definitelyMiss(probe))
+            if (cmnm.definitelyMiss(probe)) {
                 ASSERT_FALSE(shadow.count(probe))
                     << "unsound verdict with " << regs << " registers";
+            }
         }
         EXPECT_EQ(cmnm.anomalies(), 0u);
     }

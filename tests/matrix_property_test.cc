@@ -60,8 +60,9 @@ TEST_P(PresetMatrixTest, ConstructsAndOperatesOnPaperMachine)
         BypassMask mask = mnm.computeBypass(type, addr);
         AccessResult r = hierarchy.access(type, addr, mask);
         Cycles extra = mnm.applyPlacementCosts(r);
-        if (placement == MnmPlacement::Parallel)
+        if (placement == MnmPlacement::Parallel) {
             EXPECT_EQ(extra, 0u);
+        }
     }
     EXPECT_EQ(mnm.soundnessViolations(), 0u);
     EXPECT_EQ(mnm.filterAnomalies(), 0u);

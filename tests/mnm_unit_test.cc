@@ -195,7 +195,7 @@ TEST(MnmUnitTest, ProbeDelayWithinL1CyclesForAllPaperConfigs)
     Cycles l1_cycles =
         std::max<Cycles>(2, delayToCycles(sram.cache(l1).access_ns, 1.0));
 
-    for (const std::string &name :
+    for (const char *name :
          {"TMNM_12x3", "CMNM_8_10", "HMNM2", "HMNM4"}) {
         CacheHierarchy fresh(paperHierarchy(5));
         MnmUnit mnm(mnmSpecByName(name), fresh);

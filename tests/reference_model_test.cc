@@ -120,9 +120,10 @@ TEST_P(CacheVsReferenceTest, AgreesWithReferenceLru)
             ASSERT_EQ(dut_fill.evicted.has_value(),
                       ref_evicted.has_value())
                 << "fill divergence at step " << step;
-            if (ref_evicted)
+            if (ref_evicted) {
                 ASSERT_EQ(*dut_fill.evicted, *ref_evicted)
                     << "victim divergence at step " << step;
+            }
             break;
           }
           default: {

@@ -178,8 +178,9 @@ TEST(SmnmTest, SoundAgainstShadowSetUnderRandomChurn)
                 shadow.insert(block);
             }
             BlockAddr probe = rng.nextBelow(1 << 18);
-            if (smnm.definitelyMiss(probe))
+            if (smnm.definitelyMiss(probe)) {
                 ASSERT_FALSE(shadow.count(probe)) << "unsound verdict";
+            }
         }
         EXPECT_EQ(smnm.anomalies(), 0u);
     }

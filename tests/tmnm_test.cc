@@ -162,8 +162,9 @@ TEST(TmnmTest, SoundAgainstShadowSetUnderRandomChurn)
                 shadow.insert(block);
             }
             BlockAddr probe = rng.nextBelow(1 << 16);
-            if (tmnm.definitelyMiss(probe))
+            if (tmnm.definitelyMiss(probe)) {
                 ASSERT_FALSE(shadow.count(probe)) << "unsound verdict";
+            }
         }
         EXPECT_EQ(tmnm.anomalies(), 0u);
     }

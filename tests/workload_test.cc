@@ -321,8 +321,9 @@ TEST(UniformRandomTest, MixAndFootprint)
             ++loads;
         if (inst.cls == InstClass::Store)
             ++stores;
-        if (inst.isMem())
+        if (inst.isMem()) {
             EXPECT_LT(inst.mem_addr - 0x40000000ull, 4096u);
+        }
     }
     EXPECT_NEAR(loads / double(n), 0.5, 0.02);
     EXPECT_NEAR(stores / double(n), 0.2, 0.02);
