@@ -10,6 +10,7 @@
 #include "core/mnm_unit.hh"
 #include "util/logging.hh"
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "util/table.hh"
@@ -20,6 +21,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("abl_cmnm_masking");
     Table table("Ablation: CMNM_4_10 mask policy -- coverage and caught "
                 "soundness violations");
     table.setHeader({"app", "monotone cov%", "paper-reset cov%",

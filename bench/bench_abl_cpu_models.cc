@@ -11,6 +11,7 @@
 
 #include "core/presets.hh"
 #include "cpu/cycle_core.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "trace/spec2000.hh"
@@ -41,6 +42,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("abl_cpu_models");
     // The cycle model is ~5x slower; cap the per-app budget.
     std::uint64_t n = std::min<std::uint64_t>(opts.instructions, 500000);
 

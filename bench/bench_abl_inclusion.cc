@@ -9,6 +9,7 @@
  */
 
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "util/table.hh"
@@ -19,6 +20,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("abl_inclusion");
     Table table("Ablation: HMNM4 under non-inclusive vs inclusive "
                 "hierarchies");
     table.setHeader({"app", "noninc cov%", "inc cov%", "noninc t[cyc]",

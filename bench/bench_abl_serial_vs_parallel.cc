@@ -12,6 +12,7 @@
  */
 
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "util/table.hh"
@@ -22,6 +23,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("abl_serial_vs_parallel");
     Table table("Ablation: HMNM4 placement -- parallel vs serial vs "
                 "distributed");
     table.setHeader({"app", "par t[cyc]", "ser t[cyc]", "dist t[cyc]",

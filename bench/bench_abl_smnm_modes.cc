@@ -10,6 +10,7 @@
 
 #include "core/mnm_unit.hh"
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "util/table.hh"
@@ -20,6 +21,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("abl_smnm_modes");
     Table table("Ablation: SMNM_13x2 coverage, counting vs literal "
                 "set-only circuit [%]");
     table.setHeader({"app", "counting", "set-only"});

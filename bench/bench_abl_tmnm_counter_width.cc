@@ -9,6 +9,7 @@
 
 #include "core/mnm_unit.hh"
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "util/table.hh"
@@ -19,6 +20,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("abl_tmnm_counter_width");
     Table table("Ablation: TMNM_12x3 coverage by counter width [%]");
     table.setHeader({"app", "2-bit", "3-bit", "4-bit"});
 

@@ -13,6 +13,7 @@
  */
 
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "power/sram_model.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
@@ -66,6 +67,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("abl_way_prediction");
     HierarchyParams params = paperHierarchy(5);
     Table table("Ablation vs related work: probe-energy reduction [%] "
                 "(way prediction / serial HMNM4 / both)");

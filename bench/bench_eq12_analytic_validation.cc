@@ -10,6 +10,7 @@
  */
 
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/analytic.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
@@ -55,6 +56,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("eq12_analytic_validation");
     HierarchyParams params = paperHierarchy(5);
     Table table("Equations 1/2: analytic vs simulated data access time "
                 "[cycles] (baseline and HMNM4)");

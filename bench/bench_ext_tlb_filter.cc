@@ -10,6 +10,7 @@
 
 #include "cache/tlb.hh"
 #include "core/tlb_filter.hh"
+#include "obs/manifest.hh"
 #include "power/sram_model.hh"
 #include "sim/runner.hh"
 #include "trace/spec2000.hh"
@@ -34,6 +35,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("ext_tlb_filter");
     Table table("Extension: TMNM_8x2 filtering a 64-entry DTLB");
     table.setHeader({"app", "tlb miss%", "coverage%", "net saved%",
                      "t base", "t filt"});

@@ -7,6 +7,7 @@
  * extra level adds probe time ahead of the eventual supplier).
  */
 
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "util/table.hh"
@@ -17,6 +18,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("fig02_miss_time_fraction");
     Table table("Figure 2: fraction of misses in data access time [%]");
     table.setHeader({"app", "2-level", "3-level", "5-level", "7-level"});
 

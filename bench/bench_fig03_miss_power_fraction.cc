@@ -9,6 +9,7 @@
  * fraction can dip at high level counts, as the paper observes.
  */
 
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "util/table.hh"
@@ -19,6 +20,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("fig03_miss_power_fraction");
     Table table(
         "Figure 3: fraction of misses in cache power consumption [%]");
     table.setHeader({"app", "2-level", "3-level", "5-level", "7-level"});

@@ -12,6 +12,7 @@
 
 #include "core/presets.hh"
 #include "cpu/ooo_core.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "trace/spec2000.hh"
@@ -46,6 +47,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("fig15_exec_reduction");
     Table table("Figure 15: reduction in execution cycles, parallel MNM "
                 "[%]");
     std::vector<std::string> header = {"app"};

@@ -10,6 +10,7 @@
  */
 
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "util/table.hh"
@@ -20,6 +21,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("fig16_power_reduction");
     Table table("Figure 16: reduction in cache power consumption, "
                 "serial MNM [%]");
     std::vector<std::string> header = {"app"};

@@ -11,6 +11,9 @@
 #include "cache/hierarchy.hh"
 #include "core/mnm_unit.hh"
 #include "core/presets.hh"
+#include "obs/confusion.hh"
+#include "obs/manifest.hh"
+#include "obs/registry.hh"
 
 using namespace mnm;
 
@@ -56,6 +59,7 @@ class Narrator : public CacheEventListener
 int
 main()
 {
+    initRunTelemetry("table1_rmnm_scenario");
     std::puts("== Table 1: RMNM scenario (2-level hierarchy, "
               "direct-mapped 4-block L1 / 8-block L2) ==");
 
@@ -81,11 +85,13 @@ main()
     Narrator narrator(mnm, hierarchy);
     hierarchy.setListener(&narrator);
 
+    DecisionMatrix decisions;
     auto access = [&](Addr addr) {
         BypassMask mask = mnm.computeBypass(AccessType::Load, addr);
         std::printf("  access 0x%llx\n",
                     static_cast<unsigned long long>(addr));
         AccessResult r = hierarchy.access(AccessType::Load, addr, mask);
+        decisions.recordAccess(r);
         for (std::uint8_t i = 0; i < r.num_probes; ++i) {
             const ProbeRecord &p = r.probes[i];
             std::printf(
@@ -108,5 +114,12 @@ main()
     std::printf("soundness violations: %llu (must be 0)\n\n",
                 static_cast<unsigned long long>(
                     mnm.soundnessViolations()));
+
+    // Fold the scenario's decision matrix into the run manifest.
+    for (std::uint32_t l = 0; l < DecisionMatrix::max_levels; ++l)
+        decisions.setForbidden(l, mnm.violationsAtLevel(l));
+    decisions.registerInto(globalStats(), "table1.confusion");
+    globalStats().addCounter("table1.soundness_violations",
+                             mnm.soundnessViolations());
     return 0;
 }

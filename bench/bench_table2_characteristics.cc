@@ -6,6 +6,7 @@
  */
 
 #include "cpu/ooo_core.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "trace/spec2000.hh"
@@ -17,6 +18,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName("table2_characteristics");
     Table table("Table 2: application characteristics (5-level machine)");
     table.setHeader({"app", "cycles[M]", "dl1 acc[M]", "il1 acc[M]",
                      "dl1 hit%", "dl2 hit%", "il1 hit%", "il2 hit%",

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "util/logging.hh"
@@ -27,6 +28,7 @@ runCoverageFigure(const std::string &title,
                   const std::vector<std::string> &configs)
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
+    setRunName(title);
     Table table(title);
     std::vector<std::string> header = {"app"};
     std::vector<SweepVariant> variants;

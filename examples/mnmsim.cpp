@@ -29,6 +29,7 @@
 
 #include "core/presets.hh"
 #include "cpu/cycle_core.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/experiment.hh"
 #include "sim/sampling.hh"
@@ -141,6 +142,7 @@ makeWorkload(const Options &opts)
 int
 main(int argc, char **argv)
 {
+    initRunTelemetry("mnmsim");
     Options opts = parse(argc, argv);
 
     auto workload = makeWorkload(opts);

@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "trace/spec2000.hh"
@@ -22,6 +23,7 @@ using namespace mnm;
 int
 main(int argc, char **argv)
 {
+    initRunTelemetry("power_study");
     std::string app = argc > 1 ? argv[1] : "181.mcf";
     std::uint64_t instructions =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400000;

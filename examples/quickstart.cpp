@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/memory_sim.hh"
 #include "trace/spec2000.hh"
@@ -20,6 +21,7 @@ using namespace mnm;
 int
 main(int argc, char **argv)
 {
+    initRunTelemetry("quickstart");
     std::string app = argc > 1 ? argv[1] : "181.mcf";
     std::uint64_t instructions =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500000;

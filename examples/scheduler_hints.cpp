@@ -18,6 +18,7 @@
 #include <cstdlib>
 
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "trace/spec2000.hh"
 #include "util/table.hh"
@@ -27,6 +28,7 @@ using namespace mnm;
 int
 main(int argc, char **argv)
 {
+    initRunTelemetry("scheduler_hints");
     std::string app = argc > 1 ? argv[1] : "176.gcc";
     std::uint64_t instructions =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400000;

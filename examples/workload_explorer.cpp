@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "core/presets.hh"
+#include "obs/manifest.hh"
 #include "sim/config.hh"
 #include "sim/memory_sim.hh"
 #include "sim/runner.hh"
@@ -55,6 +56,7 @@ runCoverage(const MnmSpec &spec, const std::string &app,
 int
 main(int argc, char **argv)
 {
+    initRunTelemetry("workload_explorer");
     std::string app = argc > 1 ? argv[1] : "255.vortex";
     std::uint64_t instructions =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 400000;

@@ -128,6 +128,9 @@ MnmUnit::computeBypass(AccessType type, Addr addr)
                 // hit. Count it and suppress the bypass so the
                 // simulation stays architecturally correct.
                 ++violations_;
+                std::uint32_t level = hierarchy_.levelOf(id);
+                if (level < max_violation_levels)
+                    ++violations_at_[level];
                 continue;
             }
         }

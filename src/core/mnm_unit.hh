@@ -22,6 +22,7 @@
 #ifndef MNM_CORE_MNM_UNIT_HH
 #define MNM_CORE_MNM_UNIT_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -139,6 +140,17 @@ class MnmUnit : public CacheEventListener
      *  (or if a filter's bookkeeping broke, which tests would catch). */
     std::uint64_t soundnessViolations() const { return violations_; }
 
+    /** Caught violations at one cache level (1-based, < max_violation_
+     *  levels); the observability layer's forbidden confusion-matrix
+     *  cell (predicted-miss on a resident block). */
+    std::uint64_t
+    violationsAtLevel(std::uint32_t level) const
+    {
+        return level < max_violation_levels ? violations_at_[level] : 0;
+    }
+
+    static constexpr std::size_t max_violation_levels = 16;
+
     /** Number of verdict computations performed. */
     std::uint64_t lookups() const { return lookups_; }
 
@@ -190,6 +202,7 @@ class MnmUnit : public CacheEventListener
     PicoJoules energy_pj_ = 0.0;
     std::uint64_t lookups_ = 0;
     std::uint64_t violations_ = 0;
+    std::array<std::uint64_t, max_violation_levels> violations_at_{};
 };
 
 } // namespace mnm

@@ -1,0 +1,217 @@
+#include "obs/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+JsonWriter::JsonWriter(std::ostream &out, bool pretty)
+    : out_(out), pretty_(pretty)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    MNM_ASSERT(stack_.empty(), "JsonWriter destroyed with open scopes");
+}
+
+std::string
+JsonWriter::quoted(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (!pretty_)
+        return;
+    out_.put('\n');
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        out_ << "  ";
+}
+
+void
+JsonWriter::separate(bool for_key)
+{
+    if (stack_.empty()) {
+        MNM_ASSERT(!root_written_, "second root value in one document");
+        MNM_ASSERT(!for_key, "key at document root");
+        return;
+    }
+    auto &[scope, has_members] = stack_.back();
+    if (scope == Scope::Object) {
+        if (for_key) {
+            MNM_ASSERT(!key_pending_, "two keys in a row");
+            if (has_members)
+                out_.put(',');
+            has_members = true;
+            newlineIndent();
+        } else {
+            MNM_ASSERT(key_pending_, "value without a key in an object");
+            key_pending_ = false;
+        }
+    } else {
+        MNM_ASSERT(!for_key, "key inside an array");
+        if (has_members)
+            out_.put(',');
+        has_members = true;
+        newlineIndent();
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    separate(false);
+    out_.put('{');
+    stack_.emplace_back(Scope::Object, false);
+}
+
+void
+JsonWriter::endObject()
+{
+    MNM_ASSERT(!stack_.empty() && stack_.back().first == Scope::Object,
+               "endObject without matching beginObject");
+    MNM_ASSERT(!key_pending_, "dangling key at endObject");
+    bool had_members = stack_.back().second;
+    stack_.pop_back();
+    if (had_members)
+        newlineIndent();
+    out_.put('}');
+    if (stack_.empty())
+        root_written_ = true;
+}
+
+void
+JsonWriter::beginArray()
+{
+    separate(false);
+    out_.put('[');
+    stack_.emplace_back(Scope::Array, false);
+}
+
+void
+JsonWriter::endArray()
+{
+    MNM_ASSERT(!stack_.empty() && stack_.back().first == Scope::Array,
+               "endArray without matching beginArray");
+    bool had_members = stack_.back().second;
+    stack_.pop_back();
+    if (had_members)
+        newlineIndent();
+    out_.put(']');
+    if (stack_.empty())
+        root_written_ = true;
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    MNM_ASSERT(!stack_.empty() && stack_.back().first == Scope::Object,
+               "key outside an object");
+    separate(true);
+    out_ << quoted(name) << (pretty_ ? ": " : ":");
+    key_pending_ = true;
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    separate(false);
+    out_ << quoted(text);
+    if (stack_.empty())
+        root_written_ = true;
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    separate(false);
+    out_ << number;
+    if (stack_.empty())
+        root_written_ = true;
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    separate(false);
+    out_ << number;
+    if (stack_.empty())
+        root_written_ = true;
+}
+
+void
+JsonWriter::value(double number)
+{
+    separate(false);
+    if (!std::isfinite(number)) {
+        out_ << "null";
+    } else {
+        // Shortest representation that round-trips: deterministic and
+        // readable ("0.1", not "0.10000000000000001").
+        char buf[32];
+        auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), number);
+        MNM_ASSERT(ec == std::errc(), "double serialization failed");
+        out_.write(buf, end - buf);
+    }
+    if (stack_.empty())
+        root_written_ = true;
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    separate(false);
+    out_ << (flag ? "true" : "false");
+    if (stack_.empty())
+        root_written_ = true;
+}
+
+void
+JsonWriter::valueNull()
+{
+    separate(false);
+    out_ << "null";
+    if (stack_.empty())
+        root_written_ = true;
+}
+
+void
+JsonWriter::rawValue(std::string_view fragment)
+{
+    separate(false);
+    out_ << fragment;
+    if (stack_.empty())
+        root_written_ = true;
+}
+
+} // namespace mnm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dependency-free streaming JSON writer for the observability layer.
+ *
+ * Everything the obs subsystem emits (run manifests, Chrome traces,
+ * registry dumps) goes through this one writer so the formatting is
+ * deterministic: keys are written in caller order, integers exactly,
+ * and doubles with the shortest round-trip representation
+ * (std::to_chars), so two runs that compute bit-identical values
+ * serialize to byte-identical JSON.
+ */
+
+#ifndef MNM_OBS_JSON_HH
+#define MNM_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mnm
+{
+
+/**
+ * A push-style JSON writer over an std::ostream. The caller drives the
+ * structure with beginObject()/endObject(), beginArray()/endArray(),
+ * key() and value(); commas, quoting, escaping and (optional 2-space)
+ * indentation are handled here. Nesting is validated with MNM_ASSERT:
+ * a key outside an object, a bare value where a key is required, or an
+ * unbalanced end*() panics rather than emitting malformed JSON.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out, bool pretty = true);
+
+    /** All containers must be closed before the writer goes away. */
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit an object key; the next value() or begin*() is its value. */
+    void key(std::string_view name);
+
+    void value(std::string_view text);
+    void value(const char *text) { value(std::string_view(text)); }
+    void value(std::uint64_t number);
+    void value(std::int64_t number);
+    void value(unsigned number) { value(static_cast<std::uint64_t>(number)); }
+    void value(int number) { value(static_cast<std::int64_t>(number)); }
+    /** Non-finite doubles serialize as null (JSON has no NaN/Inf). */
+    void value(double number);
+    void value(bool flag);
+    void valueNull();
+
+    /** Emit a pre-serialized JSON fragment as one value. The caller
+     *  guarantees @p fragment is itself valid JSON. */
+    void rawValue(std::string_view fragment);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(std::string_view name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** True once the root value is complete and all scopes are closed. */
+    bool done() const { return root_written_ && stack_.empty(); }
+
+    /** Escape @p text into a double-quoted JSON string literal. */
+    static std::string quoted(std::string_view text);
+
+  private:
+    enum class Scope : std::uint8_t
+    {
+        Object,
+        Array,
+    };
+
+    void separate(bool for_key);
+    void newlineIndent();
+
+    std::ostream &out_;
+    bool pretty_;
+    bool root_written_ = false;
+    /** Open containers; .second = "this container has members". */
+    std::vector<std::pair<Scope, bool>> stack_;
+    bool key_pending_ = false;
+};
+
+} // namespace mnm
+
+#endif // MNM_OBS_JSON_HH

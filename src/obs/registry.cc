@@ -1,0 +1,257 @@
+#include "obs/registry.hh"
+
+#include <sstream>
+
+#include "obs/json.hh"
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> segments;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t dot = path.find('.', start);
+        if (dot == std::string::npos) {
+            segments.push_back(path.substr(start));
+            return segments;
+        }
+        segments.push_back(path.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+bool
+underPrefix(const std::string &path, const std::string &prefix)
+{
+    if (path.size() < prefix.size() ||
+        path.compare(0, prefix.size(), prefix) != 0) {
+        return false;
+    }
+    return path.size() == prefix.size() || path[prefix.size()] == '.';
+}
+
+void
+writeEntry(JsonWriter &json, const std::variant<Counter, double,
+                                                RunningStat,
+                                                Histogram> &entry)
+{
+    if (const auto *c = std::get_if<Counter>(&entry)) {
+        json.value(c->value());
+    } else if (const auto *g = std::get_if<double>(&entry)) {
+        json.value(*g);
+    } else if (const auto *s = std::get_if<RunningStat>(&entry)) {
+        json.beginObject();
+        json.field("count", s->count());
+        json.field("sum", s->sum());
+        json.field("mean", s->mean());
+        json.field("min", s->min());
+        json.field("max", s->max());
+        json.field("stddev", s->stddev());
+        json.endObject();
+    } else if (const auto *h = std::get_if<Histogram>(&entry)) {
+        json.beginObject();
+        json.field("samples", h->samples());
+        json.field("bucket_width", h->bucketWidth());
+        json.key("counts");
+        json.beginArray();
+        for (std::size_t i = 0; i < h->bucketCount(); ++i)
+            json.value(h->bucket(i));
+        json.endArray();
+        json.field("overflow", h->overflow());
+        json.endObject();
+    } else {
+        panic("unhandled stats registry entry kind");
+    }
+}
+
+} // anonymous namespace
+
+void
+StatsRegistry::checkNesting(const std::string &path) const
+{
+    MNM_ASSERT(!path.empty() && path.front() != '.' &&
+                   path.back() != '.' &&
+                   path.find("..") == std::string::npos,
+               "malformed metric path");
+    // entries_ is sorted, so any leaf/interior conflict is adjacent:
+    // the shortest extension of `path` sorts right after it, and a
+    // prefix of `path` sorts right before everything under it.
+    auto next = entries_.lower_bound(path);
+    if (next != entries_.end() && next->first != path &&
+        underPrefix(next->first, path)) {
+        panic("metric path '%s' conflicts with existing leaf '%s'",
+              path.c_str(), next->first.c_str());
+    }
+    if (next != entries_.begin()) {
+        auto prev = std::prev(next);
+        if (underPrefix(path, prev->first) && prev->first != path) {
+            panic("metric path '%s' conflicts with existing leaf '%s'",
+                  path.c_str(), prev->first.c_str());
+        }
+    }
+}
+
+template <typename T, typename... MakeArgs>
+T &
+StatsRegistry::findOrCreate(const std::string &path, const char *kind,
+                            MakeArgs &&...make_args)
+{
+    std::scoped_lock lock(mutex_);
+    auto it = entries_.find(path);
+    if (it == entries_.end()) {
+        checkNesting(path);
+        it = entries_
+                 .emplace(path,
+                          Entry(std::in_place_type<T>,
+                                std::forward<MakeArgs>(make_args)...))
+                 .first;
+    }
+    T *metric = std::get_if<T>(&it->second);
+    if (!metric) {
+        panic("metric '%s' re-registered as a different kind (%s)",
+              path.c_str(), kind);
+    }
+    return *metric;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &path)
+{
+    return findOrCreate<Counter>(path, "counter");
+}
+
+double &
+StatsRegistry::gauge(const std::string &path)
+{
+    return findOrCreate<double>(path, "gauge", 0.0);
+}
+
+RunningStat &
+StatsRegistry::runningStat(const std::string &path)
+{
+    return findOrCreate<RunningStat>(path, "running-stat");
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &path,
+                         std::size_t bucket_count, double bucket_width)
+{
+    Histogram &h = findOrCreate<Histogram>(path, "histogram",
+                                           bucket_count, bucket_width);
+    MNM_ASSERT(h.bucketCount() == bucket_count &&
+                   h.bucketWidth() == bucket_width,
+               "histogram re-registered with a different shape");
+    return h;
+}
+
+void
+StatsRegistry::addCounter(const std::string &path, std::uint64_t n)
+{
+    counter(path) += n;
+}
+
+void
+StatsRegistry::setGauge(const std::string &path, double v)
+{
+    gauge(path) = v;
+}
+
+bool
+StatsRegistry::has(const std::string &path) const
+{
+    std::scoped_lock lock(mutex_);
+    return entries_.count(path) != 0;
+}
+
+std::size_t
+StatsRegistry::size() const
+{
+    std::scoped_lock lock(mutex_);
+    return entries_.size();
+}
+
+void
+StatsRegistry::clear()
+{
+    std::scoped_lock lock(mutex_);
+    entries_.clear();
+}
+
+void
+StatsRegistry::writeJson(std::ostream &out,
+                         const std::vector<std::string> &skip_prefixes,
+                         bool pretty) const
+{
+    std::scoped_lock lock(mutex_);
+    JsonWriter json(out, pretty);
+    json.beginObject();
+    std::vector<std::string> open; // interior segments currently open
+    for (const auto &[path, entry] : entries_) {
+        bool skip = false;
+        for (const std::string &prefix : skip_prefixes)
+            skip = skip || underPrefix(path, prefix);
+        if (skip)
+            continue;
+        std::vector<std::string> segments = splitPath(path);
+        std::size_t interior = segments.size() - 1;
+        std::size_t common = 0;
+        while (common < open.size() && common < interior &&
+               open[common] == segments[common]) {
+            ++common;
+        }
+        while (open.size() > common) {
+            json.endObject();
+            open.pop_back();
+        }
+        for (; open.size() < interior; ++common) {
+            json.key(segments[open.size()]);
+            json.beginObject();
+            open.push_back(segments[open.size()]);
+        }
+        json.key(segments.back());
+        writeEntry(json, entry);
+    }
+    while (!open.empty()) {
+        json.endObject();
+        open.pop_back();
+    }
+    json.endObject();
+}
+
+std::string
+StatsRegistry::toJson(const std::vector<std::string> &skip_prefixes,
+                      bool pretty) const
+{
+    std::ostringstream out;
+    writeJson(out, skip_prefixes, pretty);
+    return out.str();
+}
+
+StatsRegistry &
+globalStats()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
+std::string
+sanitizeMetricSegment(const std::string &text)
+{
+    std::string out = text;
+    for (char &c : out) {
+        bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return out.empty() ? "_" : out;
+}
+
+} // namespace mnm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Hierarchical named-metrics registry, in the spirit of gem5's stats
+ * package: components register counters, gauges, running statistics and
+ * histograms under dotted paths ("hmnm.l3.predicted_miss",
+ * "runner.cell_wall_ms") and the registry serializes the whole tree to
+ * JSON with deterministic (sorted) key order.
+ *
+ * Conventions:
+ *  - Paths nest on '.'; a path may not be both a leaf and an interior
+ *    node ("a.b" and "a.b.c" conflict, caught by MNM_ASSERT).
+ *  - Everything under the "runner." prefix is wall-clock telemetry and
+ *    is expected to differ between runs; consumers that compare
+ *    manifests (tests, CI) skip it via toJson()'s skip_prefixes.
+ *  - Registration and serialization are mutex-guarded; the references
+ *    handed back are stable (node-based map) but not synchronized --
+ *    each metric must be updated from one thread at a time, which the
+ *    sweep runner guarantees by folding results after the pool drains.
+ */
+
+#ifndef MNM_OBS_REGISTRY_HH
+#define MNM_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace mnm
+{
+
+/** The registry. One process-wide instance lives behind globalStats(). */
+class StatsRegistry
+{
+  public:
+    StatsRegistry() = default;
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+
+    /**
+     * Find-or-create the metric at @p path. Re-requesting an existing
+     * path returns the same object; requesting it as a different kind
+     * panics. histogram() re-registration also requires an identical
+     * shape.
+     */
+    Counter &counter(const std::string &path);
+    double &gauge(const std::string &path);
+    RunningStat &runningStat(const std::string &path);
+    Histogram &histogram(const std::string &path,
+                         std::size_t bucket_count, double bucket_width);
+
+    /** Convenience setters. */
+    void addCounter(const std::string &path, std::uint64_t n);
+    void setGauge(const std::string &path, double v);
+
+    bool has(const std::string &path) const;
+    std::size_t size() const;
+    void clear();
+
+    /**
+     * Serialize as a nested JSON object. Paths equal to or nested under
+     * any of @p skip_prefixes are omitted ("runner" drops the whole
+     * runner.* timing subtree).
+     */
+    void writeJson(std::ostream &out,
+                   const std::vector<std::string> &skip_prefixes = {},
+                   bool pretty = true) const;
+    std::string toJson(const std::vector<std::string> &skip_prefixes = {},
+                       bool pretty = true) const;
+
+  private:
+    using Entry = std::variant<Counter, double, RunningStat, Histogram>;
+
+    template <typename T, typename... MakeArgs>
+    T &findOrCreate(const std::string &path, const char *kind,
+                    MakeArgs &&...make_args);
+
+    /** Panics if @p path would be both a leaf and an interior node. */
+    void checkNesting(const std::string &path) const;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+};
+
+/** The process-wide registry every component folds into. */
+StatsRegistry &globalStats();
+
+/**
+ * Make @p text safe as one dotted-path segment: every character outside
+ * [A-Za-z0-9_-] becomes '_', so workload/config labels can't introduce
+ * accidental nesting.
+ */
+std::string sanitizeMetricSegment(const std::string &text);
+
+} // namespace mnm
+
+#endif // MNM_OBS_REGISTRY_HH

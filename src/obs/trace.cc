@@ -1,0 +1,71 @@
+#include "obs/trace.hh"
+
+#include "obs/json.hh"
+
+namespace mnm
+{
+
+void
+TraceLog::addCompleteEvent(
+    const std::string &name, const std::string &category,
+    std::uint32_t tid, std::uint64_t ts_us, std::uint64_t dur_us,
+    std::vector<std::pair<std::string, std::string>> args)
+{
+    std::scoped_lock lock(mutex_);
+    events_.push_back(
+        {name, category, tid, ts_us, dur_us, std::move(args)});
+}
+
+std::size_t
+TraceLog::size() const
+{
+    std::scoped_lock lock(mutex_);
+    return events_.size();
+}
+
+void
+TraceLog::clear()
+{
+    std::scoped_lock lock(mutex_);
+    events_.clear();
+}
+
+void
+TraceLog::write(std::ostream &out) const
+{
+    std::scoped_lock lock(mutex_);
+    JsonWriter json(out, /*pretty=*/true);
+    json.beginObject();
+    json.field("displayTimeUnit", "ms");
+    json.key("traceEvents");
+    json.beginArray();
+    for (const Event &event : events_) {
+        json.beginObject();
+        json.field("name", event.name);
+        json.field("cat", event.category);
+        json.field("ph", "X");
+        json.field("pid", 1);
+        json.field("tid", event.tid);
+        json.field("ts", event.ts_us);
+        json.field("dur", event.dur_us);
+        if (!event.args.empty()) {
+            json.key("args");
+            json.beginObject();
+            for (const auto &[k, v] : event.args)
+                json.field(k, v);
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+TraceLog &
+globalTrace()
+{
+    static TraceLog log;
+    return log;
+}
+
+} // namespace mnm

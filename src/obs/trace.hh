@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Chrome trace_event timeline writer for the sweep runner.
+ *
+ * Collects "complete" events (ph:"X") -- one per sweep cell, with the
+ * worker thread as the tid -- and writes the JSON Object Format that
+ * chrome://tracing and Perfetto load directly. Event collection is
+ * mutex-guarded so workers may append concurrently; the file is written
+ * once, at process exit or on demand (obs/manifest.hh drives this from
+ * the MNM_TRACE_FILE knob).
+ */
+
+#ifndef MNM_OBS_TRACE_HH
+#define MNM_OBS_TRACE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mnm
+{
+
+/** An append-only buffer of trace_event records. */
+class TraceLog
+{
+  public:
+    TraceLog() = default;
+    TraceLog(const TraceLog &) = delete;
+    TraceLog &operator=(const TraceLog &) = delete;
+
+    /**
+     * Record one complete event.
+     *
+     * @param name   event label shown on the timeline slice
+     * @param category trace_event "cat" field (e.g. "sweep")
+     * @param tid    lane the slice renders in (the worker index)
+     * @param ts_us  start, microseconds from an arbitrary epoch
+     * @param dur_us duration in microseconds
+     * @param args   extra key/value detail shown on selection
+     */
+    void addCompleteEvent(
+        const std::string &name, const std::string &category,
+        std::uint32_t tid, std::uint64_t ts_us, std::uint64_t dur_us,
+        std::vector<std::pair<std::string, std::string>> args = {});
+
+    std::size_t size() const;
+    void clear();
+
+    /** Write the full JSON Object Format document. */
+    void write(std::ostream &out) const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        std::string category;
+        std::uint32_t tid;
+        std::uint64_t ts_us;
+        std::uint64_t dur_us;
+        std::vector<std::pair<std::string, std::string>> args;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+};
+
+/** The process-wide trace buffer (written under MNM_TRACE_FILE). */
+TraceLog &globalTrace();
+
+} // namespace mnm
+
+#endif // MNM_OBS_TRACE_HH

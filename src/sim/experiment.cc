@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/manifest.hh"
 #include "sim/runner.hh"
 #include "trace/spec2000.hh"
 #include "util/logging.hh"
@@ -47,6 +48,14 @@ ExperimentOptions::fromEnv()
     opts.jobs = jobsFromEnv();
     if (const char *env = std::getenv("MNM_PROGRESS"))
         opts.progress = env[0] == '1';
+    if (const char *env = std::getenv("MNM_STATS_JSON"))
+        opts.stats_json = env;
+    if (const char *env = std::getenv("MNM_TRACE_FILE"))
+        opts.trace_file = env;
+    // Arm the exit-time manifest/trace writers and echo the resolved
+    // configuration into the manifest. Inert when both knobs are unset.
+    initRunTelemetry();
+    setRunConfig(opts.instructions, opts.apps, opts.jobs, opts.csv);
     return opts;
 }
 

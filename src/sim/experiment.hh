@@ -12,7 +12,15 @@
  *   MNM_CSV           set to 1 to also emit CSV after each table
  *   MNM_JOBS          sweep worker threads (default: all hardware
  *                     threads; 1 = legacy serial path)
- *   MNM_PROGRESS      set to 1 to report per-cell completion on stderr
+ *   MNM_PROGRESS      set to 1 to report per-cell completion (with an
+ *                     ETA projection) on stderr
+ *   MNM_STATS_JSON    path; write the machine-readable run manifest
+ *                     (config echo + every registry metric) at exit
+ *   MNM_TRACE_FILE    path; write a Chrome trace_event timeline of the
+ *                     sweep (one complete event per cell) at exit
+ *
+ * The two telemetry knobs never touch stdout: with them unset the
+ * printed tables are byte-identical to a build without this layer.
  */
 
 #ifndef MNM_SIM_EXPERIMENT_HH
@@ -38,9 +46,14 @@ struct ExperimentOptions
     unsigned jobs = 1;
     /** Report per-cell sweep completion via progress(). */
     bool progress = false;
+    /** Run-manifest path (MNM_STATS_JSON); empty = disabled. */
+    std::string stats_json;
+    /** Chrome trace path (MNM_TRACE_FILE); empty = disabled. */
+    std::string trace_file;
 
     /** Parse MNM_INSTRUCTIONS / MNM_APPS / MNM_CSV / MNM_JOBS /
-     *  MNM_PROGRESS. */
+     *  MNM_PROGRESS / MNM_STATS_JSON / MNM_TRACE_FILE; also arms the
+     *  obs layer's exit-time manifest/trace writers. */
     static ExperimentOptions fromEnv();
 
     /** Short app label for table rows ("164.gzip" -> "gzip"). */

@@ -44,8 +44,10 @@ MemorySimulator::request(AccessType type, Addr addr, MemSimResult &result)
 
     AccessResult access = hierarchy_.access(type, addr, mask);
     ++result.requests;
-    if (mnm_)
+    if (mnm_) {
         result.coverage.record(access);
+        result.decisions.recordAccess(access);
+    }
 
     Cycles latency = access.latency;
     Cycles supply_cost;
@@ -126,6 +128,8 @@ MemorySimulator::run(WorkloadGenerator &workload,
         result.soundness_violations = mnm_->soundnessViolations();
         result.filter_anomalies = mnm_->filterAnomalies();
         result.mnm_storage_bits = mnm_->storageBits();
+        for (std::uint32_t l = 0; l < DecisionMatrix::max_levels; ++l)
+            result.decisions.setForbidden(l, mnm_->violationsAtLevel(l));
     }
 
     for (CacheId id = 0; id < hierarchy_.numCaches(); ++id) {

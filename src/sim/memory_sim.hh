@@ -26,6 +26,7 @@
 #include "cache/hierarchy.hh"
 #include "core/coverage.hh"
 #include "core/mnm_unit.hh"
+#include "obs/confusion.hh"
 #include "power/sram_model.hh"
 #include "trace/workload.hh"
 
@@ -79,6 +80,11 @@ struct MemSimResult
 
     EnergyBreakdown energy;
     CoverageTracker coverage;
+    /** Per-level MNM decision confusion matrix. The three sound cells
+     *  cover this run() call's measured window; the forbidden cell
+     *  mirrors soundness_violations (cumulative over the simulator's
+     *  lifetime, warm-up included -- it must be zero anyway). */
+    DecisionMatrix decisions;
     std::uint64_t soundness_violations = 0;
     std::uint64_t filter_anomalies = 0;
     std::uint64_t mnm_storage_bits = 0;

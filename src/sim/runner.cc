@@ -1,9 +1,14 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 
+#include "obs/manifest.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace mnm
@@ -17,6 +22,22 @@ hardwareJobs()
 {
     unsigned n = std::thread::hardware_concurrency();
     return n ? n : 1;
+}
+
+/** Worker index of the calling thread (0 outside a pool). */
+unsigned &
+workerSlot()
+{
+    thread_local unsigned slot = 0;
+    return slot;
+}
+
+std::uint64_t
+steadyNowUs()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(duration_cast<microseconds>(
+        steady_clock::now().time_since_epoch()).count());
 }
 
 } // anonymous namespace
@@ -87,8 +108,12 @@ ParallelRunner::run(std::size_t count,
     {
         std::vector<std::jthread> pool;
         pool.reserve(spawn);
-        for (std::size_t t = 0; t < spawn; ++t)
-            pool.emplace_back(worker);
+        for (std::size_t t = 0; t < spawn; ++t) {
+            pool.emplace_back([&, t] {
+                workerSlot() = static_cast<unsigned>(t);
+                worker();
+            });
+        }
     } // joins every worker; errors[] is complete past this point
     return errors;
 }
@@ -102,26 +127,134 @@ ParallelRunner::rethrowFirst(const std::vector<std::exception_ptr> &errors)
     }
 }
 
+unsigned
+ParallelRunner::currentWorker()
+{
+    return workerSlot();
+}
+
+namespace
+{
+
+/** Wall-clock record of one sweep cell, filled in by its worker. */
+struct CellTiming
+{
+    std::uint64_t start_us = 0; //!< steady-clock start
+    std::uint64_t dur_us = 0;
+    unsigned worker = 0;
+};
+
+/** Registry prefix for one cell's simulation metrics. */
+std::string
+cellMetricPrefix(const SweepCell &cell)
+{
+    std::string label = cell.label.empty() ? "default" : cell.label;
+    return "sweep." + sanitizeMetricSegment(label) + "." +
+           sanitizeMetricSegment(ExperimentOptions::shortName(cell.app));
+}
+
+/**
+ * Fold one finished sweep into the process-wide registry (and, when
+ * MNM_TRACE_FILE is live, the trace buffer). Runs on the calling thread
+ * after the pool has drained, visiting cells in index order, so the
+ * folded totals are identical at any MNM_JOBS value; only the
+ * "runner.*" wall-clock subtree varies between runs.
+ */
+void
+foldSweepTelemetry(const std::vector<SweepCell> &cells,
+                   const std::vector<MemSimResult> &results,
+                   const std::vector<CellTiming> &timing,
+                   std::uint64_t sweep_start_us, std::uint64_t wall_us,
+                   unsigned jobs)
+{
+    StatsRegistry &stats = globalStats();
+    RunningStat &cell_wall = stats.runningStat("runner.cell_wall_ms");
+    RunningStat &cell_queue = stats.runningStat("runner.cell_queue_ms");
+    std::uint64_t busy_us = 0;
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell &cell = cells[i];
+        const MemSimResult &r = results[i];
+        std::string prefix = cellMetricPrefix(cell);
+        stats.addCounter(prefix + ".instructions", r.instructions);
+        stats.addCounter(prefix + ".requests", r.requests);
+        stats.addCounter(prefix + ".memory_accesses",
+                         r.memory_accesses);
+        if (cell.mnm) {
+            stats.addCounter(prefix + ".soundness_violations",
+                             r.soundness_violations);
+        }
+        r.decisions.registerInto(stats, prefix + ".confusion");
+
+        const CellTiming &t = timing[i];
+        busy_us += t.dur_us;
+        cell_wall.add(static_cast<double>(t.dur_us) / 1000.0);
+        cell_queue.add(
+            static_cast<double>(t.start_us - sweep_start_us) / 1000.0);
+
+        if (traceFileEnabled()) {
+            std::string name = ExperimentOptions::shortName(cell.app);
+            if (!cell.label.empty())
+                name += " · " + cell.label;
+            globalTrace().addCompleteEvent(
+                name, "sweep", t.worker, t.start_us, t.dur_us,
+                {{"app", cell.app}, {"label", cell.label}});
+        }
+    }
+
+    stats.addCounter("runner.sweeps", 1);
+    stats.addCounter("runner.cells", cells.size());
+    stats.setGauge("runner.jobs", static_cast<double>(jobs));
+    stats.setGauge("runner.wall_ms",
+                   static_cast<double>(wall_us) / 1000.0);
+    // Fraction of the pool's lane-time spent inside cells: busy time
+    // over wall time times the lanes that could have been busy.
+    std::size_t lanes =
+        std::min<std::size_t>(jobs ? jobs : 1,
+                              std::max<std::size_t>(cells.size(), 1));
+    double lane_time_us =
+        static_cast<double>(wall_us) * static_cast<double>(lanes);
+    stats.setGauge("runner.utilization",
+                   lane_time_us > 0.0
+                       ? static_cast<double>(busy_us) / lane_time_us
+                       : 0.0);
+}
+
+} // anonymous namespace
+
 std::vector<MemSimResult>
 runSweep(const std::vector<SweepCell> &cells,
          const ExperimentOptions &opts)
 {
     ParallelRunner runner(opts.jobs);
     std::vector<MemSimResult> results(cells.size());
+    std::vector<CellTiming> timing(cells.size());
     std::atomic<std::size_t> completed{0};
+    const std::uint64_t sweep_start_us = steadyNowUs();
 
     auto errors = runner.run(cells.size(), [&](std::size_t i) {
         const SweepCell &cell = cells[i];
+        CellTiming &t = timing[i];
+        t.start_us = steadyNowUs();
+        t.worker = ParallelRunner::currentWorker();
         results[i] = runFunctional(cell.hierarchy, cell.mnm, cell.app,
                                    cell.instructions);
+        std::uint64_t end_us = steadyNowUs();
+        t.dur_us = end_us - t.start_us;
         if (opts.progress) {
             std::size_t done =
                 completed.fetch_add(1, std::memory_order_relaxed) + 1;
-            progress("[%zu/%zu] %s%s%s", done, cells.size(),
+            // ETA: project the remaining cells at the observed pace.
+            double elapsed_s =
+                static_cast<double>(end_us - sweep_start_us) / 1e6;
+            double eta_s = elapsed_s / static_cast<double>(done) *
+                           static_cast<double>(cells.size() - done);
+            progress("[%zu/%zu] %s%s%s (eta %.1fs)", done, cells.size(),
                      cell.app.c_str(), cell.label.empty() ? "" : " · ",
-                     cell.label.c_str());
+                     cell.label.c_str(), eta_s);
         }
     });
+    const std::uint64_t wall_us = steadyNowUs() - sweep_start_us;
 
     for (std::size_t i = 0; i < errors.size(); ++i) {
         if (!errors[i])
@@ -140,6 +273,9 @@ runSweep(const std::vector<SweepCell> &cells,
                   cell.label.c_str());
         }
     }
+
+    foldSweepTelemetry(cells, results, timing, sweep_start_us, wall_us,
+                       runner.jobs());
     return results;
 }
 

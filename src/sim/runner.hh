@@ -116,15 +116,32 @@ class ParallelRunner
     static void
     rethrowFirst(const std::vector<std::exception_ptr> &errors);
 
+    /**
+     * Index of the pool worker executing the current task: 0..jobs-1
+     * inside run(), 0 on the serial path and outside any pool. Used by
+     * the sweep telemetry to lane trace events per worker.
+     */
+    static unsigned currentWorker();
+
   private:
     unsigned jobs_;
 };
 
 /**
  * Run every cell through runFunctional() on @p opts.jobs workers.
- * Results are indexed like @p cells. Per-cell completion is reported
- * via progress() when @p opts.progress (MNM_PROGRESS=1); a failed cell
- * is reported with its app/label and is fatal once the pool drains.
+ * Results are indexed like @p cells. Per-cell completion (plus an ETA
+ * projected from cells done over elapsed time) is reported via
+ * progress() when @p opts.progress (MNM_PROGRESS=1); a failed cell is
+ * reported with its app/label and is fatal once the pool drains.
+ *
+ * Telemetry: after the pool drains, each cell's simulation metrics
+ * (per-level decision confusion matrix, coverage counts, traffic) are
+ * folded into globalStats() under "sweep.<label>.<app>.*" in cell-index
+ * order -- identical at any MNM_JOBS value -- and wall-clock telemetry
+ * (per-cell wall time, queue delay, worker utilization) under
+ * "runner.*", which comparisons must skip. When MNM_TRACE_FILE is set,
+ * one Chrome complete event per cell is appended to globalTrace().
+ * None of this touches stdout.
  */
 std::vector<MemSimResult> runSweep(const std::vector<SweepCell> &cells,
                                    const ExperimentOptions &opts);

@@ -84,22 +84,48 @@ Histogram::percentile(double fraction) const
 {
     if (samples_ == 0)
         return 0.0;
+    const double top =
+        static_cast<double>(buckets_.size()) * bucket_width_;
+    if (fraction >= 1.0) {
+        // Clamp to the upper edge of the last populated bucket; with
+        // overflow samples the top boundary is the best bound we have.
+        if (overflow_ > 0)
+            return top;
+        for (std::size_t i = buckets_.size(); i-- > 0;) {
+            if (buckets_[i] > 0)
+                return static_cast<double>(i + 1) * bucket_width_;
+        }
+    }
     if (fraction < 0.0)
         fraction = 0.0;
-    if (fraction > 1.0)
-        fraction = 1.0;
     double target = fraction * static_cast<double>(samples_);
     double cumulative = 0.0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         double next = cumulative + static_cast<double>(buckets_[i]);
         if (next >= target && buckets_[i] > 0) {
+            // fraction <= 0 lands here with inside == 0: the lower
+            // edge of the first populated bucket.
             double inside = (target - cumulative) /
                             static_cast<double>(buckets_[i]);
             return (static_cast<double>(i) + inside) * bucket_width_;
         }
         cumulative = next;
     }
-    return static_cast<double>(buckets_.size()) * bucket_width_;
+    // Only overflow samples remain past the last bucket: report the
+    // top boundary (their exact values were not retained).
+    return top;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    MNM_ASSERT(other.buckets_.size() == buckets_.size() &&
+                   other.bucket_width_ == bucket_width_,
+               "histogram shape mismatch in merge");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    overflow_ += other.overflow_;
+    samples_ += other.samples_;
 }
 
 std::string

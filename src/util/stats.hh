@@ -78,9 +78,29 @@ class Histogram
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t samples() const { return samples_; }
 
-    /** Sample value below which @p fraction of samples fall (linear
-     *  interpolation inside the bucket; overflow counts as top). */
+    /**
+     * Sample value below which @p fraction of samples fall, with linear
+     * interpolation inside the bucket.
+     *
+     * Edge behavior (all clamps keep the result inside the populated
+     * range where one exists):
+     *  - no samples: 0.
+     *  - fraction <= 0: the lower edge of the first populated bucket.
+     *  - fraction >= 1: the upper edge of the last populated bucket.
+     *  - overflow samples count as living at the top boundary
+     *    (bucketCount() * bucketWidth()): their true values are not
+     *    retained, so any percentile that lands among them -- including
+     *    every percentile of an all-overflow histogram -- returns that
+     *    boundary, the tightest lower bound the histogram can prove.
+     */
     double percentile(double fraction) const;
+
+    /**
+     * Fold @p other's buckets into this histogram (cross-cell
+     * aggregation). Both histograms must have the same bucket count and
+     * width; anything else panics.
+     */
+    void merge(const Histogram &other);
 
     /** Render as "bucket_lo..hi: count" lines. */
     std::string toString() const;

@@ -51,6 +51,17 @@ expectSameResult(const MemSimResult &a, const MemSimResult &b)
     EXPECT_EQ(a.mnm_storage_bits, b.mnm_storage_bits);
     EXPECT_EQ(a.coverage.identified(), b.coverage.identified());
     EXPECT_EQ(a.coverage.unidentified(), b.coverage.unidentified());
+    for (std::uint32_t l = 0; l < DecisionMatrix::max_levels; ++l) {
+        SCOPED_TRACE("decision level " + std::to_string(l));
+        const DecisionMatrix::Cells &da = a.decisions.at(l);
+        const DecisionMatrix::Cells &db = b.decisions.at(l);
+        EXPECT_EQ(da.predicted_miss_actual_miss,
+                  db.predicted_miss_actual_miss);
+        EXPECT_EQ(da.maybe_actual_miss, db.maybe_actual_miss);
+        EXPECT_EQ(da.maybe_actual_hit, db.maybe_actual_hit);
+        EXPECT_EQ(da.predicted_miss_actual_hit,
+                  db.predicted_miss_actual_hit);
+    }
     // Energies are sums of the same per-event terms in the same
     // (per-cell) order, so they must be bit-identical, not just close.
     EXPECT_EQ(a.energy.probe_hit_pj, b.energy.probe_hit_pj);

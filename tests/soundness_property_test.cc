@@ -80,6 +80,16 @@ TEST_P(SoundnessTest, NoUnsoundVerdictsUnderOracleCheck)
         << config << " on " << workload_kind;
     EXPECT_GE(r.coverage.coverage(), 0.0);
     EXPECT_LE(r.coverage.coverage(), 1.0);
+
+    // The confusion matrix sees the same run: its forbidden cell
+    // (predicted-miss/actual-hit) must be empty -- assertSound() panics
+    // otherwise -- and its derived coverage is the CoverageTracker's
+    // number computed from raw cells, so the two must agree exactly.
+    EXPECT_EQ(r.decisions.forbidden(), 0u)
+        << config << " on " << workload_kind;
+    r.decisions.assertSound(config.c_str());
+    EXPECT_DOUBLE_EQ(r.decisions.coverage(), r.coverage.coverage())
+        << config << " on " << workload_kind;
 }
 
 TEST_P(SoundnessTest, ArchitecturallyTransparent)
@@ -158,6 +168,9 @@ TEST(PaperResetAblation, ViolationsAreCaughtNotActedOn)
     // demonstrates. Report for visibility.)
     RecordProperty("soundness_violations",
                    static_cast<int>(rs.soundness_violations));
+    // Every caught violation surfaces as the forbidden confusion cell
+    // (predicted-miss/actual-hit), level-by-level totals included.
+    EXPECT_EQ(rs.decisions.forbidden(), rs.soundness_violations);
 }
 
 /** Coverage is monotone in structure size within a technique family. */

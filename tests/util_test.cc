@@ -267,6 +267,62 @@ TEST(StatsTest, HistogramPercentile)
     EXPECT_NEAR(h.percentile(0.95), 9.5, 1.0);
 }
 
+TEST(StatsTest, HistogramPercentileEdges)
+{
+    Histogram empty(4, 1.0);
+    EXPECT_EQ(empty.percentile(0.0), 0.0);
+    EXPECT_EQ(empty.percentile(1.0), 0.0);
+
+    Histogram h(8, 1.0);
+    h.add(2.5);
+    h.add(2.7);
+    h.add(5.5);
+    // fraction <= 0: lower edge of the first populated bucket.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), 2.0);
+    // fraction >= 1: upper edge of the last populated bucket.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 6.0);
+    EXPECT_DOUBLE_EQ(h.percentile(2.0), 6.0);
+}
+
+TEST(StatsTest, HistogramPercentileAllOverflow)
+{
+    Histogram h(4, 1.0);
+    h.add(10.0);
+    h.add(99.0);
+    // Only overflow samples: every percentile reports the top boundary,
+    // the tightest lower bound the histogram can prove.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 4.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
+}
+
+TEST(StatsTest, HistogramMerge)
+{
+    Histogram a(4, 1.0);
+    Histogram b(4, 1.0);
+    a.add(0.5);
+    a.add(2.5);
+    b.add(2.1);
+    b.add(9.0); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 4u);
+    EXPECT_EQ(a.bucket(0), 1u);
+    EXPECT_EQ(a.bucket(2), 2u);
+    EXPECT_EQ(a.overflow(), 1u);
+    // b is untouched.
+    EXPECT_EQ(b.samples(), 2u);
+}
+
+TEST(StatsTest, HistogramMergeShapeMismatchDies)
+{
+    Histogram a(4, 1.0);
+    Histogram narrower(4, 0.5);
+    Histogram shorter(2, 1.0);
+    EXPECT_DEATH(a.merge(narrower), "shape mismatch");
+    EXPECT_DEATH(a.merge(shorter), "shape mismatch");
+}
+
 TEST(StatsTest, HistogramReset)
 {
     Histogram h(2, 1.0);

@@ -14,11 +14,35 @@ output directory, named from a slug of the title -- handy for feeding
 gnuplot/matplotlib when regenerating the paper's figures.
 
 usage: tools/extract_results.py bench_output.txt [outdir]
+       tools/extract_results.py --stats run.json bench_output.txt [outdir]
+       tools/extract_results.py --diff a.json b.json
+
+With --stats, every extracted coverage table is cross-checked against
+the MNM_STATS_JSON run manifest: each printed percentage must match the
+coverage derived from the manifest's per-level decision confusion
+matrix (predicted_miss_actual_miss over all actual misses) to within
+rounding of the printed precision. Any mismatch -- or a manifest that
+covers none of the printed cells -- is a failure.
+
+With --diff, two run manifests are compared for metric equality while
+ignoring the fields that legitimately differ between runs: "meta",
+"config.jobs", "config.progress", and the "metrics.runner" wall-clock
+subtree. Used by CI to prove serial and parallel sweeps fold identical
+statistics.
 """
 
+import json
 import os
 import re
 import sys
+
+#: Printed tables round to 1 decimal; allow half a ULP of that plus
+#: float noise.
+TOLERANCE = 0.05 + 1e-9
+
+#: Manifest fields that legitimately differ between comparable runs.
+DIFF_IGNORED = ("meta", "config.jobs", "config.progress",
+                "metrics.runner")
 
 
 def slugify(title: str) -> str:
@@ -32,18 +56,8 @@ def split_row(line: str):
             if cell.strip()]
 
 
-def main() -> int:
-    if len(sys.argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 1
-    path = sys.argv[1]
-    outdir = sys.argv[2] if len(sys.argv) > 2 else "results"
-    os.makedirs(outdir, exist_ok=True)
-
-    with open(path, encoding="utf-8", errors="replace") as f:
-        lines = f.read().splitlines()
-
-    written = 0
+def parse_tables(lines):
+    """Yield (title, header, rows) for every printed table."""
     i = 0
     while i < len(lines):
         match = re.match(r"^== (.*) ==$", lines[i])
@@ -68,14 +82,141 @@ def main() -> int:
                 rows.append(cells)
             i += 1
         if header and rows:
-            out_path = os.path.join(outdir, slugify(title) + ".csv")
-            with open(out_path, "w", encoding="utf-8") as out:
-                out.write(",".join(header) + "\n")
-                for row in rows:
-                    out.write(",".join(row) + "\n")
-            written += 1
-            print(f"wrote {out_path} ({len(rows)} rows)")
+            yield title, header, rows
+
+
+def derived_coverage_pct(confusion):
+    """Coverage [%] from a per-level confusion subtree, exactly as
+    DecisionMatrix::coverage() computes it: identified misses over all
+    actual misses, summed across levels."""
+    identified = 0
+    actual_misses = 0
+    for cells in confusion.values():
+        pm_am = cells["predicted_miss_actual_miss"]
+        identified += pm_am
+        actual_misses += pm_am + cells["maybe_actual_miss"]
+    return 100.0 * identified / actual_misses if actual_misses else 0.0
+
+
+def cross_check(tables, manifest):
+    """Compare printed coverage cells against the manifest. Returns
+    (cells checked, mismatch descriptions)."""
+    sweep = manifest.get("metrics", {}).get("sweep", {})
+    checked = 0
+    mismatches = []
+    for title, header, rows in tables:
+        if "coverage" not in title.lower():
+            continue
+        for row in rows:
+            app = row[0]
+            for config, printed in zip(header[1:], row[1:]):
+                entry = sweep.get(config, {}).get(app, {})
+                confusion = entry.get("confusion")
+                if confusion is None:
+                    continue
+                want = derived_coverage_pct(confusion)
+                got = float(printed)
+                checked += 1
+                if abs(got - want) > TOLERANCE:
+                    mismatches.append(
+                        f"{title}: {app}/{config}: printed {got} "
+                        f"but manifest derives {want:.6f}")
+    return checked, mismatches
+
+
+def strip_ignored(manifest):
+    doc = json.loads(json.dumps(manifest))  # deep copy
+    for dotted in DIFF_IGNORED:
+        node = doc
+        *parents, leaf = dotted.split(".")
+        for segment in parents:
+            node = node.get(segment, {})
+        node.pop(leaf, None)
+    return doc
+
+
+def diff_values(a, b, path, out):
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                out.append(f"{path}.{key}: only in second manifest")
+            elif key not in b:
+                out.append(f"{path}.{key}: only in first manifest")
+            else:
+                diff_values(a[key], b[key], f"{path}.{key}", out)
+    elif a != b:
+        out.append(f"{path}: {a!r} != {b!r}")
+
+
+def run_diff(path_a, path_b) -> int:
+    with open(path_a, encoding="utf-8") as f:
+        a = strip_ignored(json.load(f))
+    with open(path_b, encoding="utf-8") as f:
+        b = strip_ignored(json.load(f))
+    differences = []
+    diff_values(a, b, "", differences)
+    if differences:
+        print(f"{path_a} and {path_b} differ "
+              f"(ignoring {', '.join(DIFF_IGNORED)}):", file=sys.stderr)
+        for line in differences:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"{path_a} and {path_b} are equivalent "
+          f"(ignoring {', '.join(DIFF_IGNORED)})")
+    return 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if args[:1] == ["--diff"]:
+        if len(args) != 3:
+            print(__doc__, file=sys.stderr)
+            return 1
+        return run_diff(args[1], args[2])
+
+    stats_path = None
+    if args[:1] == ["--stats"]:
+        if len(args) < 3:
+            print(__doc__, file=sys.stderr)
+            return 1
+        stats_path = args[1]
+        args = args[2:]
+    if not args:
+        print(__doc__, file=sys.stderr)
+        return 1
+    path = args[0]
+    outdir = args[1] if len(args) > 1 else "results"
+    os.makedirs(outdir, exist_ok=True)
+
+    with open(path, encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+
+    tables = list(parse_tables(lines))
+    written = 0
+    for title, header, rows in tables:
+        out_path = os.path.join(outdir, slugify(title) + ".csv")
+        with open(out_path, "w", encoding="utf-8") as out:
+            out.write(",".join(header) + "\n")
+            for row in rows:
+                out.write(",".join(row) + "\n")
+        written += 1
+        print(f"wrote {out_path} ({len(rows)} rows)")
     print(f"{written} tables extracted")
+
+    if stats_path is not None:
+        with open(stats_path, encoding="utf-8") as f:
+            manifest = json.load(f)
+        checked, mismatches = cross_check(tables, manifest)
+        for line in mismatches:
+            print(f"MISMATCH {line}", file=sys.stderr)
+        if mismatches:
+            return 1
+        if checked == 0:
+            print("stats cross-check matched no table cells -- "
+                  "is this a coverage figure with MNM_STATS_JSON set?",
+                  file=sys.stderr)
+            return 1
+        print(f"stats cross-check: {checked} cells match {stats_path}")
     return 0
 
 
