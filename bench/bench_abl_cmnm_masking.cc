@@ -40,17 +40,19 @@ main()
         const std::string &app = opts.apps[a];
         const MemSimResult &rm = results[a * 2];
         const MemSimResult &rr = results[a * 2 + 1];
-        table.addRow(ExperimentOptions::shortName(app),
-                     {100.0 * rm.coverage.coverage(),
-                      100.0 * rr.coverage.coverage(),
-                      static_cast<double>(rr.soundness_violations)},
-                     2);
-        if (rm.soundness_violations != 0) {
+        table.addRow(
+            ExperimentOptions::shortName(app),
+            {sweepCell(rm, 100.0 * rm.coverage.coverage()),
+             sweepCell(rr, 100.0 * rr.coverage.coverage()),
+             sweepCell(rr,
+                       static_cast<double>(rr.soundness_violations))},
+            2);
+        if (!rm.failed && rm.soundness_violations != 0) {
             warn("monotone policy produced violations on %s -- BUG",
                  app.c_str());
         }
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }

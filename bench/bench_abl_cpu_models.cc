@@ -15,6 +15,7 @@
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "trace/spec2000.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -56,14 +57,19 @@ main()
     const char *configs[] = {"", "HMNM4", "Perfect"};
     constexpr std::size_t kinds = 6;
     ParallelRunner runner(opts.jobs);
-    std::vector<Cycles> cycles = runner.map<Cycles>(
-        opts.apps.size() * kinds, [&](std::size_t i) {
-            const std::string &app = opts.apps[i / kinds];
-            std::size_t k = i % kinds;
-            const char *config = configs[k % 3];
-            return k < 3 ? runCore<OooCore>(app, config, n)
-                         : runCore<CycleOooCore>(app, config, n);
-        });
+    std::vector<Cycles> cycles;
+    try {
+        cycles = runner.map<Cycles>(
+            opts.apps.size() * kinds, [&](std::size_t i) {
+                const std::string &app = opts.apps[i / kinds];
+                std::size_t k = i % kinds;
+                const char *config = configs[k % 3];
+                return k < 3 ? runCore<OooCore>(app, config, n)
+                             : runCore<CycleOooCore>(app, config, n);
+            });
+    } catch (const SweepFailure &e) {
+        fatal("%s", e.what());
+    }
 
     for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         const Cycles *c = &cycles[a * kinds];
@@ -87,5 +93,5 @@ main()
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }

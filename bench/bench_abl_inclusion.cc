@@ -8,6 +8,8 @@
  * (more identifiable misses) while degrading baseline hit rates.
  */
 
+#include <limits>
+
 #include "core/presets.hh"
 #include "obs/manifest.hh"
 #include "sim/config.hh"
@@ -37,15 +39,21 @@ main()
     for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         const MemSimResult &rn = results[a * 2];
         const MemSimResult &ri = results[a * 2 + 1];
+        // The violations column sums both cells, so either failure
+        // gaps it.
+        double violations =
+            (rn.failed || ri.failed)
+                ? std::numeric_limits<double>::quiet_NaN()
+                : static_cast<double>(rn.soundness_violations +
+                                      ri.soundness_violations);
         table.addRow(ExperimentOptions::shortName(opts.apps[a]),
-                     {100.0 * rn.coverage.coverage(),
-                      100.0 * ri.coverage.coverage(),
-                      rn.avgAccessTime(), ri.avgAccessTime(),
-                      static_cast<double>(rn.soundness_violations +
-                                          ri.soundness_violations)},
+                     {sweepCell(rn, 100.0 * rn.coverage.coverage()),
+                      sweepCell(ri, 100.0 * ri.coverage.coverage()),
+                      sweepCell(rn, rn.avgAccessTime()),
+                      sweepCell(ri, ri.avgAccessTime()), violations},
                      2);
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }

@@ -44,13 +44,15 @@ main()
     for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         const MemSimResult *r = &results[a * variants.size()];
         table.addRow(ExperimentOptions::shortName(opts.apps[a]),
-                     {r[0].avgAccessTime(), r[1].avgAccessTime(),
-                      r[2].avgAccessTime(), r[0].energy.mnm_pj / 1e6,
-                      r[1].energy.mnm_pj / 1e6,
-                      r[2].energy.mnm_pj / 1e6},
+                     {sweepCell(r[0], r[0].avgAccessTime()),
+                      sweepCell(r[1], r[1].avgAccessTime()),
+                      sweepCell(r[2], r[2].avgAccessTime()),
+                      sweepCell(r[0], r[0].energy.mnm_pj / 1e6),
+                      sweepCell(r[1], r[1].energy.mnm_pj / 1e6),
+                      sweepCell(r[2], r[2].energy.mnm_pj / 1e6)},
                      3);
     }
     table.addMeanRow("Arith. Mean", 3);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }

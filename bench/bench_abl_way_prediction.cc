@@ -12,6 +12,8 @@
  * the techniques are complementary, not competing.
  */
 
+#include <limits>
+
 #include "core/presets.hh"
 #include "obs/manifest.hh"
 #include "power/sram_model.hh"
@@ -84,6 +86,13 @@ main()
     for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         const MemSimResult &base = results[a * 2];
         const MemSimResult &mnm = results[a * 2 + 1];
+        if (base.failed || mnm.failed) {
+            // Every column needs both cells; gap the whole row.
+            double gap = std::numeric_limits<double>::quiet_NaN();
+            table.addRow(ExperimentOptions::shortName(opts.apps[a]),
+                         {gap, gap, gap}, 2);
+            continue;
+        }
 
         double base_probe =
             base.energy.probe_hit_pj + base.energy.probe_miss_pj;
@@ -107,5 +116,5 @@ main()
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }

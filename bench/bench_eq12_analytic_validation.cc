@@ -72,18 +72,23 @@ main()
     for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         const MemSimResult &base = results[a * 2];
         const MemSimResult &mnm = results[a * 2 + 1];
-        double analytic_base = analyticDataAccessTime(
-            levelTimings(base, params),
-            static_cast<double>(params.memory_latency));
-        double analytic_mnm = analyticDataAccessTime(
-            levelTimings(mnm, params),
-            static_cast<double>(params.memory_latency));
+        // The analytic columns derive from the same cell's measured
+        // rates, so a failed cell gaps both of its columns.
+        double analytic_base = sweepCell(
+            base, analyticDataAccessTime(
+                      levelTimings(base, params),
+                      static_cast<double>(params.memory_latency)));
+        double analytic_mnm = sweepCell(
+            mnm, analyticDataAccessTime(
+                     levelTimings(mnm, params),
+                     static_cast<double>(params.memory_latency)));
         table.addRow(ExperimentOptions::shortName(opts.apps[a]),
-                     {base.avgAccessTime(), analytic_base,
-                      mnm.avgAccessTime(), analytic_mnm},
+                     {sweepCell(base, base.avgAccessTime()),
+                      analytic_base,
+                      sweepCell(mnm, mnm.avgAccessTime()), analytic_mnm},
                      2);
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }

@@ -44,55 +44,62 @@ main()
     // A 64-entry fully-associative TLB is a CAM probe per access.
     PowerDelay tlb_probe = sram.cam(64, 20);
 
+    // Direct ParallelRunner use: a failed app aborts the bench with
+    // the aggregate error list (no per-cell gap markers here).
     ParallelRunner runner(opts.jobs);
-    auto rows = runner.map<TlbRow>(opts.apps.size(), [&](std::size_t a) {
-        const std::string &app = opts.apps[a];
-        TlbParams params;
-        params.entries = 64;
-        params.associativity = 0;
+    std::vector<TlbRow> rows;
+    try {
+        rows = runner.map<TlbRow>(opts.apps.size(), [&](std::size_t a) {
+            const std::string &app = opts.apps[a];
+            TlbParams params;
+            params.entries = 64;
+            params.associativity = 0;
 
-        // Baseline: bare TLB.
-        Tlb base(params);
-        auto w1 = makeSpecWorkload(app);
-        Instruction inst;
-        Cycles base_cycles = 0;
-        std::uint64_t accesses = 0;
-        for (std::uint64_t i = 0; i < opts.instructions; ++i) {
-            w1->next(inst);
-            if (!inst.isMem())
-                continue;
-            base_cycles += base.translate(inst.mem_addr);
-            ++accesses;
-        }
+            // Baseline: bare TLB.
+            Tlb base(params);
+            auto w1 = makeSpecWorkload(app);
+            Instruction inst;
+            Cycles base_cycles = 0;
+            std::uint64_t accesses = 0;
+            for (std::uint64_t i = 0; i < opts.instructions; ++i) {
+                w1->next(inst);
+                if (!inst.isMem())
+                    continue;
+                base_cycles += base.translate(inst.mem_addr);
+                ++accesses;
+            }
 
-        // Filtered: TMNM at page granularity.
-        Tlb filtered(params);
-        TlbFilterUnit filter(TmnmSpec{8, 2, 3}, filtered);
-        auto w2 = makeSpecWorkload(app);
-        Cycles filt_cycles = 0;
-        for (std::uint64_t i = 0; i < opts.instructions; ++i) {
-            w2->next(inst);
-            if (!inst.isMem())
-                continue;
-            filt_cycles += filter.translate(inst.mem_addr);
-        }
+            // Filtered: TMNM at page granularity.
+            Tlb filtered(params);
+            TlbFilterUnit filter(TmnmSpec{8, 2, 3}, filtered);
+            auto w2 = makeSpecWorkload(app);
+            Cycles filt_cycles = 0;
+            for (std::uint64_t i = 0; i < opts.instructions; ++i) {
+                w2->next(inst);
+                if (!inst.isMem())
+                    continue;
+                filt_cycles += filter.translate(inst.mem_addr);
+            }
 
-        double base_energy =
-            tlb_probe.read_energy_pj * static_cast<double>(accesses);
-        double filt_energy =
-            tlb_probe.read_energy_pj *
-                static_cast<double>(filtered.stats().accesses.value()) +
-            filter.consumedEnergyPj();
-        return TlbRow{
-            {100.0 * (1.0 - base.stats().hitRate()),
-             100.0 * filter.coverage(),
-             100.0 * (base_energy - filt_energy) / base_energy,
-             ratio(static_cast<double>(base_cycles),
-                   static_cast<double>(accesses)),
-             ratio(static_cast<double>(filt_cycles),
-                   static_cast<double>(accesses))},
-            filter.soundnessViolations()};
-    });
+            double base_energy =
+                tlb_probe.read_energy_pj * static_cast<double>(accesses);
+            double filt_energy =
+                tlb_probe.read_energy_pj *
+                    static_cast<double>(filtered.stats().accesses.value()) +
+                filter.consumedEnergyPj();
+            return TlbRow{
+                {100.0 * (1.0 - base.stats().hitRate()),
+                 100.0 * filter.coverage(),
+                 100.0 * (base_energy - filt_energy) / base_energy,
+                 ratio(static_cast<double>(base_cycles),
+                       static_cast<double>(accesses)),
+                 ratio(static_cast<double>(filt_cycles),
+                       static_cast<double>(accesses))},
+                filter.soundnessViolations()};
+        });
+    } catch (const SweepFailure &e) {
+        fatal("%s", e.what());
+    }
 
     for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         table.addRow(ExperimentOptions::shortName(opts.apps[a]),
@@ -102,5 +109,5 @@ main()
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }

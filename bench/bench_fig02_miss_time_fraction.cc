@@ -33,12 +33,12 @@ main()
     for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         std::vector<double> row;
         for (std::size_t v = 0; v < variants.size(); ++v) {
-            row.push_back(100.0 * results[a * variants.size() + v]
-                                      .missTimeFraction());
+            const MemSimResult &r = results[a * variants.size() + v];
+            row.push_back(sweepCell(r, 100.0 * r.missTimeFraction()));
         }
         table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 1);
     }
     table.addMeanRow("Arith. Mean", 1);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }

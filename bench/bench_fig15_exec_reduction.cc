@@ -16,6 +16,7 @@
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "trace/spec2000.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -59,14 +60,21 @@ main()
     }
     table.setHeader(header);
 
-    // Timing-core runs, one cell per (app, config), app-major.
+    // Timing-core runs, one cell per (app, config), app-major. Every
+    // column is baseline-relative, so a failure aborts the bench with
+    // the aggregate error list instead of printing gap markers.
     ParallelRunner runner(opts.jobs);
-    std::vector<Cycles> cycles = runner.map<Cycles>(
-        opts.apps.size() * configs.size(), [&](std::size_t i) {
-            return runCycles(opts.apps[i / configs.size()],
-                             configs[i % configs.size()],
-                             opts.instructions);
-        });
+    std::vector<Cycles> cycles;
+    try {
+        cycles = runner.map<Cycles>(
+            opts.apps.size() * configs.size(), [&](std::size_t i) {
+                return runCycles(opts.apps[i / configs.size()],
+                                 configs[i % configs.size()],
+                                 opts.instructions);
+            });
+    } catch (const SweepFailure &e) {
+        fatal("%s", e.what());
+    }
 
     for (std::size_t a = 0; a < opts.apps.size(); ++a) {
         Cycles base = cycles[a * configs.size()];
@@ -82,5 +90,5 @@ main()
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }

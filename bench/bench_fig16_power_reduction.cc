@@ -9,6 +9,8 @@
  * expensive lower-level probes and churn benefit most.
  */
 
+#include <limits>
+
 #include "core/presets.hh"
 #include "obs/manifest.hh"
 #include "sim/config.hh"
@@ -44,13 +46,18 @@ main()
         std::vector<double> row;
         for (std::size_t v = 1; v < variants.size(); ++v) {
             const MemSimResult &r = results[a * variants.size() + v];
-            row.push_back(100.0 *
-                          (base.energy.total() - r.energy.total()) /
-                          base.energy.total());
+            // A failed baseline gaps the whole row: the reduction is
+            // relative, so no cell on it is computable.
+            row.push_back(base.failed
+                              ? std::numeric_limits<double>::quiet_NaN()
+                              : sweepCell(r, 100.0 *
+                                                 (base.energy.total() -
+                                                  r.energy.total()) /
+                                                 base.energy.total()));
         }
         table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 2);
     }
     table.addMeanRow("Arith. Mean", 2);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }

@@ -10,6 +10,7 @@
 #include "sim/config.hh"
 #include "sim/runner.hh"
 #include "trace/spec2000.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -25,36 +26,48 @@ main()
                      "ul3 hit%", "ul4 hit%", "ul5 hit%"});
 
     // One timing-core run per app; each cell returns its full row.
+    // Timing runs are all-or-nothing: a failure aborts the bench with
+    // the aggregate error list (unlike runSweep's gap markers).
     ParallelRunner runner(opts.jobs);
-    auto rows = runner.map<std::vector<double>>(
-        opts.apps.size(), [&](std::size_t a) {
-            CacheHierarchy hierarchy(paperHierarchy(5));
-            OooCore core(paperCpu(5), hierarchy);
-            auto workload = makeSpecWorkload(opts.apps[a]);
-            CpuRunStats stats = core.run(*workload, opts.instructions);
+    std::vector<std::vector<double>> rows;
+    try {
+        rows = runner.map<std::vector<double>>(
+            opts.apps.size(), [&](std::size_t a) {
+                CacheHierarchy hierarchy(paperHierarchy(5));
+                OooCore core(paperCpu(5), hierarchy);
+                auto workload = makeSpecWorkload(opts.apps[a]);
+                CpuRunStats stats =
+                    core.run(*workload, opts.instructions);
 
-            auto hit_rate = [&](const char *name) {
-                for (CacheId id = 0; id < hierarchy.numCaches(); ++id) {
-                    if (hierarchy.cache(id).params().name == name) {
-                        return 100.0 *
-                               hierarchy.cache(id).stats().hitRate();
+                auto hit_rate = [&](const char *name) {
+                    for (CacheId id = 0; id < hierarchy.numCaches();
+                         ++id) {
+                        if (hierarchy.cache(id).params().name == name) {
+                            return 100.0 * hierarchy.cache(id)
+                                               .stats()
+                                               .hitRate();
+                        }
                     }
-                }
-                return 0.0;
-            };
-            return std::vector<double>{
-                static_cast<double>(stats.cycles) / 1e6,
-                static_cast<double>(stats.loads + stats.stores) / 1e6,
-                static_cast<double>(stats.fetch_line_accesses) / 1e6,
-                hit_rate("dl1"),
-                hit_rate("dl2"),
-                hit_rate("il1"),
-                hit_rate("il2"),
-                hit_rate("ul3"),
-                hit_rate("ul4"),
-                hit_rate("ul5"),
-            };
-        });
+                    return 0.0;
+                };
+                return std::vector<double>{
+                    static_cast<double>(stats.cycles) / 1e6,
+                    static_cast<double>(stats.loads + stats.stores) /
+                        1e6,
+                    static_cast<double>(stats.fetch_line_accesses) /
+                        1e6,
+                    hit_rate("dl1"),
+                    hit_rate("dl2"),
+                    hit_rate("il1"),
+                    hit_rate("il2"),
+                    hit_rate("ul3"),
+                    hit_rate("ul4"),
+                    hit_rate("ul5"),
+                };
+            });
+    } catch (const SweepFailure &e) {
+        fatal("%s", e.what());
+    }
 
     for (std::size_t a = 0; a < opts.apps.size(); ++a)
         table.addRow(ExperimentOptions::shortName(opts.apps[a]), rows[a],

@@ -9,6 +9,7 @@
 #ifndef MNM_BENCH_COVERAGE_FIGURE_HH
 #define MNM_BENCH_COVERAGE_FIGURE_HH
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,8 @@
 namespace mnm
 {
 
-/** Run one coverage figure and print its table. Returns 0 on success. */
+/** Run one coverage figure and print its table. Returns 0 on success,
+ *  1 when any sweep cell failed (its cells print as "<failed>"). */
 inline int
 runCoverageFigure(const std::string &title,
                   const std::vector<std::string> &configs)
@@ -47,6 +49,10 @@ runCoverageFigure(const std::string &title,
         std::vector<double> row;
         for (std::size_t c = 0; c < configs.size(); ++c) {
             const MemSimResult &r = results[a * configs.size() + c];
+            if (r.failed) {
+                row.push_back(std::numeric_limits<double>::quiet_NaN());
+                continue;
+            }
             row.push_back(100.0 * r.coverage.coverage());
             if (r.soundness_violations != 0) {
                 warn("%s on %s: %llu soundness violations",
@@ -59,7 +65,7 @@ runCoverageFigure(const std::string &title,
     }
     table.addMeanRow("Arith. Mean", 1);
     table.print(opts.csv);
-    return 0;
+    return sweepExitCode();
 }
 
 } // namespace mnm

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "core/presets.hh"
 #include "obs/manifest.hh"
@@ -38,8 +39,9 @@ main(int argc, char **argv)
         cells.push_back(
             {app, paperHierarchy(5), spec, instructions, config});
     }
-    ExperimentOptions opts;
-    opts.jobs = jobsFromEnv();
+    // App and budget come from argv; execution knobs (jobs, checkpoint,
+    // retries, watchdog) from the environment like every bench.
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
     std::vector<MemSimResult> results = runSweep(cells, opts);
     const MemSimResult &base = results[0];
 
@@ -47,13 +49,18 @@ main(int argc, char **argv)
     table.setHeader({"config", "hit probes", "miss probes", "fills",
                      "mnm", "total", "saved%"});
     auto add = [&](const std::string &label, const MemSimResult &r) {
+        // saved% is baseline-relative; gap it when either cell failed.
+        double saved =
+            (base.failed || r.failed)
+                ? std::numeric_limits<double>::quiet_NaN()
+                : 100.0 * (base.energy.total() - r.energy.total()) /
+                      base.energy.total();
         table.addRow(label,
-                     {r.energy.probe_hit_pj / 1e6,
-                      r.energy.probe_miss_pj / 1e6,
-                      r.energy.fill_pj / 1e6, r.energy.mnm_pj / 1e6,
-                      r.energy.total() / 1e6,
-                      100.0 * (base.energy.total() - r.energy.total()) /
-                          base.energy.total()},
+                     {sweepCell(r, r.energy.probe_hit_pj / 1e6),
+                      sweepCell(r, r.energy.probe_miss_pj / 1e6),
+                      sweepCell(r, r.energy.fill_pj / 1e6),
+                      sweepCell(r, r.energy.mnm_pj / 1e6),
+                      sweepCell(r, r.energy.total() / 1e6), saved},
                      2);
     };
     for (std::size_t i = 0; i < cells.size(); ++i)
@@ -63,5 +70,5 @@ main(int argc, char **argv)
     std::puts("Notes: 'miss probes' is the waste the MNM attacks; "
               "'mnm' is what it costs. Perfect is the zero-cost oracle "
               "bound (paper Section 4.4).");
-    return 0;
+    return sweepExitCode();
 }

@@ -17,6 +17,7 @@
 #include "sim/memory_sim.hh"
 #include "sim/runner.hh"
 #include "trace/spec2000.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace mnm;
@@ -83,10 +84,16 @@ main(int argc, char **argv)
     table.setHeader({"config", "storage[KB]", "coverage%",
                      "coverage%/KB"});
     ParallelRunner runner(jobsFromEnv());
-    std::vector<Sizing> sizings = runner.map<Sizing>(
-        candidates.size(), [&](std::size_t i) {
-            return runCoverage(candidates[i].spec, app, instructions);
-        });
+    std::vector<Sizing> sizings;
+    try {
+        sizings = runner.map<Sizing>(
+            candidates.size(), [&](std::size_t i) {
+                return runCoverage(candidates[i].spec, app,
+                                   instructions);
+            });
+    } catch (const SweepFailure &e) {
+        fatal("%s", e.what());
+    }
     for (std::size_t i = 0; i < candidates.size(); ++i) {
         const Sizing &s = sizings[i];
         double kb = static_cast<double>(s.storage_bits) / 8.0 / 1024.0;

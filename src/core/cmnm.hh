@@ -58,6 +58,36 @@ class Cmnm : public MissFilter
     }
     std::uint64_t anomalies() const override { return anomalies_; }
 
+    /** Fault surface: every counter bit, then per register 16 low
+     *  prefix bits plus the valid bit. */
+    std::uint64_t faultBitCount() const override
+    {
+        return static_cast<std::uint64_t>(counters_.size()) *
+                   spec_.counter_bits +
+               static_cast<std::uint64_t>(registers_.size()) *
+                   register_fault_bits;
+    }
+    void flipFaultBit(std::uint64_t bit) override
+    {
+        std::uint64_t counter_bits =
+            static_cast<std::uint64_t>(counters_.size()) *
+            spec_.counter_bits;
+        if (bit < counter_bits) {
+            counters_[bit / spec_.counter_bits] ^=
+                static_cast<std::uint8_t>(1u
+                                          << (bit % spec_.counter_bits));
+            return;
+        }
+        bit -= counter_bits;
+        VtagRegister &reg = registers_[bit / register_fault_bits];
+        std::uint64_t within = bit % register_fault_bits;
+        if (within < 16) {
+            reg.prefix ^= std::uint64_t{1} << within;
+        } else {
+            reg.valid = !reg.valid;
+        }
+    }
+
     const CmnmSpec &spec() const { return spec_; }
 
     /** Number of virtual-tag registers currently allocated. */
@@ -67,6 +97,9 @@ class Cmnm : public MissFilter
     std::uint64_t maskWidenings() const { return widenings_; }
 
   private:
+    /** Injectable bits per virtual-tag register (16 prefix + valid). */
+    static constexpr std::uint64_t register_fault_bits = 17;
+
     /** One virtual-tag register. */
     struct VtagRegister
     {

@@ -49,4 +49,16 @@ CoverageTracker::reset()
     *this = CoverageTracker();
 }
 
+void
+CoverageTracker::restore(
+    std::uint64_t identified, std::uint64_t unidentified,
+    const std::array<std::uint64_t, max_levels> &identified_at,
+    const std::array<std::uint64_t, max_levels> &unidentified_at)
+{
+    identified_ = identified;
+    unidentified_ = unidentified;
+    identified_at_ = identified_at;
+    unidentified_at_ = unidentified_at;
+}
+
 } // namespace mnm

@@ -66,6 +66,14 @@ class CoverageTracker
 
     void reset();
 
+    /**
+     * Overwrite this tracker with externally stored counts (checkpoint
+     * journal replay). Levels beyond the array lengths stay zero.
+     */
+    void restore(std::uint64_t identified, std::uint64_t unidentified,
+                 const std::array<std::uint64_t, max_levels> &identified_at,
+                 const std::array<std::uint64_t, max_levels> &unidentified_at);
+
   private:
     std::uint64_t identified_ = 0;
     std::uint64_t unidentified_ = 0;

@@ -1,0 +1,91 @@
+#include "core/fault_inject.hh"
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+/** @p visit(name, bits, flip_fn) is called once per surface. */
+template <typename Visit>
+void
+FaultInjector::visitSurfaces(MnmUnit &unit, Visit &&visit)
+{
+    if (unit.rmnm_ && unit.rmnm_->faultBitCount() > 0) {
+        Rmnm &rmnm = *unit.rmnm_;
+        visit("rmnm", rmnm.faultBitCount(),
+              [&rmnm](std::uint64_t bit) { rmnm.flipFaultBit(bit); });
+    }
+    for (std::size_t id = 0; id < unit.per_cache_.size(); ++id) {
+        const std::string &cache_name =
+            unit.hierarchy_.cache(static_cast<CacheId>(id))
+                .params()
+                .name;
+        for (const auto &filter : unit.per_cache_[id].filters) {
+            if (filter->faultBitCount() == 0)
+                continue;
+            visit(cache_name + "/" + filter->name(),
+                  filter->faultBitCount(),
+                  [&filter](std::uint64_t bit) {
+                      filter->flipFaultBit(bit);
+                  });
+        }
+    }
+}
+
+std::vector<FaultSurface>
+FaultInjector::faultSurfaces(const MnmUnit &unit)
+{
+    std::vector<FaultSurface> surfaces;
+    // visitSurfaces needs a mutable unit for the flip closures; the
+    // enumeration itself never mutates.
+    visitSurfaces(const_cast<MnmUnit &>(unit),
+                  [&](const std::string &name, std::uint64_t bits,
+                      auto &&) { surfaces.push_back({name, bits}); });
+    return surfaces;
+}
+
+void
+FaultInjector::flip(MnmUnit &unit, std::size_t surface,
+                    std::uint64_t bit)
+{
+    std::size_t index = 0;
+    bool done = false;
+    visitSurfaces(unit, [&](const std::string &, std::uint64_t bits,
+                            auto &&flip_fn) {
+        if (index++ != surface)
+            return;
+        MNM_ASSERT(bit < bits, "fault bit out of surface range");
+        flip_fn(bit);
+        done = true;
+    });
+    MNM_ASSERT(done, "fault surface index out of range");
+}
+
+FaultInjection
+FaultInjector::injectRandom(MnmUnit &unit)
+{
+    std::vector<FaultSurface> surfaces = faultSurfaces(unit);
+    MNM_ASSERT(!surfaces.empty(),
+               "fault injection into an MNM with no structures");
+    std::uint64_t total = 0;
+    for (const FaultSurface &s : surfaces)
+        total += s.bits;
+
+    // Weight the pick by surface size: every physical bit is an
+    // equally likely strike target.
+    std::uint64_t pick = rng_.nextBelow(total);
+    FaultInjection injection;
+    for (std::size_t i = 0; i < surfaces.size(); ++i) {
+        if (pick < surfaces[i].bits) {
+            injection.surface = i;
+            injection.name = surfaces[i].name;
+            injection.bit = pick;
+            break;
+        }
+        pick -= surfaces[i].bits;
+    }
+    flip(unit, injection.surface, injection.bit);
+    return injection;
+}
+
+} // namespace mnm

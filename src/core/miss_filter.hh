@@ -71,6 +71,21 @@ class MissFilter
 
     /** Bookkeeping anomalies observed (e.g. replacement never placed). */
     virtual std::uint64_t anomalies() const { return 0; }
+
+    /**
+     * Fault-injection surface (core/fault_inject.hh): the number of
+     * physical state bits a particle strike could flip. 0 (the
+     * default) means the structure exposes no injection surface.
+     */
+    virtual std::uint64_t faultBitCount() const { return 0; }
+
+    /**
+     * Flip state bit @p bit (< faultBitCount()), simulating a single-
+     * event upset. Flipping the same bit twice restores the original
+     * state. Used only by the fault-injection harness; never called
+     * during normal simulation.
+     */
+    virtual void flipFaultBit(std::uint64_t bit) { (void)bit; }
 };
 
 /** How the SMNM presence state is maintained (DESIGN.md decision 1). */

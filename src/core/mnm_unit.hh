@@ -171,6 +171,10 @@ class MnmUnit : public CacheEventListener
     std::string describe() const;
 
   private:
+    /** The fault-injection harness flips bits in the private
+     *  structures directly (core/fault_inject.hh). */
+    friend class FaultInjector;
+
     struct PerCache
     {
         std::vector<std::unique_ptr<MissFilter>> filters;

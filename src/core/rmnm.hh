@@ -76,6 +76,24 @@ class Rmnm
     const RmnmSpec &spec() const { return spec_; }
     std::uint64_t entriesInUse() const { return in_use_; }
 
+    /** Fault surface (core/fault_inject.hh): one miss bit per tracked
+     *  cache per entry. Flips on invalid entries have no behavioral
+     *  effect (lookups require valid), mirroring a strike on a
+     *  deallocated SRAM row. */
+    std::uint64_t faultBitCount() const
+    {
+        return static_cast<std::uint64_t>(entries_.size()) *
+               num_tracked_;
+    }
+
+    /** Flip one miss bit; self-inverse, testing only. */
+    void flipFaultBit(std::uint64_t bit)
+    {
+        entries_[bit / num_tracked_].miss_bits ^=
+            std::uint32_t{1}
+            << static_cast<std::uint32_t>(bit % num_tracked_);
+    }
+
   private:
     struct Entry
     {

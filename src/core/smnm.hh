@@ -53,6 +53,17 @@ class Smnm : public MissFilter
                      const CheckerModel &checker) const override;
     std::uint64_t anomalies() const override { return anomalies_; }
 
+    /** Fault surface: every bit of the per-sum state words (presence
+     *  flip-flops in SetOnly mode, count bits in Counting mode). */
+    std::uint64_t faultBitCount() const override
+    {
+        return static_cast<std::uint64_t>(state_.size()) * 32u;
+    }
+    void flipFaultBit(std::uint64_t bit) override
+    {
+        state_[bit / 32u] ^= std::uint32_t{1} << (bit % 32u);
+    }
+
     const SmnmSpec &spec() const { return spec_; }
 
   private:

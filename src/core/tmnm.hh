@@ -40,6 +40,18 @@ class Tmnm : public MissFilter
                      const CheckerModel &checker) const override;
     std::uint64_t anomalies() const override { return anomalies_; }
 
+    /** Fault surface: counter_bits bits per saturating counter. */
+    std::uint64_t faultBitCount() const override
+    {
+        return static_cast<std::uint64_t>(counters_.size()) *
+               spec_.counter_bits;
+    }
+    void flipFaultBit(std::uint64_t bit) override
+    {
+        counters_[bit / spec_.counter_bits] ^= static_cast<std::uint8_t>(
+            1u << (bit % spec_.counter_bits));
+    }
+
     const TmnmSpec &spec() const { return spec_; }
 
     /** Number of saturated (permanently "maybe") counters right now. */

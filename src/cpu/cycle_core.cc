@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "util/deadline.hh"
 #include "util/logging.hh"
 
 namespace mnm
@@ -83,6 +84,7 @@ CycleOooCore::run(WorkloadGenerator &workload, std::uint64_t count)
                                          8;
 
     while (committed < count) {
+        pollCellDeadline();
         // --- commit -------------------------------------------------
         for (std::uint32_t n = 0; n < params_.commit_width &&
                                   !window.empty();

@@ -99,6 +99,13 @@ DecisionMatrix::reset()
 }
 
 void
+DecisionMatrix::setCells(std::uint32_t level, const Cells &cells)
+{
+    if (level < max_levels)
+        levels_[level] = cells;
+}
+
+void
 DecisionMatrix::registerInto(StatsRegistry &registry,
                              const std::string &prefix) const
 {

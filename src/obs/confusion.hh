@@ -98,6 +98,9 @@ class DecisionMatrix
 
     void reset();
 
+    /** Overwrite one level's cells (checkpoint journal replay). */
+    void setCells(std::uint32_t level, const Cells &cells);
+
     /**
      * Fold the non-empty levels into @p registry as counters named
      * "<prefix>.l<level>.<cell>".

@@ -214,4 +214,393 @@ JsonWriter::rawValue(std::string_view fragment)
         root_written_ = true;
 }
 
+// --------------------------------------------------------- JsonValue
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = object_.find(name);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::uint64_t>
+JsonValue::getU64(const std::string &name) const
+{
+    const JsonValue *v = find(name);
+    if (!v || !v->isInteger())
+        return std::nullopt;
+    return v->asU64();
+}
+
+std::optional<double>
+JsonValue::getDouble(const std::string &name) const
+{
+    const JsonValue *v = find(name);
+    if (!v || !v->isNumber())
+        return std::nullopt;
+    return v->asDouble();
+}
+
+std::optional<std::string>
+JsonValue::getString(const std::string &name) const
+{
+    const JsonValue *v = find(name);
+    if (!v || !v->isString())
+        return std::nullopt;
+    return v->asString();
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool flag)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.flag_ = flag;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double number)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = number;
+    return v;
+}
+
+JsonValue
+JsonValue::makeInteger(std::uint64_t value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.integer_ = true;
+    v.u64_ = value;
+    v.number_ = static_cast<double>(value);
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string text)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(text);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(Array items)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(Object members)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.object_ = std::move(members);
+    return v;
+}
+
+// ------------------------------------------------- recursive descent
+
+namespace
+{
+
+/** Non-throwing recursive-descent JSON parser over a string_view. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue>
+    parseDocument()
+    {
+        std::optional<JsonValue> value = parseValue();
+        if (!value)
+            return std::nullopt;
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return fail("trailing content after the JSON document");
+        return value;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    std::optional<JsonValue>
+    fail(const std::string &message)
+    {
+        if (error_.empty()) {
+            error_ = message + " at offset " + std::to_string(pos_);
+        }
+        return std::nullopt;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeLiteral(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) != literal)
+            return false;
+        pos_ += literal.size();
+        return true;
+    }
+
+    std::optional<JsonValue>
+    parseValue()
+    {
+        if (++depth_ > max_depth)
+            return fail("nesting too deep");
+        struct DepthGuard
+        {
+            std::size_t &d;
+            ~DepthGuard() { --d; }
+        } guard{depth_};
+
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+            return consumeLiteral("true")
+                       ? std::optional<JsonValue>(JsonValue::makeBool(true))
+                       : fail("bad literal");
+          case 'f':
+            return consumeLiteral("false")
+                       ? std::optional<JsonValue>(
+                             JsonValue::makeBool(false))
+                       : fail("bad literal");
+          case 'n':
+            return consumeLiteral("null")
+                       ? std::optional<JsonValue>(JsonValue::makeNull())
+                       : fail("bad literal");
+          default: return parseNumber();
+        }
+    }
+
+    std::optional<JsonValue>
+    parseObject()
+    {
+        ++pos_; // '{'
+        JsonValue::Object members;
+        skipWhitespace();
+        if (consume('}'))
+            return JsonValue::makeObject(std::move(members));
+        for (;;) {
+            skipWhitespace();
+            std::optional<JsonValue> key = parseString();
+            if (!key)
+                return std::nullopt;
+            skipWhitespace();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            std::optional<JsonValue> value = parseValue();
+            if (!value)
+                return std::nullopt;
+            members.insert_or_assign(key->asString(), std::move(*value));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return JsonValue::makeObject(std::move(members));
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    std::optional<JsonValue>
+    parseArray()
+    {
+        ++pos_; // '['
+        JsonValue::Array items;
+        skipWhitespace();
+        if (consume(']'))
+            return JsonValue::makeArray(std::move(items));
+        for (;;) {
+            std::optional<JsonValue> value = parseValue();
+            if (!value)
+                return std::nullopt;
+            items.push_back(std::move(*value));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return JsonValue::makeArray(std::move(items));
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::optional<JsonValue>
+    parseString()
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return JsonValue::makeString(std::move(out));
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') {
+                        code |= static_cast<unsigned>(h - '0');
+                    } else if (h >= 'a' && h <= 'f') {
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    } else if (h >= 'A' && h <= 'F') {
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    } else {
+                        return fail("bad \\u escape");
+                    }
+                }
+                // The writer only emits \u00xx control escapes; decode
+                // the Latin-1 range and pass anything wider through as
+                // UTF-8 (2-byte form covers every \uXXXX < 0x800 we
+                // could meet from our own writer).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xc0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xe0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+              }
+              default: return fail("bad escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    std::optional<JsonValue>
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        bool negative = consume('-');
+        bool integral = true;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9') {
+            ++pos_;
+        }
+        if (pos_ == start + (negative ? 1u : 0u))
+            return fail("malformed number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            integral = false;
+            ++pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            integral = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+            }
+        }
+        std::string token(text_.substr(start, pos_ - start));
+        if (integral && !negative) {
+            std::uint64_t u = 0;
+            auto [ptr, ec] = std::from_chars(
+                token.data(), token.data() + token.size(), u);
+            if (ec == std::errc() && ptr == token.data() + token.size())
+                return JsonValue::makeInteger(u);
+        }
+        double d = 0.0;
+        auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), d);
+        if (ec != std::errc() || ptr != token.data() + token.size())
+            return fail("malformed number");
+        return JsonValue::makeNumber(d);
+    }
+
+    static constexpr std::size_t max_depth = 64;
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
+    std::string error_;
+};
+
+} // anonymous namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    JsonParser parser(text);
+    std::optional<JsonValue> value = parser.parseDocument();
+    if (!value && error)
+        *error = parser.error();
+    return value;
+}
+
 } // namespace mnm

@@ -14,6 +14,8 @@
 #define MNM_OBS_JSON_HH
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -96,6 +98,90 @@ class JsonWriter
     std::vector<std::pair<Scope, bool>> stack_;
     bool key_pending_ = false;
 };
+
+/**
+ * A parsed JSON value: the read-side counterpart of JsonWriter, used by
+ * the recovery layer to replay checkpoint journals and by tests to
+ * inspect manifests. Numbers keep both the double interpretation and,
+ * when the text was a plain integer, the exact 64-bit value, so the
+ * uint64 counters JsonWriter emits round-trip without precision loss.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    using Array = std::vector<JsonValue>;
+    /** Ordered map: key order is irrelevant to every consumer here. */
+    using Object = std::map<std::string, JsonValue>;
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool() const { return flag_; }
+    double asDouble() const { return number_; }
+    /** Exact integer value; valid only when isInteger(). */
+    std::uint64_t asU64() const { return u64_; }
+    /** True for numbers written as a plain unsigned integer literal. */
+    bool isInteger() const { return kind_ == Kind::Number && integer_; }
+    const std::string &asString() const { return string_; }
+    const Array &asArray() const { return array_; }
+    const Object &asObject() const { return object_; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+
+    /** Convenience typed getters over find(); nullopt on shape
+     *  mismatch. getU64 accepts only exact integers. */
+    std::optional<std::uint64_t> getU64(const std::string &name) const;
+    std::optional<double> getDouble(const std::string &name) const;
+    std::optional<std::string> getString(const std::string &name) const;
+
+    /** Construction (used by the parser and by tests). */
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool flag);
+    static JsonValue makeNumber(double number);
+    static JsonValue makeInteger(std::uint64_t value);
+    static JsonValue makeString(std::string text);
+    static JsonValue makeArray(Array items);
+    static JsonValue makeObject(Object members);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool flag_ = false;
+    bool integer_ = false;
+    double number_ = 0.0;
+    std::uint64_t u64_ = 0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+/**
+ * Parse one JSON document from @p text. Trailing whitespace is allowed;
+ * any other trailing content is an error. Returns nullopt on malformed
+ * input (truncated journals, partial manifest writes) with a one-line
+ * description in @p error when non-null -- parsing never panics, which
+ * is what lets the recovery layer treat a torn journal tail as "not yet
+ * written" instead of aborting the resumed run.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
 
 } // namespace mnm
 

@@ -1,6 +1,10 @@
 #include "sim/experiment.hh"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <sstream>
 
 #include "obs/manifest.hh"
@@ -11,16 +15,51 @@
 namespace mnm
 {
 
+namespace
+{
+
+/** Parse @p env as a whole-string decimal integer in [min, max];
+ *  anything else (trailing junk, overflow, empty) is fatal. */
+unsigned long long
+parseEnvU64(const char *name, const char *env, unsigned long long min,
+            unsigned long long max)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || errno != 0 ||
+        std::isspace(static_cast<unsigned char>(env[0])) ||
+        env[0] == '-') {
+        fatal("%s='%s' is not an unsigned integer", name, env);
+    }
+    if (v < min || v > max) {
+        fatal("%s=%llu is out of range [%llu, %llu]", name, v, min, max);
+    }
+    return v;
+}
+
+/** Parse @p env as exactly "0" or "1". */
+bool
+parseEnvBool(const char *name, const char *env)
+{
+    if (env[0] != '\0' && env[1] == '\0' &&
+        (env[0] == '0' || env[0] == '1')) {
+        return env[0] == '1';
+    }
+    fatal("%s='%s' must be 0 or 1", name, env);
+    return false; // unreachable; fatal() exits
+}
+
+} // anonymous namespace
+
 ExperimentOptions
 ExperimentOptions::fromEnv()
 {
     ExperimentOptions opts;
     if (const char *env = std::getenv("MNM_INSTRUCTIONS")) {
-        char *end = nullptr;
-        unsigned long long v = std::strtoull(env, &end, 10);
-        if (end == env || v == 0)
-            fatal("MNM_INSTRUCTIONS='%s' is not a positive integer", env);
-        opts.instructions = v;
+        opts.instructions =
+            parseEnvU64("MNM_INSTRUCTIONS", env, 1,
+                        std::numeric_limits<unsigned long long>::max());
     }
     if (const char *env = std::getenv("MNM_APPS")) {
         std::stringstream stream(env);
@@ -44,14 +83,34 @@ ExperimentOptions::fromEnv()
     if (opts.apps.empty())
         opts.apps = specAllNames();
     if (const char *env = std::getenv("MNM_CSV"))
-        opts.csv = env[0] == '1';
+        opts.csv = parseEnvBool("MNM_CSV", env);
     opts.jobs = jobsFromEnv();
     if (const char *env = std::getenv("MNM_PROGRESS"))
-        opts.progress = env[0] == '1';
+        opts.progress = parseEnvBool("MNM_PROGRESS", env);
     if (const char *env = std::getenv("MNM_STATS_JSON"))
         opts.stats_json = env;
     if (const char *env = std::getenv("MNM_TRACE_FILE"))
         opts.trace_file = env;
+    if (const char *env = std::getenv("MNM_CHECKPOINT"))
+        opts.checkpoint = env;
+    if (const char *env = std::getenv("MNM_RETRIES")) {
+        opts.retries = static_cast<unsigned>(
+            parseEnvU64("MNM_RETRIES", env, 0, 100));
+    }
+    if (const char *env = std::getenv("MNM_CELL_TIMEOUT_S")) {
+        char *end = nullptr;
+        errno = 0;
+        double v = std::strtod(env, &end);
+        if (end == env || *end != '\0' || errno != 0 ||
+            !std::isfinite(v) || v <= 0.0 || v > 86400.0) {
+            fatal("MNM_CELL_TIMEOUT_S='%s' must be a number of seconds "
+                  "in (0, 86400]",
+                  env);
+        }
+        opts.cell_timeout_s = v;
+    }
+    if (const char *env = std::getenv("MNM_FAIL_CELL"))
+        opts.fail_cell = env;
     // Arm the exit-time manifest/trace writers and echo the resolved
     // configuration into the manifest. Inert when both knobs are unset.
     initRunTelemetry();

@@ -18,9 +18,22 @@
  *                     (config echo + every registry metric) at exit
  *   MNM_TRACE_FILE    path; write a Chrome trace_event timeline of the
  *                     sweep (one complete event per cell) at exit
+ *   MNM_CHECKPOINT    path; journal each completed sweep cell and
+ *                     replay finished cells on restart (sim/recovery)
+ *   MNM_RETRIES       extra attempts for a cell whose simulation
+ *                     throws (default 1; watchdog timeouts never
+ *                     retry)
+ *   MNM_CELL_TIMEOUT_S  cooperative per-cell watchdog in seconds;
+ *                     a cell over budget fails without killing the
+ *                     pool (default: no timeout)
+ *   MNM_FAIL_CELL     testing: any cell whose "app · label" contains
+ *                     this substring throws on every attempt
  *
- * The two telemetry knobs never touch stdout: with them unset the
- * printed tables are byte-identical to a build without this layer.
+ * Every knob is validated on parse: a non-numeric or out-of-range
+ * value is a one-line fatal() naming the variable, not a silent
+ * fallback. The telemetry and recovery knobs never touch stdout: with
+ * them unset the printed tables are byte-identical to a build without
+ * these layers.
  */
 
 #ifndef MNM_SIM_EXPERIMENT_HH
@@ -50,10 +63,18 @@ struct ExperimentOptions
     std::string stats_json;
     /** Chrome trace path (MNM_TRACE_FILE); empty = disabled. */
     std::string trace_file;
+    /** Checkpoint-journal path (MNM_CHECKPOINT); empty = disabled. */
+    std::string checkpoint;
+    /** Extra attempts for a throwing cell (MNM_RETRIES). */
+    unsigned retries = 1;
+    /** Per-cell watchdog budget in seconds (MNM_CELL_TIMEOUT_S);
+     *  0 = no watchdog. */
+    double cell_timeout_s = 0.0;
+    /** Fault-injection substring (MNM_FAIL_CELL); empty = disabled. */
+    std::string fail_cell;
 
-    /** Parse MNM_INSTRUCTIONS / MNM_APPS / MNM_CSV / MNM_JOBS /
-     *  MNM_PROGRESS / MNM_STATS_JSON / MNM_TRACE_FILE; also arms the
-     *  obs layer's exit-time manifest/trace writers. */
+    /** Parse and validate every MNM_* knob listed in the file comment;
+     *  also arms the obs layer's exit-time manifest/trace writers. */
     static ExperimentOptions fromEnv();
 
     /** Short app label for table rows ("164.gzip" -> "gzip"). */

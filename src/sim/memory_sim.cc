@@ -1,6 +1,7 @@
 #include "sim/memory_sim.hh"
 
 #include "util/bits.hh"
+#include "util/deadline.hh"
 #include "util/logging.hh"
 
 namespace mnm
@@ -104,6 +105,7 @@ MemorySimulator::run(WorkloadGenerator &workload,
 
     Instruction inst;
     for (std::uint64_t i = 0; i < instructions; ++i) {
+        pollCellDeadline();
         workload.next(inst);
         Addr line = l1i.blockAddr(inst.pc);
         if (line != cur_fetch_line_) {

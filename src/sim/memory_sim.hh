@@ -90,6 +90,13 @@ struct MemSimResult
     std::uint64_t mnm_storage_bits = 0;
     std::vector<CacheSnapshot> caches;
 
+    /** Set by runSweep() when this cell's simulation failed (after all
+     *  retries). Every counter above is then meaningless; benches must
+     *  print a gap marker instead of the cell's value. */
+    bool failed = false;
+    /** Human-readable reason when failed (exception what()). */
+    std::string fail_reason;
+
     double avgAccessTime() const
     {
         return requests ? static_cast<double>(total_access_cycles) /

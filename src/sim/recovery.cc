@@ -1,0 +1,493 @@
+#include "sim/recovery.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+namespace
+{
+
+// ------------------------------------------------ cell fingerprint
+//
+// The fingerprint hashes a canonical text encoding of the cell. The
+// encoding is versioned implicitly by the journal schema tag: any
+// change to what a field means must bump CheckpointJournal::schema so
+// stale journals are ignored rather than misapplied.
+
+class Fnv1a64
+{
+  public:
+    void
+    text(std::string_view s)
+    {
+        for (unsigned char c : s) {
+            hash_ ^= c;
+            hash_ *= 1099511628211ull;
+        }
+        sep();
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        char buf[24];
+        auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+        (void)ec;
+        text(std::string_view(buf, static_cast<std::size_t>(ptr - buf)));
+    }
+
+    void flag(bool b) { u64(b ? 1 : 0); }
+
+    std::string
+    hex() const
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out(16, '0');
+        for (int i = 0; i < 16; ++i)
+            out[i] = digits[(hash_ >> (60 - 4 * i)) & 0xf];
+        return out;
+    }
+
+  private:
+    void
+    sep()
+    {
+        hash_ ^= 0x1f;
+        hash_ *= 1099511628211ull;
+    }
+
+    std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+void
+hashCacheParams(Fnv1a64 &h, const CacheParams &p)
+{
+    h.text(p.name);
+    h.u64(p.capacity_bytes);
+    h.u64(p.associativity);
+    h.u64(p.block_bytes);
+    h.u64(p.hit_latency);
+    h.u64(p.miss_latency);
+    h.u64(static_cast<std::uint64_t>(p.policy));
+}
+
+void
+hashFilterSpec(Fnv1a64 &h, const FilterSpec &spec)
+{
+    if (const auto *s = std::get_if<SmnmSpec>(&spec)) {
+        h.text("smnm");
+        h.u64(s->sum_width);
+        h.u64(s->replication);
+        h.u64(static_cast<std::uint64_t>(s->mode));
+    } else if (const auto *t = std::get_if<TmnmSpec>(&spec)) {
+        h.text("tmnm");
+        h.u64(t->index_bits);
+        h.u64(t->replication);
+        h.u64(t->counter_bits);
+    } else {
+        const auto &c = std::get<CmnmSpec>(spec);
+        h.text("cmnm");
+        h.u64(c.num_registers);
+        h.u64(c.table_index_bits);
+        h.u64(c.counter_bits);
+        h.u64(static_cast<std::uint64_t>(c.policy));
+    }
+}
+
+// -------------------------------------------- result (de)serializer
+
+void
+writeU64Array16(JsonWriter &json, std::string_view key,
+                const std::array<std::uint64_t, 16> &values)
+{
+    json.key(key);
+    json.beginArray();
+    for (std::uint64_t v : values)
+        json.value(v);
+    json.endArray();
+}
+
+bool
+readU64Array16(const JsonValue &object, const std::string &key,
+               std::array<std::uint64_t, 16> &out)
+{
+    const JsonValue *array = object.find(key);
+    if (!array || !array->isArray() || array->asArray().size() != 16)
+        return false;
+    for (std::size_t i = 0; i < 16; ++i) {
+        const JsonValue &v = array->asArray()[i];
+        if (!v.isInteger())
+            return false;
+        out[i] = v.asU64();
+    }
+    return true;
+}
+
+/** Fetch a required exact-integer member into @p out. */
+bool
+need(const JsonValue &object, const std::string &key, std::uint64_t &out)
+{
+    std::optional<std::uint64_t> v = object.getU64(key);
+    if (!v)
+        return false;
+    out = *v;
+    return true;
+}
+
+/** Fetch a required numeric member into @p out. */
+bool
+need(const JsonValue &object, const std::string &key, double &out)
+{
+    std::optional<double> v = object.getDouble(key);
+    if (!v)
+        return false;
+    out = *v;
+    return true;
+}
+
+} // anonymous namespace
+
+std::string
+cellFingerprint(const SweepCell &cell)
+{
+    Fnv1a64 h;
+    h.text("cell");
+    h.text(cell.app);
+    h.text(cell.label);
+    h.u64(cell.instructions);
+
+    const HierarchyParams &hp = cell.hierarchy;
+    h.u64(hp.levels.size());
+    for (const LevelParams &level : hp.levels) {
+        h.flag(level.split);
+        hashCacheParams(h, level.data);
+        if (level.split)
+            hashCacheParams(h, level.instr);
+    }
+    h.u64(hp.memory_latency);
+    h.u64(static_cast<std::uint64_t>(hp.inclusion));
+    h.flag(hp.model_writebacks);
+
+    if (!cell.mnm) {
+        h.text("no-mnm");
+        return h.hex();
+    }
+    const MnmSpec &spec = *cell.mnm;
+    h.text(spec.name);
+    h.u64(static_cast<std::uint64_t>(spec.placement));
+    h.u64(spec.delay);
+    h.flag(spec.perfect);
+    h.flag(spec.oracle_check);
+    if (spec.rmnm) {
+        h.text("rmnm");
+        h.u64(spec.rmnm->entries);
+        h.u64(spec.rmnm->associativity);
+    } else {
+        h.text("no-rmnm");
+    }
+    h.u64(spec.level_filters.size());
+    for (const LevelFilters &lf : spec.level_filters) {
+        h.u64(lf.min_level);
+        h.u64(lf.max_level);
+        h.u64(lf.filters.size());
+        for (const FilterSpec &fs : lf.filters)
+            hashFilterSpec(h, fs);
+    }
+    return h.hex();
+}
+
+std::string
+writeMemSimResult(const MemSimResult &result)
+{
+    std::ostringstream out;
+    {
+        JsonWriter json(out, /*pretty=*/false);
+        json.beginObject();
+        json.field("instructions", result.instructions);
+        json.field("requests", result.requests);
+        json.field("data_requests", result.data_requests);
+        json.field("fetch_requests", result.fetch_requests);
+        json.field("total_access_cycles", result.total_access_cycles);
+        json.field("miss_cycles", result.miss_cycles);
+        json.field("memory_accesses", result.memory_accesses);
+
+        json.key("energy");
+        json.beginObject();
+        json.field("probe_hit_pj", result.energy.probe_hit_pj);
+        json.field("probe_miss_pj", result.energy.probe_miss_pj);
+        json.field("fill_pj", result.energy.fill_pj);
+        json.field("writeback_pj", result.energy.writeback_pj);
+        json.field("mnm_pj", result.energy.mnm_pj);
+        json.endObject();
+
+        json.key("coverage");
+        json.beginObject();
+        json.field("identified", result.coverage.identified());
+        json.field("unidentified", result.coverage.unidentified());
+        std::array<std::uint64_t, 16> at{};
+        for (std::uint32_t l = 0; l < 16; ++l)
+            at[l] = result.coverage.identifiedAt(l);
+        writeU64Array16(json, "identified_at", at);
+        for (std::uint32_t l = 0; l < 16; ++l)
+            at[l] = result.coverage.unidentifiedAt(l);
+        writeU64Array16(json, "unidentified_at", at);
+        json.endObject();
+
+        json.key("decisions");
+        json.beginArray();
+        for (std::uint32_t l = 0; l < DecisionMatrix::max_levels; ++l) {
+            const DecisionMatrix::Cells &cells = result.decisions.at(l);
+            if (cells.decisions() == 0)
+                continue;
+            json.beginObject();
+            json.field("level", l);
+            json.field("predicted_miss_actual_miss",
+                       cells.predicted_miss_actual_miss);
+            json.field("maybe_actual_miss", cells.maybe_actual_miss);
+            json.field("maybe_actual_hit", cells.maybe_actual_hit);
+            json.field("predicted_miss_actual_hit",
+                       cells.predicted_miss_actual_hit);
+            json.endObject();
+        }
+        json.endArray();
+
+        json.field("soundness_violations", result.soundness_violations);
+        json.field("filter_anomalies", result.filter_anomalies);
+        json.field("mnm_storage_bits", result.mnm_storage_bits);
+
+        json.key("caches");
+        json.beginArray();
+        for (const CacheSnapshot &snap : result.caches) {
+            json.beginObject();
+            json.field("name", snap.name);
+            json.field("level", snap.level);
+            json.field("accesses", snap.accesses);
+            json.field("hits", snap.hits);
+            json.field("mru_hits", snap.mru_hits);
+            json.field("misses", snap.misses);
+            json.field("bypasses", snap.bypasses);
+            json.field("hit_rate", snap.hit_rate);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+    }
+    return out.str();
+}
+
+std::optional<MemSimResult>
+readMemSimResult(const JsonValue &value)
+{
+    if (!value.isObject())
+        return std::nullopt;
+    MemSimResult result;
+    if (!need(value, "instructions", result.instructions) ||
+        !need(value, "requests", result.requests) ||
+        !need(value, "data_requests", result.data_requests) ||
+        !need(value, "fetch_requests", result.fetch_requests) ||
+        !need(value, "total_access_cycles", result.total_access_cycles) ||
+        !need(value, "miss_cycles", result.miss_cycles) ||
+        !need(value, "memory_accesses", result.memory_accesses) ||
+        !need(value, "soundness_violations",
+              result.soundness_violations) ||
+        !need(value, "filter_anomalies", result.filter_anomalies) ||
+        !need(value, "mnm_storage_bits", result.mnm_storage_bits)) {
+        return std::nullopt;
+    }
+
+    const JsonValue *energy = value.find("energy");
+    if (!energy || !energy->isObject() ||
+        !need(*energy, "probe_hit_pj", result.energy.probe_hit_pj) ||
+        !need(*energy, "probe_miss_pj", result.energy.probe_miss_pj) ||
+        !need(*energy, "fill_pj", result.energy.fill_pj) ||
+        !need(*energy, "writeback_pj", result.energy.writeback_pj) ||
+        !need(*energy, "mnm_pj", result.energy.mnm_pj)) {
+        return std::nullopt;
+    }
+
+    const JsonValue *coverage = value.find("coverage");
+    std::uint64_t identified = 0, unidentified = 0;
+    std::array<std::uint64_t, 16> identified_at{};
+    std::array<std::uint64_t, 16> unidentified_at{};
+    if (!coverage || !coverage->isObject() ||
+        !need(*coverage, "identified", identified) ||
+        !need(*coverage, "unidentified", unidentified) ||
+        !readU64Array16(*coverage, "identified_at", identified_at) ||
+        !readU64Array16(*coverage, "unidentified_at", unidentified_at)) {
+        return std::nullopt;
+    }
+    static_assert(CoverageTracker::max_levels == 16);
+    result.coverage.restore(identified, unidentified, identified_at,
+                            unidentified_at);
+
+    const JsonValue *decisions = value.find("decisions");
+    if (!decisions || !decisions->isArray())
+        return std::nullopt;
+    for (const JsonValue &entry : decisions->asArray()) {
+        std::uint64_t level = 0;
+        DecisionMatrix::Cells cells;
+        if (!entry.isObject() || !need(entry, "level", level) ||
+            level >= DecisionMatrix::max_levels ||
+            !need(entry, "predicted_miss_actual_miss",
+                  cells.predicted_miss_actual_miss) ||
+            !need(entry, "maybe_actual_miss", cells.maybe_actual_miss) ||
+            !need(entry, "maybe_actual_hit", cells.maybe_actual_hit) ||
+            !need(entry, "predicted_miss_actual_hit",
+                  cells.predicted_miss_actual_hit)) {
+            return std::nullopt;
+        }
+        result.decisions.setCells(static_cast<std::uint32_t>(level),
+                                  cells);
+    }
+
+    const JsonValue *caches = value.find("caches");
+    if (!caches || !caches->isArray())
+        return std::nullopt;
+    for (const JsonValue &entry : caches->asArray()) {
+        CacheSnapshot snap;
+        std::optional<std::string> name = entry.getString("name");
+        std::uint64_t level = 0;
+        if (!entry.isObject() || !name || !need(entry, "level", level) ||
+            !need(entry, "accesses", snap.accesses) ||
+            !need(entry, "hits", snap.hits) ||
+            !need(entry, "mru_hits", snap.mru_hits) ||
+            !need(entry, "misses", snap.misses) ||
+            !need(entry, "bypasses", snap.bypasses) ||
+            !need(entry, "hit_rate", snap.hit_rate)) {
+            return std::nullopt;
+        }
+        snap.name = *name;
+        snap.level = static_cast<std::uint32_t>(level);
+        result.caches.push_back(std::move(snap));
+    }
+    return result;
+}
+
+std::optional<MemSimResult>
+readMemSimResult(std::string_view text)
+{
+    std::optional<JsonValue> value = parseJson(text);
+    if (!value)
+        return std::nullopt;
+    return readMemSimResult(*value);
+}
+
+// ------------------------------------------------ checkpoint journal
+
+CheckpointJournal::Replay
+CheckpointJournal::load(const std::string &path)
+{
+    Replay replay;
+    std::ifstream in(path);
+    if (!in.is_open())
+        return replay; // no journal yet: nothing to replay
+
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::optional<JsonValue> value = parseJson(line);
+        if (first) {
+            first = false;
+            // Header line. A wrong or unreadable schema tag means the
+            // journal is from an incompatible writer: replay nothing.
+            if (!value || !value->isObject() ||
+                value->getString("schema") != std::optional<std::string>(
+                                                  schema)) {
+                warn("checkpoint journal %s has an unrecognized header; "
+                     "ignoring it and starting fresh",
+                     path.c_str());
+                return Replay{};
+            }
+            continue;
+        }
+        if (!value || !value->isObject()) {
+            ++replay.skipped; // torn tail / partial write
+            continue;
+        }
+        std::optional<std::string> fp = value->getString("fp");
+        const JsonValue *payload = value->find("result");
+        std::optional<MemSimResult> result =
+            payload ? readMemSimResult(*payload) : std::nullopt;
+        if (!fp || !result) {
+            ++replay.skipped;
+            continue;
+        }
+        replay.entries.insert_or_assign(*fp, std::move(*result));
+    }
+    return replay;
+}
+
+CheckpointJournal::CheckpointJournal(const std::string &path)
+    : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0) {
+        throw std::runtime_error("cannot open checkpoint journal '" +
+                                 path + "' for appending");
+    }
+    off_t size = ::lseek(fd_, 0, SEEK_END);
+    if (size == 0) {
+        std::string header =
+            std::string("{\"schema\":\"") + schema + "\"}\n";
+        if (::write(fd_, header.data(), header.size()) !=
+                static_cast<ssize_t>(header.size()) ||
+            ::fsync(fd_) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+            throw std::runtime_error(
+                "cannot initialize checkpoint journal '" + path + "'");
+        }
+    }
+}
+
+CheckpointJournal::~CheckpointJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+CheckpointJournal::append(const std::string &fingerprint,
+                          const MemSimResult &result)
+{
+    std::string line = "{\"fp\":" + JsonWriter::quoted(fingerprint) +
+                       ",\"result\":" + writeMemSimResult(result) + "}\n";
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ < 0 || write_failed_)
+        return;
+    // One write per entry: O_APPEND makes the line land atomically at
+    // the tail even with a concurrent writer, and a crash mid-write
+    // leaves at most one torn line for load() to skip.
+    std::size_t done = 0;
+    while (done < line.size()) {
+        ssize_t n = ::write(fd_, line.data() + done, line.size() - done);
+        if (n < 0) {
+            write_failed_ = true;
+            warn("checkpoint journal %s: write failed; checkpointing "
+                 "disabled for the rest of this run",
+                 path_.c_str());
+            return;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd_) != 0) {
+        write_failed_ = true;
+        warn("checkpoint journal %s: fsync failed; checkpointing "
+             "disabled for the rest of this run",
+             path_.c_str());
+    }
+}
+
+} // namespace mnm

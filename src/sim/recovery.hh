@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Crash-safe checkpoint journal for long sweep runs.
+ *
+ * A paper-scale sweep (20 workloads x many variants x millions of
+ * instructions) can run for hours; losing the whole run to a crash,
+ * OOM kill, or pre-empted node at cell 380/400 is the failure mode
+ * this layer removes. When MNM_CHECKPOINT=<path> is set, runSweep()
+ * appends one JSON line per *completed* cell -- keyed by a
+ * deterministic fingerprint of everything that defines the cell's
+ * result (workload, hierarchy, MNM spec, instruction budget) -- and on
+ * the next run replays matching entries instead of re-simulating them.
+ * Because the simulator itself is deterministic, a replayed result is
+ * bit-identical to a recomputed one, so the resumed run's tables are
+ * byte-identical to an uninterrupted run's.
+ *
+ * Crash safety: each entry is a single write(2) of one complete line
+ * to an O_APPEND descriptor followed by fsync(2). A crash can at worst
+ * leave one torn line at the tail; the loader treats any unparsable
+ * line as "not yet written" and skips it, so that cell simply re-runs.
+ * Failed cells are never journaled -- a rerun retries them.
+ *
+ * The fingerprint is intentionally independent of execution knobs that
+ * do not change results (jobs, progress, retries, timeouts), so a
+ * journal written by a parallel run resumes a serial run and vice
+ * versa.
+ */
+
+#ifndef MNM_SIM_RECOVERY_HH
+#define MNM_SIM_RECOVERY_HH
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "obs/json.hh"
+#include "sim/runner.hh"
+
+namespace mnm
+{
+
+/**
+ * Deterministic fingerprint of one sweep cell: FNV-1a 64 over a
+ * canonical text encoding of (app, label, instructions, every
+ * HierarchyParams field, every MnmSpec field), rendered as 16 lower-
+ * case hex digits. Two cells collide only if they would produce the
+ * same result anyway (modulo a 2^-64 hash accident).
+ */
+std::string cellFingerprint(const SweepCell &cell);
+
+/** Serialize @p result as one compact (single-line) JSON object. All
+ *  counters are written exactly; doubles use the shortest round-trip
+ *  form, so deserializing reproduces bit-identical values. */
+std::string writeMemSimResult(const MemSimResult &result);
+
+/** Inverse of writeMemSimResult(). nullopt when @p text is not a
+ *  complete well-formed result object (torn journal line). */
+std::optional<MemSimResult> readMemSimResult(std::string_view text);
+
+/** Same, from an already parsed JSON value. */
+std::optional<MemSimResult> readMemSimResult(const JsonValue &value);
+
+/**
+ * Append-only journal of completed cells. Construct with the target
+ * path to record; use load() to replay a previous run's entries.
+ */
+class CheckpointJournal
+{
+  public:
+    /** What load() recovered from an existing journal. */
+    struct Replay
+    {
+        /** fingerprint -> completed result. */
+        std::map<std::string, MemSimResult> entries;
+        /** Unparsable lines skipped (torn tail, partial writes). */
+        std::size_t skipped = 0;
+    };
+
+    /**
+     * Parse the journal at @p path. A missing file yields an empty
+     * replay; malformed lines are counted in Replay::skipped and
+     * otherwise ignored -- loading never throws on bad content.
+     */
+    static Replay load(const std::string &path);
+
+    /**
+     * Open @p path for appending, creating it (with its schema header
+     * line) when absent or empty. Throws std::runtime_error when the
+     * file cannot be opened or created.
+     */
+    explicit CheckpointJournal(const std::string &path);
+    ~CheckpointJournal();
+
+    CheckpointJournal(const CheckpointJournal &) = delete;
+    CheckpointJournal &operator=(const CheckpointJournal &) = delete;
+
+    /**
+     * Durably record one completed cell: a single O_APPEND write of
+     * the full line, then fsync. Thread-safe; a failed write degrades
+     * to a warning (the sweep result is still correct, the journal
+     * just stops growing).
+     */
+    void append(const std::string &fingerprint,
+                const MemSimResult &result);
+
+    const std::string &path() const { return path_; }
+
+    /** Journal schema tag, first line of every journal file. */
+    static constexpr const char *schema = "mnm-checkpoint-v1";
+
+  private:
+    std::string path_;
+    std::mutex mutex_;
+    int fd_ = -1;
+    bool write_failed_ = false;
+};
+
+} // namespace mnm
+
+#endif // MNM_SIM_RECOVERY_HH

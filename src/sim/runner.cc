@@ -4,11 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 
 #include "obs/manifest.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "sim/recovery.hh"
+#include "util/deadline.hh"
 #include "util/logging.hh"
 
 namespace mnm
@@ -52,7 +55,28 @@ jobsFromEnv()
     unsigned long v = std::strtoul(env, &end, 10);
     if (end == env || *end != '\0' || v == 0)
         fatal("MNM_JOBS='%s' is not a positive integer", env);
+    if (v > 4096)
+        fatal("MNM_JOBS=%lu is out of range [1, 4096]", v);
     return static_cast<unsigned>(v);
+}
+
+SweepFailure::SweepFailure(std::vector<Failure> failures)
+    : std::runtime_error(summarize(failures)),
+      failures_(std::move(failures))
+{
+}
+
+std::string
+SweepFailure::summarize(const std::vector<Failure> &failures)
+{
+    if (failures.empty())
+        return "sweep failure (no recorded cells)";
+    std::string out = std::to_string(failures.size()) +
+                      (failures.size() == 1 ? " task failed: "
+                                            : " tasks failed; first: ") +
+                      failures.front().label + ": " +
+                      failures.front().message;
+    return out;
 }
 
 std::vector<SweepCell>
@@ -119,12 +143,28 @@ ParallelRunner::run(std::size_t count,
 }
 
 void
-ParallelRunner::rethrowFirst(const std::vector<std::exception_ptr> &errors)
+ParallelRunner::throwIfAny(
+    const std::vector<std::exception_ptr> &errors,
+    const std::function<std::string(std::size_t)> &label)
 {
-    for (const std::exception_ptr &error : errors) {
-        if (error)
-            std::rethrow_exception(error);
+    std::vector<SweepFailure::Failure> failures;
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+        if (!errors[i])
+            continue;
+        SweepFailure::Failure failure;
+        failure.index = i;
+        failure.label = label ? label(i) : "task " + std::to_string(i);
+        try {
+            std::rethrow_exception(errors[i]);
+        } catch (const std::exception &e) {
+            failure.message = e.what();
+        } catch (...) {
+            failure.message = "non-standard exception";
+        }
+        failures.push_back(std::move(failure));
     }
+    if (!failures.empty())
+        throw SweepFailure(std::move(failures));
 }
 
 unsigned
@@ -142,7 +182,22 @@ struct CellTiming
     std::uint64_t start_us = 0; //!< steady-clock start
     std::uint64_t dur_us = 0;
     unsigned worker = 0;
+    /** False for cells replayed from a checkpoint or failed before
+     *  completing: their wall-clock numbers are meaningless. */
+    bool ran = false;
 };
+
+/** "app · label" (or just app) for progress/error messages. */
+std::string
+cellDisplayName(const SweepCell &cell)
+{
+    return cell.label.empty() ? cell.app : cell.app + " · " + cell.label;
+}
+
+/** Process-wide "some sweep cell failed" flag behind sweepExitCode(). */
+std::atomic<bool> g_sweep_failed{false};
+
+std::function<void(const SweepCell &, unsigned)> g_fault_hook;
 
 /** Registry prefix for one cell's simulation metrics. */
 std::string
@@ -176,17 +231,22 @@ foldSweepTelemetry(const std::vector<SweepCell> &cells,
         const SweepCell &cell = cells[i];
         const MemSimResult &r = results[i];
         std::string prefix = cellMetricPrefix(cell);
-        stats.addCounter(prefix + ".instructions", r.instructions);
-        stats.addCounter(prefix + ".requests", r.requests);
-        stats.addCounter(prefix + ".memory_accesses",
-                         r.memory_accesses);
-        if (cell.mnm) {
-            stats.addCounter(prefix + ".soundness_violations",
-                             r.soundness_violations);
+        if (!r.failed) {
+            stats.addCounter(prefix + ".instructions", r.instructions);
+            stats.addCounter(prefix + ".requests", r.requests);
+            stats.addCounter(prefix + ".memory_accesses",
+                             r.memory_accesses);
+            if (cell.mnm) {
+                stats.addCounter(prefix + ".soundness_violations",
+                                 r.soundness_violations);
+            }
+            r.decisions.registerInto(stats, prefix + ".confusion");
         }
-        r.decisions.registerInto(stats, prefix + ".confusion");
 
+        // Replayed and failed cells have no meaningful wall clock.
         const CellTiming &t = timing[i];
+        if (!t.ran)
+            continue;
         busy_us += t.dur_us;
         cell_wall.add(static_cast<double>(t.dur_us) / 1000.0);
         cell_queue.add(
@@ -230,17 +290,89 @@ runSweep(const std::vector<SweepCell> &cells,
     std::vector<MemSimResult> results(cells.size());
     std::vector<CellTiming> timing(cells.size());
     std::atomic<std::size_t> completed{0};
+
+    // Checkpoint replay: restore finished cells, open the journal for
+    // the rest. A journal the process cannot write is a user error
+    // (bad path, read-only directory), reported before any simulation.
+    std::unique_ptr<CheckpointJournal> journal;
+    std::vector<std::string> fingerprints;
+    std::vector<char> replayed(cells.size(), 0);
+    if (!opts.checkpoint.empty()) {
+        CheckpointJournal::Replay replay =
+            CheckpointJournal::load(opts.checkpoint);
+        if (replay.skipped) {
+            warn("checkpoint journal %s: skipped %zu unparsable "
+                 "line(s) (torn tail); those cells will re-run",
+                 opts.checkpoint.c_str(), replay.skipped);
+        }
+        fingerprints.resize(cells.size());
+        std::size_t restored = 0;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            fingerprints[i] = cellFingerprint(cells[i]);
+            auto it = replay.entries.find(fingerprints[i]);
+            if (it == replay.entries.end())
+                continue;
+            results[i] = it->second;
+            replayed[i] = 1;
+            ++restored;
+        }
+        if (restored && opts.progress) {
+            progress("checkpoint %s: replaying %zu/%zu finished cells",
+                     opts.checkpoint.c_str(), restored, cells.size());
+        }
+        try {
+            journal =
+                std::make_unique<CheckpointJournal>(opts.checkpoint);
+        } catch (const std::exception &e) {
+            fatal("%s", e.what());
+        }
+    }
+
     const std::uint64_t sweep_start_us = steadyNowUs();
 
     auto errors = runner.run(cells.size(), [&](std::size_t i) {
+        if (replayed[i])
+            return;
         const SweepCell &cell = cells[i];
         CellTiming &t = timing[i];
-        t.start_us = steadyNowUs();
-        t.worker = ParallelRunner::currentWorker();
-        results[i] = runFunctional(cell.hierarchy, cell.mnm, cell.app,
-                                   cell.instructions);
+
+        // Bounded retry: a throwing simulation gets opts.retries more
+        // attempts (exponential backoff); a watchdog timeout does not
+        // retry -- a second attempt would only time out again.
+        for (unsigned attempt = 0;; ++attempt) {
+            try {
+                t.start_us = steadyNowUs();
+                t.worker = ParallelRunner::currentWorker();
+                if (g_fault_hook)
+                    g_fault_hook(cell, attempt);
+                if (!opts.fail_cell.empty() &&
+                    cellDisplayName(cell).find(opts.fail_cell) !=
+                        std::string::npos) {
+                    throw std::runtime_error(
+                        "injected failure (MNM_FAIL_CELL=" +
+                        opts.fail_cell + ")");
+                }
+                if (opts.cell_timeout_s > 0.0)
+                    armCellDeadline(opts.cell_timeout_s);
+                results[i] = runFunctional(cell.hierarchy, cell.mnm,
+                                           cell.app, cell.instructions);
+                disarmCellDeadline();
+                break;
+            } catch (const CellTimeoutError &) {
+                throw; // never retried
+            } catch (...) {
+                disarmCellDeadline();
+                if (attempt >= opts.retries)
+                    throw;
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    50u << std::min(attempt, 6u)));
+            }
+        }
         std::uint64_t end_us = steadyNowUs();
         t.dur_us = end_us - t.start_us;
+        t.ran = true;
+        if (journal)
+            journal->append(fingerprints[i], results[i]);
         if (opts.progress) {
             std::size_t done =
                 completed.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -249,34 +381,60 @@ runSweep(const std::vector<SweepCell> &cells,
                 static_cast<double>(end_us - sweep_start_us) / 1e6;
             double eta_s = elapsed_s / static_cast<double>(done) *
                            static_cast<double>(cells.size() - done);
-            progress("[%zu/%zu] %s%s%s (eta %.1fs)", done, cells.size(),
-                     cell.app.c_str(), cell.label.empty() ? "" : " · ",
-                     cell.label.c_str(), eta_s);
+            progress("[%zu/%zu] %s (eta %.1fs)", done, cells.size(),
+                     cellDisplayName(cell).c_str(), eta_s);
         }
     });
     const std::uint64_t wall_us = steadyNowUs() - sweep_start_us;
 
+    // Graceful degradation: a failed cell is marked, warned about, and
+    // counted; the sweep's other cells stand. Benches print "<failed>"
+    // gaps for the marked cells and exit via sweepExitCode().
+    StatsRegistry &stats = globalStats();
     for (std::size_t i = 0; i < errors.size(); ++i) {
         if (!errors[i])
             continue;
         const SweepCell &cell = cells[i];
+        results[i] = MemSimResult{};
+        results[i].failed = true;
         try {
             std::rethrow_exception(errors[i]);
         } catch (const std::exception &e) {
-            fatal("sweep cell %zu (%s%s%s) failed: %s", i,
-                  cell.app.c_str(), cell.label.empty() ? "" : " · ",
-                  cell.label.c_str(), e.what());
+            results[i].fail_reason = e.what();
         } catch (...) {
-            fatal("sweep cell %zu (%s%s%s) failed with a non-standard "
-                  "exception",
-                  i, cell.app.c_str(), cell.label.empty() ? "" : " · ",
-                  cell.label.c_str());
+            results[i].fail_reason = "non-standard exception";
         }
+        warn("sweep cell %zu (%s) failed: %s", i,
+             cellDisplayName(cell).c_str(),
+             results[i].fail_reason.c_str());
+        stats.addCounter("runner.failures.total", 1);
+        stats.addCounter(
+            "runner.failures." +
+                sanitizeMetricSegment(cell.label.empty() ? "default"
+                                                         : cell.label) +
+                "." +
+                sanitizeMetricSegment(
+                    ExperimentOptions::shortName(cell.app)),
+            1);
+        g_sweep_failed.store(true, std::memory_order_relaxed);
     }
 
     foldSweepTelemetry(cells, results, timing, sweep_start_us, wall_us,
                        runner.jobs());
     return results;
+}
+
+int
+sweepExitCode()
+{
+    return g_sweep_failed.load(std::memory_order_relaxed) ? 1 : 0;
+}
+
+void
+setSweepFaultHookForTest(
+    std::function<void(const SweepCell &, unsigned)> hook)
+{
+    g_fault_hook = std::move(hook);
 }
 
 } // namespace mnm

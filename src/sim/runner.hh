@@ -29,7 +29,9 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <limits>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -70,6 +72,33 @@ makeGridCells(const std::vector<std::string> &apps,
 unsigned jobsFromEnv();
 
 /**
+ * Aggregate failure of a parallel task set: carries every failed
+ * index's label and message, not just the first, so one run of a
+ * 400-cell sweep reports all broken cells instead of the lowest index.
+ * what() summarizes the count and first failure.
+ */
+class SweepFailure : public std::runtime_error
+{
+  public:
+    /** One failed task. */
+    struct Failure
+    {
+        std::size_t index = 0;
+        std::string label;   //!< task description ("164.gzip · RMNM_512_2")
+        std::string message; //!< the captured exception's what()
+    };
+
+    explicit SweepFailure(std::vector<Failure> failures);
+
+    const std::vector<Failure> &failures() const { return failures_; }
+
+  private:
+    static std::string summarize(const std::vector<Failure> &failures);
+
+    std::vector<Failure> failures_;
+};
+
+/**
  * Fixed-size worker pool executing an indexed task set. The generic
  * substrate under runSweep(); benches whose unit of work is not a
  * functional-simulator run (timing cores, TLB loops) use it directly.
@@ -98,23 +127,28 @@ class ParallelRunner
 
     /**
      * Convenience: out[i] = fn(i) with results pre-sized so output
-     * order is index order regardless of completion order. Rethrows
-     * the first captured exception (lowest index) after the pool has
-     * drained.
+     * order is index order regardless of completion order. Throws one
+     * SweepFailure aggregating every captured exception after the pool
+     * has drained.
      */
     template <typename T, typename F>
     std::vector<T>
     map(std::size_t count, F &&fn) const
     {
         std::vector<T> out(count);
-        rethrowFirst(run(count,
-                         [&](std::size_t i) { out[i] = fn(i); }));
+        throwIfAny(run(count,
+                       [&](std::size_t i) { out[i] = fn(i); }));
         return out;
     }
 
-    /** Rethrow the lowest-index captured error, if any. */
-    static void
-    rethrowFirst(const std::vector<std::exception_ptr> &errors);
+    /**
+     * Throw a SweepFailure carrying every captured error (with
+     * @p label(i) naming each failed task, "task <i>" when null);
+     * a no-op when all slots are clean.
+     */
+    static void throwIfAny(
+        const std::vector<std::exception_ptr> &errors,
+        const std::function<std::string(std::size_t)> &label = nullptr);
 
     /**
      * Index of the pool worker executing the current task: 0..jobs-1
@@ -131,20 +165,61 @@ class ParallelRunner
  * Run every cell through runFunctional() on @p opts.jobs workers.
  * Results are indexed like @p cells. Per-cell completion (plus an ETA
  * projected from cells done over elapsed time) is reported via
- * progress() when @p opts.progress (MNM_PROGRESS=1); a failed cell is
- * reported with its app/label and is fatal once the pool drains.
+ * progress() when @p opts.progress (MNM_PROGRESS=1).
  *
- * Telemetry: after the pool drains, each cell's simulation metrics
- * (per-level decision confusion matrix, coverage counts, traffic) are
- * folded into globalStats() under "sweep.<label>.<app>.*" in cell-index
- * order -- identical at any MNM_JOBS value -- and wall-clock telemetry
- * (per-cell wall time, queue delay, worker utilization) under
- * "runner.*", which comparisons must skip. When MNM_TRACE_FILE is set,
- * one Chrome complete event per cell is appended to globalTrace().
- * None of this touches stdout.
+ * Fault containment: a cell whose simulation throws is retried up to
+ * @p opts.retries times (exponential backoff; watchdog timeouts from
+ * MNM_CELL_TIMEOUT_S are not retried -- a second attempt would just
+ * time out again). A cell that exhausts its attempts does NOT abort
+ * the sweep: its result comes back with MemSimResult::failed set (and
+ * fail_reason carrying the exception text), a warning names it, a
+ * "runner.failures.<label>.<app>" counter records it, and
+ * sweepExitCode() turns nonzero so benches exit 1 after printing their
+ * tables with gap markers.
+ *
+ * Checkpointing: when @p opts.checkpoint names a journal
+ * (MNM_CHECKPOINT), previously completed cells are replayed from it --
+ * skipping their simulation entirely -- and each newly completed cell
+ * is durably appended. Replayed results are bit-identical to
+ * recomputed ones (the simulator is deterministic and the journal
+ * round-trips doubles exactly), so a killed-and-resumed run prints
+ * byte-identical tables.
+ *
+ * Telemetry: after the pool drains, each completed cell's simulation
+ * metrics (per-level decision confusion matrix, coverage counts,
+ * traffic) are folded into globalStats() under "sweep.<label>.<app>.*"
+ * in cell-index order -- identical at any MNM_JOBS value -- and
+ * wall-clock telemetry (per-cell wall time, queue delay, worker
+ * utilization) under "runner.*", which comparisons must skip. When
+ * MNM_TRACE_FILE is set, one Chrome complete event per cell is
+ * appended to globalTrace(). None of this touches stdout.
  */
 std::vector<MemSimResult> runSweep(const std::vector<SweepCell> &cells,
                                    const ExperimentOptions &opts);
+
+/**
+ * Process exit code reflecting sweep health: 1 once any runSweep()
+ * cell has failed (after retries), else 0. Benches return this from
+ * main() so graceful degradation still fails CI.
+ */
+int sweepExitCode();
+
+/** Table-cell helper: NaN (rendered as the "<failed>" gap marker by
+ *  util/table.hh) when @p r is a failed cell, else @p value. */
+inline double
+sweepCell(const MemSimResult &r, double value)
+{
+    return r.failed ? std::numeric_limits<double>::quiet_NaN() : value;
+}
+
+/**
+ * Test hook: called before every cell attempt as hook(cell, attempt)
+ * (attempt is 0-based); a throwing hook fails that attempt exactly
+ * like a throwing simulation. Pass nullptr to clear. Not thread-safe
+ * against a running sweep -- set it before runSweep().
+ */
+void setSweepFaultHookForTest(
+    std::function<void(const SweepCell &, unsigned)> hook);
 
 } // namespace mnm
 

@@ -1,0 +1,65 @@
+#include "util/deadline.hh"
+
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+namespace
+{
+
+std::uint64_t
+steadyNowUs()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(
+        duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // anonymous namespace
+
+void
+armCellDeadline(double seconds)
+{
+    MNM_ASSERT(seconds > 0.0, "cell deadline must be positive");
+    detail::DeadlineState &state = detail::deadlineState();
+    state.armed = true;
+    state.seconds = seconds;
+    state.deadline_us =
+        steadyNowUs() + static_cast<std::uint64_t>(seconds * 1e6);
+    state.tick = 0;
+}
+
+void
+disarmCellDeadline()
+{
+    detail::deadlineState().armed = false;
+}
+
+bool
+cellDeadlineArmed()
+{
+    return detail::deadlineState().armed;
+}
+
+namespace detail
+{
+
+void
+pollDeadlineSlow()
+{
+    DeadlineState &state = deadlineState();
+    if (steadyNowUs() < state.deadline_us)
+        return;
+    state.armed = false; // one throw per armed deadline
+    throw CellTimeoutError(
+        "cell exceeded its watchdog timeout (MNM_CELL_TIMEOUT_S=" +
+        std::to_string(state.seconds) + ")");
+}
+
+} // namespace detail
+
+} // namespace mnm

@@ -1,6 +1,7 @@
 #include "util/table.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -12,6 +13,11 @@ namespace mnm
 std::string
 formatDouble(double value, int precision)
 {
+    // Non-finite values mark cells whose simulation failed (sweep
+    // graceful degradation); render the gap explicitly rather than
+    // printing "nan"/"inf" that looks like a result.
+    if (!std::isfinite(value))
+        return "<failed>";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
     return buf;
@@ -61,6 +67,10 @@ Table::addMeanRow(const std::string &label, int precision)
     std::vector<std::uint64_t> counts(width, 0);
     for (const auto &r : numeric_rows_) {
         for (std::size_t i = 0; i < r.size(); ++i) {
+            // Failed-cell gaps (non-finite) don't poison the mean;
+            // it averages the cells that completed.
+            if (!std::isfinite(r[i]))
+                continue;
             sums[i] += r[i];
             ++counts[i];
         }

@@ -28,13 +28,15 @@ class Table
     /** Append a row; must match the header width. */
     void addRow(const std::vector<std::string> &row);
 
-    /** Convenience: label + numeric cells formatted to @p precision. */
+    /** Convenience: label + numeric cells formatted to @p precision.
+     *  Non-finite cells (failed sweep cells) render as "<failed>". */
     void addRow(const std::string &label, const std::vector<double> &values,
                 int precision = 2);
 
     /**
      * Append an arithmetic-mean row over all numeric rows added through the
-     * numeric addRow overload (cells that failed to parse are skipped).
+     * numeric addRow overload. Non-finite (failed) cells are excluded
+     * from the mean rather than poisoning it.
      */
     void addMeanRow(const std::string &label = "Arith. Mean",
                     int precision = 2);
@@ -57,7 +59,8 @@ class Table
     std::vector<std::vector<double>> numeric_rows_;
 };
 
-/** Format @p value with @p precision decimal places. */
+/** Format @p value with @p precision decimal places; non-finite
+ *  values render as the "<failed>" gap marker. */
 std::string formatDouble(double value, int precision);
 
 } // namespace mnm

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Checkpoint journal contract (sim/recovery.hh): deterministic cell
+ * fingerprints, bit-identical MemSimResult round-trips through the
+ * JSON journal format, torn-tail tolerance of the loader, and the end
+ * result -- an interrupted sweep resumed from its journal reproduces
+ * an uninterrupted run exactly.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "sim/recovery.hh"
+#include "sim/runner.hh"
+
+namespace mnm
+{
+namespace
+{
+
+/** A small two-app, two-variant grid covering MNM and baseline cells. */
+std::vector<SweepCell>
+smallGrid()
+{
+    std::vector<SweepVariant> variants = {
+        {"baseline", paperHierarchy(3), std::nullopt},
+        {"HMNM2", paperHierarchy(5), makeHmnmSpec(2)},
+    };
+    return makeGridCells({"164.gzip", "181.mcf"}, variants, 40000);
+}
+
+/** Fresh temp-file path (not yet created). */
+std::string
+tempJournalPath(const std::string &tag)
+{
+    return ::testing::TempDir() + "mnm_recovery_" + tag + "_" +
+           std::to_string(::getpid()) + ".jsonl";
+}
+
+TEST(FingerprintTest, StableForIdenticalCells)
+{
+    std::vector<SweepCell> cells = smallGrid();
+    for (const SweepCell &cell : cells) {
+        std::string fp = cellFingerprint(cell);
+        ASSERT_EQ(fp.size(), 16u);
+        EXPECT_EQ(fp, cellFingerprint(cell));
+    }
+}
+
+TEST(FingerprintTest, SensitiveToEveryCellIngredient)
+{
+    SweepCell base = smallGrid()[1]; // gzip · HMNM2
+    std::string fp = cellFingerprint(base);
+
+    SweepCell other = base;
+    other.app = "181.mcf";
+    EXPECT_NE(cellFingerprint(other), fp);
+
+    other = base;
+    other.label = "renamed";
+    EXPECT_NE(cellFingerprint(other), fp);
+
+    other = base;
+    other.instructions += 1;
+    EXPECT_NE(cellFingerprint(other), fp);
+
+    other = base;
+    other.hierarchy = paperHierarchy(3);
+    EXPECT_NE(cellFingerprint(other), fp);
+
+    other = base;
+    other.mnm = std::nullopt;
+    EXPECT_NE(cellFingerprint(other), fp);
+
+    other = base;
+    other.mnm = makeHmnmSpec(4);
+    EXPECT_NE(cellFingerprint(other), fp);
+
+    other = base;
+    other.mnm->oracle_check = !other.mnm->oracle_check;
+    EXPECT_NE(cellFingerprint(other), fp);
+}
+
+TEST(FingerprintTest, IndependentOfExecutionKnobs)
+{
+    // Same cells, regardless of how the sweep will be executed: the
+    // fingerprint must let a parallel-written journal resume a serial
+    // run (and any retry/timeout setting).
+    std::vector<SweepCell> cells = smallGrid();
+    std::vector<std::string> fps;
+    for (const SweepCell &cell : cells)
+        fps.push_back(cellFingerprint(cell));
+    // No two cells of the grid collide.
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+        for (std::size_t j = i + 1; j < fps.size(); ++j)
+            EXPECT_NE(fps[i], fps[j]) << i << " vs " << j;
+    }
+}
+
+TEST(RecoveryTest, ResultRoundTripsByteIdentical)
+{
+    ExperimentOptions opts;
+    opts.jobs = 1;
+    std::vector<MemSimResult> results = runSweep(smallGrid(), opts);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        std::string text = writeMemSimResult(results[i]);
+        std::optional<MemSimResult> back = readMemSimResult(text);
+        ASSERT_TRUE(back.has_value());
+        // Serializing the parsed result reproduces the exact bytes:
+        // every counter and every double survived the round trip.
+        EXPECT_EQ(writeMemSimResult(*back), text);
+        EXPECT_EQ(back->instructions, results[i].instructions);
+        EXPECT_EQ(back->soundness_violations,
+                  results[i].soundness_violations);
+        EXPECT_EQ(back->coverage.identified(),
+                  results[i].coverage.identified());
+        ASSERT_EQ(back->caches.size(), results[i].caches.size());
+    }
+}
+
+TEST(RecoveryTest, ReadRejectsTornText)
+{
+    ExperimentOptions opts;
+    opts.jobs = 1;
+    std::vector<SweepCell> grid = smallGrid();
+    std::vector<SweepCell> cells(grid.begin(), grid.begin() + 1);
+    std::string text =
+        writeMemSimResult(runSweep(cells, opts).front());
+    EXPECT_TRUE(readMemSimResult(text).has_value());
+    // Any truncation makes the line unreadable, never misread.
+    for (std::size_t len : {text.size() - 1, text.size() / 2,
+                            std::size_t{1}, std::size_t{0}}) {
+        EXPECT_FALSE(
+            readMemSimResult(std::string_view(text).substr(0, len))
+                .has_value())
+            << "prefix of length " << len;
+    }
+}
+
+TEST(JournalTest, AppendAndLoadRoundTrip)
+{
+    std::string path = tempJournalPath("roundtrip");
+    std::remove(path.c_str());
+
+    ExperimentOptions opts;
+    opts.jobs = 1;
+    std::vector<MemSimResult> results = runSweep(smallGrid(), opts);
+    {
+        CheckpointJournal journal(path);
+        journal.append("cell-a", results[0]);
+        journal.append("cell-b", results[1]);
+    }
+    CheckpointJournal::Replay replay = CheckpointJournal::load(path);
+    EXPECT_EQ(replay.skipped, 0u);
+    ASSERT_EQ(replay.entries.size(), 2u);
+    EXPECT_EQ(writeMemSimResult(replay.entries.at("cell-a")),
+              writeMemSimResult(results[0]));
+    EXPECT_EQ(writeMemSimResult(replay.entries.at("cell-b")),
+              writeMemSimResult(results[1]));
+
+    // Re-opening an existing journal appends, never truncates.
+    {
+        CheckpointJournal journal(path);
+        journal.append("cell-c", results[2]);
+    }
+    replay = CheckpointJournal::load(path);
+    EXPECT_EQ(replay.entries.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, LoadSkipsTornTail)
+{
+    std::string path = tempJournalPath("torn");
+    std::remove(path.c_str());
+
+    ExperimentOptions opts;
+    opts.jobs = 1;
+    std::vector<SweepCell> grid = smallGrid();
+    std::vector<SweepCell> cells(grid.begin(), grid.begin() + 1);
+    MemSimResult result = runSweep(cells, opts).front();
+    {
+        CheckpointJournal journal(path);
+        journal.append("cell-a", result);
+    }
+    // Simulate a crash mid-write: an incomplete line at the tail.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"fp\":\"cell-b\",\"result\":{\"instructions\":4";
+    }
+    CheckpointJournal::Replay replay = CheckpointJournal::load(path);
+    EXPECT_EQ(replay.entries.size(), 1u);
+    EXPECT_EQ(replay.skipped, 1u);
+    EXPECT_TRUE(replay.entries.count("cell-a"));
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, MissingFileAndWrongSchema)
+{
+    CheckpointJournal::Replay replay =
+        CheckpointJournal::load(tempJournalPath("missing"));
+    EXPECT_TRUE(replay.entries.empty());
+    EXPECT_EQ(replay.skipped, 0u);
+
+    std::string path = tempJournalPath("schema");
+    {
+        std::ofstream out(path);
+        out << "{\"schema\":\"some-other-format\"}\n";
+        out << "{\"fp\":\"cell-a\",\"result\":{}}\n";
+    }
+    // A foreign file is ignored wholesale rather than misapplied.
+    replay = CheckpointJournal::load(path);
+    EXPECT_TRUE(replay.entries.empty());
+    std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, InterruptedSweepResumesByteIdentical)
+{
+    std::vector<SweepCell> cells = smallGrid();
+
+    // Reference: one uninterrupted serial run.
+    ExperimentOptions serial;
+    serial.jobs = 1;
+    std::vector<MemSimResult> reference = runSweep(cells, serial);
+
+    std::string path = tempJournalPath("resume");
+    std::remove(path.c_str());
+    ExperimentOptions opts;
+    opts.jobs = 2;
+    opts.retries = 0;
+    opts.checkpoint = path;
+
+    // First attempt: every 181.mcf cell dies. The journal captures
+    // only the completed gzip cells; failed cells are never recorded.
+    setSweepFaultHookForTest([](const SweepCell &cell, unsigned) {
+        if (cell.app == "181.mcf")
+            throw std::runtime_error("simulated crash");
+    });
+    std::vector<MemSimResult> first = runSweep(cells, opts);
+    setSweepFaultHookForTest(nullptr);
+    EXPECT_EQ(sweepExitCode(), 1);
+    std::size_t failed = 0;
+    for (const MemSimResult &r : first)
+        failed += r.failed ? 1 : 0;
+    EXPECT_EQ(failed, 2u);
+    EXPECT_EQ(CheckpointJournal::load(path).entries.size(), 2u);
+
+    // Resume: gzip cells replay from the journal, mcf cells finally
+    // run. The combined results must be byte-identical to the
+    // uninterrupted reference -- the acceptance bar for the whole
+    // checkpoint layer.
+    std::vector<MemSimResult> resumed = runSweep(cells, opts);
+    ASSERT_EQ(resumed.size(), reference.size());
+    for (std::size_t i = 0; i < resumed.size(); ++i) {
+        SCOPED_TRACE(cells[i].app + " · " + cells[i].label);
+        EXPECT_FALSE(resumed[i].failed);
+        EXPECT_EQ(writeMemSimResult(resumed[i]),
+                  writeMemSimResult(reference[i]));
+    }
+    EXPECT_EQ(CheckpointJournal::load(path).entries.size(),
+              cells.size());
+
+    // A third run replays everything and still matches.
+    std::vector<MemSimResult> replayed = runSweep(cells, opts);
+    for (std::size_t i = 0; i < replayed.size(); ++i) {
+        EXPECT_EQ(writeMemSimResult(replayed[i]),
+                  writeMemSimResult(reference[i]));
+    }
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace mnm

@@ -212,5 +212,149 @@ TEST(RunnerDeathTest, RejectsMalformedJobs)
     ASSERT_EQ(unsetenv("MNM_JOBS"), 0);
 }
 
+TEST(RunnerDeathTest, RejectsOutOfRangeJobs)
+{
+    ASSERT_EQ(setenv("MNM_JOBS", "5000", 1), 0);
+    EXPECT_EXIT(jobsFromEnv(), ::testing::ExitedWithCode(1),
+                "out of range");
+    ASSERT_EQ(unsetenv("MNM_JOBS"), 0);
+}
+
+TEST(SweepFailureTest, AggregatesEveryFailedSlot)
+{
+    ParallelRunner runner(4);
+    auto errors = runner.run(10, [](std::size_t i) {
+        if (i % 3 == 0)
+            throw std::runtime_error("slot " + std::to_string(i));
+    });
+    try {
+        ParallelRunner::throwIfAny(errors, [](std::size_t i) {
+            return "cell-" + std::to_string(i);
+        });
+        FAIL() << "throwIfAny swallowed the failures";
+    } catch (const SweepFailure &e) {
+        // Indices 0, 3, 6, 9 -- all of them, in index order, with the
+        // caller's labels and the original messages.
+        ASSERT_EQ(e.failures().size(), 4u);
+        EXPECT_EQ(e.failures()[0].index, 0u);
+        EXPECT_EQ(e.failures()[1].index, 3u);
+        EXPECT_EQ(e.failures()[2].index, 6u);
+        EXPECT_EQ(e.failures()[3].index, 9u);
+        EXPECT_EQ(e.failures()[1].label, "cell-3");
+        EXPECT_EQ(e.failures()[1].message, "slot 3");
+        // what() leads with the count so a log line tells the story.
+        EXPECT_NE(std::string(e.what()).find("4 tasks failed"),
+                  std::string::npos);
+    }
+}
+
+TEST(SweepFailureTest, ThrowIfAnyIsANoOpWhenClean)
+{
+    std::vector<std::exception_ptr> clean(5);
+    EXPECT_NO_THROW(ParallelRunner::throwIfAny(clean));
+}
+
+TEST(SweepFailureTest, MapThrowsWithDefaultLabels)
+{
+    ParallelRunner runner(2);
+    try {
+        runner.map<int>(4, [](std::size_t i) {
+            if (i == 2)
+                throw std::runtime_error("boom");
+            return static_cast<int>(i);
+        });
+        FAIL() << "map swallowed the failure";
+    } catch (const SweepFailure &e) {
+        ASSERT_EQ(e.failures().size(), 1u);
+        EXPECT_EQ(e.failures()[0].label, "task 2");
+        EXPECT_EQ(e.failures()[0].message, "boom");
+    }
+}
+
+TEST(RunnerTest, FailedCellDegradesGracefully)
+{
+    std::vector<SweepCell> cells = techniqueCells();
+
+    ExperimentOptions opts;
+    opts.jobs = 4;
+    opts.retries = 0;
+    opts.fail_cell = "181.mcf · RMNM";
+    std::vector<MemSimResult> results = runSweep(cells, opts);
+
+    // Exactly one cell is marked failed; every other cell completed
+    // and matches an unperturbed run.
+    ExperimentOptions clean;
+    clean.jobs = 1;
+    std::vector<MemSimResult> reference = runSweep(cells, clean);
+    ASSERT_EQ(results.size(), cells.size());
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE(cells[i].app + " · " + cells[i].label);
+        if (results[i].failed) {
+            ++failed;
+            EXPECT_EQ(cells[i].app, "181.mcf");
+            EXPECT_EQ(cells[i].label, "RMNM");
+            EXPECT_NE(results[i].fail_reason.find("injected failure"),
+                      std::string::npos);
+        } else {
+            expectSameResult(results[i], reference[i]);
+        }
+    }
+    EXPECT_EQ(failed, 1u);
+    EXPECT_EQ(sweepExitCode(), 1);
+}
+
+TEST(RunnerTest, TransientFailureIsRetried)
+{
+    std::vector<SweepCell> cells = techniqueCells();
+    cells.resize(1);
+
+    std::atomic<unsigned> attempts{0};
+    setSweepFaultHookForTest([&](const SweepCell &, unsigned attempt) {
+        ++attempts;
+        if (attempt == 0)
+            throw std::runtime_error("transient");
+    });
+    ExperimentOptions opts;
+    opts.jobs = 1;
+    opts.retries = 1;
+    std::vector<MemSimResult> results = runSweep(cells, opts);
+    setSweepFaultHookForTest(nullptr);
+
+    EXPECT_EQ(attempts.load(), 2u);
+    EXPECT_FALSE(results[0].failed);
+    EXPECT_GT(results[0].instructions, 0u);
+}
+
+TEST(RunnerTest, WatchdogTimeoutFailsCellWithoutRetry)
+{
+    std::vector<SweepCell> cells = techniqueCells();
+    cells.resize(1);
+
+    std::atomic<unsigned> attempts{0};
+    setSweepFaultHookForTest(
+        [&](const SweepCell &, unsigned) { ++attempts; });
+    ExperimentOptions opts;
+    opts.jobs = 1;
+    opts.retries = 3;
+    opts.cell_timeout_s = 1e-6; // expires before the first poll
+    std::vector<MemSimResult> results = runSweep(cells, opts);
+    setSweepFaultHookForTest(nullptr);
+
+    EXPECT_TRUE(results[0].failed);
+    EXPECT_NE(results[0].fail_reason.find("watchdog"),
+              std::string::npos);
+    // Timeouts are never retried: a second attempt would only burn
+    // another timeout's worth of wall clock.
+    EXPECT_EQ(attempts.load(), 1u);
+
+    // The worker's deadline is disarmed; a follow-up sweep on the
+    // same thread runs to completion.
+    ExperimentOptions clean;
+    clean.jobs = 1;
+    std::vector<MemSimResult> ok = runSweep(cells, clean);
+    EXPECT_FALSE(ok[0].failed);
+}
+
 } // anonymous namespace
 } // namespace mnm

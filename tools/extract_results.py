@@ -16,19 +16,30 @@ gnuplot/matplotlib when regenerating the paper's figures.
 usage: tools/extract_results.py bench_output.txt [outdir]
        tools/extract_results.py --stats run.json bench_output.txt [outdir]
        tools/extract_results.py --diff a.json b.json
+       tools/extract_results.py --journal checkpoint.jsonl
 
 With --stats, every extracted coverage table is cross-checked against
 the MNM_STATS_JSON run manifest: each printed percentage must match the
 coverage derived from the manifest's per-level decision confusion
 matrix (predicted_miss_actual_miss over all actual misses) to within
 rounding of the printed precision. Any mismatch -- or a manifest that
-covers none of the printed cells -- is a failure.
+covers none of the printed cells -- is a failure. "<failed>" gap
+markers (cells whose simulation crashed or timed out) are skipped and
+reported, never treated as mismatches.
 
 With --diff, two run manifests are compared for metric equality while
 ignoring the fields that legitimately differ between runs: "meta",
 "config.jobs", "config.progress", and the "metrics.runner" wall-clock
 subtree. Used by CI to prove serial and parallel sweeps fold identical
 statistics.
+
+With --journal, an MNM_CHECKPOINT journal is summarized: schema,
+completed-cell count, total journaled instructions, and any torn or
+foreign lines (reported, never fatal -- a truncated tail is exactly
+what the journal is designed to survive).
+
+Truncated or malformed JSON inputs are reported as such with a
+non-zero exit; the tool never dies with a traceback on a partial file.
 """
 
 import json
@@ -43,6 +54,25 @@ TOLERANCE = 0.05 + 1e-9
 #: Manifest fields that legitimately differ between comparable runs.
 DIFF_IGNORED = ("meta", "config.jobs", "config.progress",
                 "metrics.runner")
+
+
+#: Gap marker printed by util/table.hh for failed sweep cells.
+FAILED_CELL = "<failed>"
+
+
+def load_json(path, what):
+    """Parse a JSON document, returning None (with a report on stderr)
+    for a missing, truncated, or otherwise malformed file."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as err:
+        print(f"cannot read {what} {path}: {err}", file=sys.stderr)
+    except json.JSONDecodeError as err:
+        print(f"{what} {path} is truncated or malformed "
+              f"(line {err.lineno}: {err.msg}); was the run killed "
+              f"mid-write?", file=sys.stderr)
+    return None
 
 
 def slugify(title: str) -> str:
@@ -100,9 +130,10 @@ def derived_coverage_pct(confusion):
 
 def cross_check(tables, manifest):
     """Compare printed coverage cells against the manifest. Returns
-    (cells checked, mismatch descriptions)."""
+    (cells checked, failed-gap cells skipped, mismatch descriptions)."""
     sweep = manifest.get("metrics", {}).get("sweep", {})
     checked = 0
+    gaps = 0
     mismatches = []
     for title, header, rows in tables:
         if "coverage" not in title.lower():
@@ -110,6 +141,11 @@ def cross_check(tables, manifest):
         for row in rows:
             app = row[0]
             for config, printed in zip(header[1:], row[1:]):
+                if printed == FAILED_CELL:
+                    # A crashed/timed-out cell: the bench printed a gap
+                    # and the manifest holds no sweep metrics for it.
+                    gaps += 1
+                    continue
                 entry = sweep.get(config, {}).get(app, {})
                 confusion = entry.get("confusion")
                 if confusion is None:
@@ -121,7 +157,7 @@ def cross_check(tables, manifest):
                     mismatches.append(
                         f"{title}: {app}/{config}: printed {got} "
                         f"but manifest derives {want:.6f}")
-    return checked, mismatches
+    return checked, gaps, mismatches
 
 
 def strip_ignored(manifest):
@@ -149,10 +185,12 @@ def diff_values(a, b, path, out):
 
 
 def run_diff(path_a, path_b) -> int:
-    with open(path_a, encoding="utf-8") as f:
-        a = strip_ignored(json.load(f))
-    with open(path_b, encoding="utf-8") as f:
-        b = strip_ignored(json.load(f))
+    a = load_json(path_a, "manifest")
+    b = load_json(path_b, "manifest")
+    if a is None or b is None:
+        return 1
+    a = strip_ignored(a)
+    b = strip_ignored(b)
     differences = []
     diff_values(a, b, "", differences)
     if differences:
@@ -166,6 +204,63 @@ def run_diff(path_a, path_b) -> int:
     return 0
 
 
+#: Schema tag written by sim/recovery.cc (CheckpointJournal::schema).
+JOURNAL_SCHEMA = "mnm-checkpoint-v1"
+
+
+def run_journal(path) -> int:
+    """Summarize an MNM_CHECKPOINT journal: completed cells, journaled
+    instructions, torn lines. Mirrors CheckpointJournal::load's
+    tolerance -- a torn tail is reported, not fatal."""
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as err:
+        print(f"cannot read journal {path}: {err}", file=sys.stderr)
+        return 1
+    lines = [line for line in lines if line.strip()]
+    if not lines:
+        print(f"{path}: empty journal (no header, nothing to replay)")
+        return 0
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        header = None
+    schema = header.get("schema") if isinstance(header, dict) else None
+    if schema != JOURNAL_SCHEMA:
+        print(f"{path}: unrecognized header schema {schema!r} "
+              f"(expected {JOURNAL_SCHEMA!r}); a resuming run would "
+              f"ignore this journal and start fresh", file=sys.stderr)
+        return 1
+
+    entries = {}
+    torn = 0
+    for line in lines[1:]:
+        try:
+            record = json.loads(line)
+            fingerprint = record["fp"]
+            result = record["result"]
+            instructions = result["instructions"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            torn += 1
+            continue
+        entries[fingerprint] = result
+        _ = instructions
+    total_instructions = sum(r.get("instructions", 0)
+                             for r in entries.values())
+    violations = sum(1 for r in entries.values()
+                     if r.get("soundness_violations", 0))
+    print(f"{path}: schema {schema}, {len(entries)} completed cells, "
+          f"{total_instructions} instructions journaled")
+    if violations:
+        print(f"  {violations} cells recorded soundness violations")
+    if torn:
+        print(f"  {torn} torn/foreign lines skipped "
+              f"(a resuming run skips them too and re-runs those cells)")
+    return 0
+
+
 def main() -> int:
     args = sys.argv[1:]
     if args[:1] == ["--diff"]:
@@ -173,6 +268,11 @@ def main() -> int:
             print(__doc__, file=sys.stderr)
             return 1
         return run_diff(args[1], args[2])
+    if args[:1] == ["--journal"]:
+        if len(args) != 2:
+            print(__doc__, file=sys.stderr)
+            return 1
+        return run_journal(args[1])
 
     stats_path = None
     if args[:1] == ["--stats"]:
@@ -204,13 +304,17 @@ def main() -> int:
     print(f"{written} tables extracted")
 
     if stats_path is not None:
-        with open(stats_path, encoding="utf-8") as f:
-            manifest = json.load(f)
-        checked, mismatches = cross_check(tables, manifest)
+        manifest = load_json(stats_path, "manifest")
+        if manifest is None:
+            return 1
+        checked, gaps, mismatches = cross_check(tables, manifest)
         for line in mismatches:
             print(f"MISMATCH {line}", file=sys.stderr)
         if mismatches:
             return 1
+        if gaps:
+            print(f"stats cross-check: {gaps} {FAILED_CELL} gap cells "
+                  f"skipped", file=sys.stderr)
         if checked == 0:
             print("stats cross-check matched no table cells -- "
                   "is this a coverage figure with MNM_STATS_JSON set?",
