@@ -7,41 +7,34 @@
  * violations, which this bench reports per application.
  */
 
-#include "core/mnm_unit.hh"
-#include "util/logging.hh"
 #include "core/presets.hh"
-#include "obs/manifest.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
-#include "util/table.hh"
+#include "harness.hh"
+#include "util/logging.hh"
 
 using namespace mnm;
 
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("abl_cmnm_masking");
-    Table table("Ablation: CMNM_4_10 mask policy -- coverage and caught "
-                "soundness violations");
-    table.setHeader({"app", "monotone cov%", "paper-reset cov%",
+    SweepTableBench bench("abl_cmnm_masking",
+                          "Ablation: CMNM_4_10 mask policy -- coverage "
+                          "and caught soundness violations");
+    bench.setHeader({"app", "monotone cov%", "paper-reset cov%",
                      "violations"});
 
-    std::vector<SweepVariant> variants = {
-        {"monotone", paperHierarchy(5),
-         makeUniformSpec(CmnmSpec{4, 10, 3, CmnmMaskPolicy::Monotone})},
-        {"paper-reset", paperHierarchy(5),
-         makeUniformSpec(
-             CmnmSpec{4, 10, 3, CmnmMaskPolicy::PaperReset})}};
-    std::vector<MemSimResult> results = runSweep(
-        makeGridCells(opts.apps, variants, opts.instructions), opts);
+    bench.addVariant(
+        "monotone", paperHierarchy(5),
+        makeUniformSpec(CmnmSpec{4, 10, 3, CmnmMaskPolicy::Monotone}));
+    bench.addVariant(
+        "paper-reset", paperHierarchy(5),
+        makeUniformSpec(CmnmSpec{4, 10, 3, CmnmMaskPolicy::PaperReset}));
+    bench.runGrid();
 
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        const std::string &app = opts.apps[a];
-        const MemSimResult &rm = results[a * 2];
-        const MemSimResult &rr = results[a * 2 + 1];
-        table.addRow(
-            ExperimentOptions::shortName(app),
+    for (std::size_t a = 0; a < bench.numApps(); ++a) {
+        const MemSimResult &rm = bench.at(a, 0);
+        const MemSimResult &rr = bench.at(a, 1);
+        bench.addAppRow(
+            a,
             {sweepCell(rm, 100.0 * rm.coverage.coverage()),
              sweepCell(rr, 100.0 * rr.coverage.coverage()),
              sweepCell(rr,
@@ -49,10 +42,8 @@ main()
             2);
         if (!rm.failed && rm.soundness_violations != 0) {
             warn("monotone policy produced violations on %s -- BUG",
-                 app.c_str());
+                 bench.app(a).c_str());
         }
     }
-    table.addMeanRow("Arith. Mean", 2);
-    table.print(opts.csv);
-    return sweepExitCode();
+    return bench.finish(2);
 }

@@ -11,12 +11,9 @@
 
 #include "core/presets.hh"
 #include "cpu/cycle_core.hh"
-#include "obs/manifest.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
+#include "harness.hh"
 #include "trace/spec2000.hh"
 #include "util/logging.hh"
-#include "util/table.hh"
 
 using namespace mnm;
 
@@ -42,14 +39,14 @@ runCore(const std::string &app, const std::string &config,
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("abl_cpu_models");
+    SweepTableBench bench("abl_cpu_models",
+                          "Ablation: dataflow vs cycle-driven core "
+                          "(cycle-reduction %, both models)");
+    const ExperimentOptions &opts = bench.opts();
     // The cycle model is ~5x slower; cap the per-app budget.
     std::uint64_t n = std::min<std::uint64_t>(opts.instructions, 500000);
 
-    Table table("Ablation: dataflow vs cycle-driven core "
-                "(cycle-reduction %, both models)");
-    table.setHeader({"app", "df HMNM4", "cyc HMNM4", "df Perfect",
+    bench.setHeader({"app", "df HMNM4", "cyc HMNM4", "df Perfect",
                      "cyc Perfect", "ipc ratio"});
 
     // Six timing runs per app (2 core models x 3 configs), flattened
@@ -71,7 +68,7 @@ main()
         fatal("%s", e.what());
     }
 
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+    for (std::size_t a = 0; a < bench.numApps(); ++a) {
         const Cycles *c = &cycles[a * kinds];
         Cycles df_base = c[0], df_hmnm = c[1], df_perf = c[2];
         Cycles cy_base = c[3], cy_hmnm = c[4], cy_perf = c[5];
@@ -82,16 +79,14 @@ main()
                     static_cast<double>(with)) /
                    static_cast<double>(base);
         };
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
-                     {reduction(df_base, df_hmnm),
-                      reduction(cy_base, cy_hmnm),
-                      reduction(df_base, df_perf),
-                      reduction(cy_base, cy_perf),
-                      static_cast<double>(cy_base) /
-                          static_cast<double>(df_base)},
-                     2);
+        bench.addAppRow(a,
+                        {reduction(df_base, df_hmnm),
+                         reduction(cy_base, cy_hmnm),
+                         reduction(df_base, df_perf),
+                         reduction(cy_base, cy_perf),
+                         static_cast<double>(cy_base) /
+                             static_cast<double>(df_base)},
+                        2);
     }
-    table.addMeanRow("Arith. Mean", 2);
-    table.print(opts.csv);
-    return sweepExitCode();
+    return bench.finish(2);
 }

@@ -11,34 +11,28 @@
 #include <limits>
 
 #include "core/presets.hh"
-#include "obs/manifest.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
-#include "util/table.hh"
+#include "harness.hh"
 
 using namespace mnm;
 
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("abl_inclusion");
-    Table table("Ablation: HMNM4 under non-inclusive vs inclusive "
-                "hierarchies");
-    table.setHeader({"app", "noninc cov%", "inc cov%", "noninc t[cyc]",
+    SweepTableBench bench("abl_inclusion",
+                          "Ablation: HMNM4 under non-inclusive vs "
+                          "inclusive hierarchies");
+    bench.setHeader({"app", "noninc cov%", "inc cov%", "noninc t[cyc]",
                      "inc t[cyc]", "violations"});
 
     HierarchyParams inc = paperHierarchy(5);
     inc.inclusion = InclusionPolicy::Inclusive;
-    std::vector<SweepVariant> variants = {
-        {"non-inclusive", paperHierarchy(5), makeHmnmSpec(4)},
-        {"inclusive", inc, makeHmnmSpec(4)}};
-    std::vector<MemSimResult> results = runSweep(
-        makeGridCells(opts.apps, variants, opts.instructions), opts);
+    bench.addVariant("non-inclusive", paperHierarchy(5), makeHmnmSpec(4));
+    bench.addVariant("inclusive", inc, makeHmnmSpec(4));
+    bench.runGrid();
 
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        const MemSimResult &rn = results[a * 2];
-        const MemSimResult &ri = results[a * 2 + 1];
+    for (std::size_t a = 0; a < bench.numApps(); ++a) {
+        const MemSimResult &rn = bench.at(a, 0);
+        const MemSimResult &ri = bench.at(a, 1);
         // The violations column sums both cells, so either failure
         // gaps it.
         double violations =
@@ -46,14 +40,12 @@ main()
                 ? std::numeric_limits<double>::quiet_NaN()
                 : static_cast<double>(rn.soundness_violations +
                                       ri.soundness_violations);
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
-                     {sweepCell(rn, 100.0 * rn.coverage.coverage()),
-                      sweepCell(ri, 100.0 * ri.coverage.coverage()),
-                      sweepCell(rn, rn.avgAccessTime()),
-                      sweepCell(ri, ri.avgAccessTime()), violations},
-                     2);
+        bench.addAppRow(a,
+                        {sweepCell(rn, 100.0 * rn.coverage.coverage()),
+                         sweepCell(ri, 100.0 * ri.coverage.coverage()),
+                         sweepCell(rn, rn.avgAccessTime()),
+                         sweepCell(ri, ri.avgAccessTime()), violations},
+                        2);
     }
-    table.addMeanRow("Arith. Mean", 2);
-    table.print(opts.csv);
-    return sweepExitCode();
+    return bench.finish(2);
 }

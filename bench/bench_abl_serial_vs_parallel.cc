@@ -12,47 +12,41 @@
  */
 
 #include "core/presets.hh"
-#include "obs/manifest.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
-#include "util/table.hh"
+#include "harness.hh"
 
 using namespace mnm;
 
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("abl_serial_vs_parallel");
-    Table table("Ablation: HMNM4 placement -- parallel vs serial vs "
-                "distributed");
-    table.setHeader({"app", "par t[cyc]", "ser t[cyc]", "dist t[cyc]",
+    SweepTableBench bench("abl_serial_vs_parallel",
+                          "Ablation: HMNM4 placement -- parallel vs "
+                          "serial vs distributed");
+    bench.setHeader({"app", "par t[cyc]", "ser t[cyc]", "dist t[cyc]",
                      "par mnm[uJ]", "ser mnm[uJ]", "dist mnm[uJ]"});
 
-    std::vector<SweepVariant> variants;
     for (auto [label, placement] :
          {std::pair{"parallel", MnmPlacement::Parallel},
           std::pair{"serial", MnmPlacement::Serial},
           std::pair{"distributed", MnmPlacement::Distributed}}) {
         MnmSpec spec = makeHmnmSpec(4);
         spec.placement = placement;
-        variants.push_back({label, paperHierarchy(5), spec});
+        bench.addVariant(label, paperHierarchy(5), spec);
     }
-    std::vector<MemSimResult> results = runSweep(
-        makeGridCells(opts.apps, variants, opts.instructions), opts);
+    bench.runGrid();
 
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        const MemSimResult *r = &results[a * variants.size()];
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
-                     {sweepCell(r[0], r[0].avgAccessTime()),
-                      sweepCell(r[1], r[1].avgAccessTime()),
-                      sweepCell(r[2], r[2].avgAccessTime()),
-                      sweepCell(r[0], r[0].energy.mnm_pj / 1e6),
-                      sweepCell(r[1], r[1].energy.mnm_pj / 1e6),
-                      sweepCell(r[2], r[2].energy.mnm_pj / 1e6)},
-                     3);
+    for (std::size_t a = 0; a < bench.numApps(); ++a) {
+        const MemSimResult &par = bench.at(a, 0);
+        const MemSimResult &ser = bench.at(a, 1);
+        const MemSimResult &dist = bench.at(a, 2);
+        bench.addAppRow(a,
+                        {sweepCell(par, par.avgAccessTime()),
+                         sweepCell(ser, ser.avgAccessTime()),
+                         sweepCell(dist, dist.avgAccessTime()),
+                         sweepCell(par, par.energy.mnm_pj / 1e6),
+                         sweepCell(ser, ser.energy.mnm_pj / 1e6),
+                         sweepCell(dist, dist.energy.mnm_pj / 1e6)},
+                        3);
     }
-    table.addMeanRow("Arith. Mean", 3);
-    table.print(opts.csv);
-    return sweepExitCode();
+    return bench.finish(3);
 }

@@ -8,41 +8,28 @@
  * holds a steady (if modest) level.
  */
 
-#include "core/mnm_unit.hh"
 #include "core/presets.hh"
-#include "obs/manifest.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
-#include "util/table.hh"
+#include "harness.hh"
 
 using namespace mnm;
 
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("abl_smnm_modes");
-    Table table("Ablation: SMNM_13x2 coverage, counting vs literal "
-                "set-only circuit [%]");
-    table.setHeader({"app", "counting", "set-only"});
-
-    std::vector<SweepVariant> variants = {
-        {"counting", paperHierarchy(5),
-         makeUniformSpec(SmnmSpec{13, 2, SmnmUpdateMode::Counting})},
-        {"set-only", paperHierarchy(5),
-         makeUniformSpec(SmnmSpec{13, 2, SmnmUpdateMode::SetOnly})}};
-    std::vector<MemSimResult> results = runSweep(
-        makeGridCells(opts.apps, variants, opts.instructions), opts);
-
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        std::vector<double> row;
-        for (std::size_t v = 0; v < variants.size(); ++v) {
-            const MemSimResult &r = results[a * variants.size() + v];
-            row.push_back(sweepCell(r, 100.0 * r.coverage.coverage()));
-        }
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 2);
-    }
-    table.addMeanRow("Arith. Mean", 2);
-    table.print(opts.csv);
-    return sweepExitCode();
+    SweepTableBench bench(
+        "abl_smnm_modes",
+        "Ablation: SMNM_13x2 coverage, counting vs literal set-only "
+        "circuit [%]");
+    bench.addVariant(
+        "counting", paperHierarchy(5),
+        makeUniformSpec(SmnmSpec{13, 2, SmnmUpdateMode::Counting}));
+    bench.addVariant(
+        "set-only", paperHierarchy(5),
+        makeUniformSpec(SmnmSpec{13, 2, SmnmUpdateMode::SetOnly}));
+    bench.useVariantHeader();
+    bench.runGrid();
+    bench.addMetricRows(2, [](const MemSimResult &r) {
+        return 100.0 * r.coverage.coverage();
+    });
+    return bench.finish(2);
 }

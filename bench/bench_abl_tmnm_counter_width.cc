@@ -7,41 +7,26 @@
  * past 3 bits, supporting the paper's choice.
  */
 
-#include "core/mnm_unit.hh"
 #include "core/presets.hh"
-#include "obs/manifest.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
-#include "util/table.hh"
+#include "harness.hh"
 
 using namespace mnm;
 
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("abl_tmnm_counter_width");
-    Table table("Ablation: TMNM_12x3 coverage by counter width [%]");
-    table.setHeader({"app", "2-bit", "3-bit", "4-bit"});
-
-    std::vector<SweepVariant> variants;
+    SweepTableBench bench(
+        "abl_tmnm_counter_width",
+        "Ablation: TMNM_12x3 coverage by counter width [%]");
     for (std::uint32_t bits : {2u, 3u, 4u}) {
-        variants.push_back({std::to_string(bits) + "-bit",
-                            paperHierarchy(5),
-                            makeUniformSpec(TmnmSpec{12, 3, bits})});
+        bench.addVariant(std::to_string(bits) + "-bit",
+                         paperHierarchy(5),
+                         makeUniformSpec(TmnmSpec{12, 3, bits}));
     }
-    std::vector<MemSimResult> results = runSweep(
-        makeGridCells(opts.apps, variants, opts.instructions), opts);
-
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        std::vector<double> row;
-        for (std::size_t v = 0; v < variants.size(); ++v) {
-            const MemSimResult &r = results[a * variants.size() + v];
-            row.push_back(sweepCell(r, 100.0 * r.coverage.coverage()));
-        }
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 2);
-    }
-    table.addMeanRow("Arith. Mean", 2);
-    table.print(opts.csv);
-    return sweepExitCode();
+    bench.useVariantHeader();
+    bench.runGrid();
+    bench.addMetricRows(2, [](const MemSimResult &r) {
+        return 100.0 * r.coverage.coverage();
+    });
+    return bench.finish(2);
 }

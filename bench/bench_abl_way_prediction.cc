@@ -15,12 +15,9 @@
 #include <limits>
 
 #include "core/presets.hh"
-#include "obs/manifest.hh"
+#include "harness.hh"
 #include "power/sram_model.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
 #include "util/bits.hh"
-#include "util/table.hh"
 
 using namespace mnm;
 
@@ -68,29 +65,26 @@ wayPredictedProbeEnergy(const MemSimResult &r,
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("abl_way_prediction");
-    HierarchyParams params = paperHierarchy(5);
-    Table table("Ablation vs related work: probe-energy reduction [%] "
-                "(way prediction / serial HMNM4 / both)");
-    table.setHeader({"app", "waypred", "mnm", "both"});
+    SweepTableBench bench("abl_way_prediction",
+                          "Ablation vs related work: probe-energy "
+                          "reduction [%] "
+                          "(way prediction / serial HMNM4 / both)");
+    bench.setHeader({"app", "waypred", "mnm", "both"});
 
+    HierarchyParams params = paperHierarchy(5);
     MnmSpec serial_spec = makeHmnmSpec(4);
     serial_spec.placement = MnmPlacement::Serial;
-    std::vector<SweepVariant> variants = {
-        {"baseline", params, std::nullopt},
-        {"serial HMNM4", params, serial_spec}};
-    std::vector<MemSimResult> results = runSweep(
-        makeGridCells(opts.apps, variants, opts.instructions), opts);
+    bench.addVariant("baseline", params);
+    bench.addVariant("serial HMNM4", params, serial_spec);
+    bench.runGrid();
 
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        const MemSimResult &base = results[a * 2];
-        const MemSimResult &mnm = results[a * 2 + 1];
+    for (std::size_t a = 0; a < bench.numApps(); ++a) {
+        const MemSimResult &base = bench.at(a, 0);
+        const MemSimResult &mnm = bench.at(a, 1);
         if (base.failed || mnm.failed) {
             // Every column needs both cells; gap the whole row.
             double gap = std::numeric_limits<double>::quiet_NaN();
-            table.addRow(ExperimentOptions::shortName(opts.apps[a]),
-                         {gap, gap, gap}, 2);
+            bench.addAppRow(a, {gap, gap, gap}, 2);
             continue;
         }
 
@@ -108,13 +102,11 @@ main()
         double both_probe =
             wayPredictedProbeEnergy(mnm, params) + mnm.energy.mnm_pj;
 
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
-                     {100.0 * (base_probe - wp_probe) / base_probe,
-                      100.0 * (base_probe - mnm_probe) / base_probe,
-                      100.0 * (base_probe - both_probe) / base_probe},
-                     2);
+        bench.addAppRow(a,
+                        {100.0 * (base_probe - wp_probe) / base_probe,
+                         100.0 * (base_probe - mnm_probe) / base_probe,
+                         100.0 * (base_probe - both_probe) / base_probe},
+                        2);
     }
-    table.addMeanRow("Arith. Mean", 2);
-    table.print(opts.csv);
-    return sweepExitCode();
+    return bench.finish(2);
 }

@@ -10,11 +10,8 @@
  */
 
 #include "core/presets.hh"
-#include "obs/manifest.hh"
+#include "harness.hh"
 #include "sim/analytic.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
-#include "util/table.hh"
 
 using namespace mnm;
 
@@ -55,23 +52,20 @@ levelTimings(const MemSimResult &r, const HierarchyParams &params)
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("eq12_analytic_validation");
-    HierarchyParams params = paperHierarchy(5);
-    Table table("Equations 1/2: analytic vs simulated data access time "
-                "[cycles] (baseline and HMNM4)");
-    table.setHeader({"app", "sim (eq1)", "analytic (eq1)", "sim (eq2)",
+    SweepTableBench bench("eq12_analytic_validation",
+                          "Equations 1/2: analytic vs simulated data "
+                          "access time [cycles] (baseline and HMNM4)");
+    bench.setHeader({"app", "sim (eq1)", "analytic (eq1)", "sim (eq2)",
                      "analytic (eq2)"});
 
-    std::vector<SweepVariant> variants = {
-        {"baseline", params, std::nullopt},
-        {"HMNM4", params, makeHmnmSpec(4)}};
-    std::vector<MemSimResult> results = runSweep(
-        makeGridCells(opts.apps, variants, opts.instructions), opts);
+    HierarchyParams params = paperHierarchy(5);
+    bench.addVariant("baseline", params);
+    bench.addVariant("HMNM4", params, makeHmnmSpec(4));
+    bench.runGrid();
 
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        const MemSimResult &base = results[a * 2];
-        const MemSimResult &mnm = results[a * 2 + 1];
+    for (std::size_t a = 0; a < bench.numApps(); ++a) {
+        const MemSimResult &base = bench.at(a, 0);
+        const MemSimResult &mnm = bench.at(a, 1);
         // The analytic columns derive from the same cell's measured
         // rates, so a failed cell gaps both of its columns.
         double analytic_base = sweepCell(
@@ -82,13 +76,12 @@ main()
             mnm, analyticDataAccessTime(
                      levelTimings(mnm, params),
                      static_cast<double>(params.memory_latency)));
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
-                     {sweepCell(base, base.avgAccessTime()),
-                      analytic_base,
-                      sweepCell(mnm, mnm.avgAccessTime()), analytic_mnm},
-                     2);
+        bench.addAppRow(a,
+                        {sweepCell(base, base.avgAccessTime()),
+                         analytic_base,
+                         sweepCell(mnm, mnm.avgAccessTime()),
+                         analytic_mnm},
+                        2);
     }
-    table.addMeanRow("Arith. Mean", 2);
-    table.print(opts.csv);
-    return sweepExitCode();
+    return bench.finish(2);
 }

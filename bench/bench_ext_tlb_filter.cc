@@ -10,12 +10,10 @@
 
 #include "cache/tlb.hh"
 #include "core/tlb_filter.hh"
-#include "obs/manifest.hh"
+#include "harness.hh"
 #include "power/sram_model.hh"
-#include "sim/runner.hh"
 #include "trace/spec2000.hh"
 #include "util/logging.hh"
-#include "util/table.hh"
 
 using namespace mnm;
 
@@ -34,10 +32,11 @@ struct TlbRow
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("ext_tlb_filter");
-    Table table("Extension: TMNM_8x2 filtering a 64-entry DTLB");
-    table.setHeader({"app", "tlb miss%", "coverage%", "net saved%",
+    SweepTableBench bench("ext_tlb_filter",
+                          "Extension: TMNM_8x2 filtering a 64-entry "
+                          "DTLB");
+    const ExperimentOptions &opts = bench.opts();
+    bench.setHeader({"app", "tlb miss%", "coverage%", "net saved%",
                      "t base", "t filt"});
 
     SramModel sram;
@@ -101,13 +100,10 @@ main()
         fatal("%s", e.what());
     }
 
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]),
-                     rows[a].cells, 2);
+    for (std::size_t a = 0; a < bench.numApps(); ++a) {
+        bench.addAppRow(a, rows[a].cells, 2);
         if (rows[a].violations != 0)
-            warn("TLB filter violations on %s", opts.apps[a].c_str());
+            warn("TLB filter violations on %s", bench.app(a).c_str());
     }
-    table.addMeanRow("Arith. Mean", 2);
-    table.print(opts.csv);
-    return sweepExitCode();
+    return bench.finish(2);
 }

@@ -7,38 +7,24 @@
  * extra level adds probe time ahead of the eventual supplier).
  */
 
-#include "obs/manifest.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
-#include "util/table.hh"
+#include "harness.hh"
 
 using namespace mnm;
 
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("fig02_miss_time_fraction");
-    Table table("Figure 2: fraction of misses in data access time [%]");
-    table.setHeader({"app", "2-level", "3-level", "5-level", "7-level"});
-
-    std::vector<SweepVariant> variants;
+    SweepTableBench bench(
+        "fig02_miss_time_fraction",
+        "Figure 2: fraction of misses in data access time [%]");
     for (int levels : {2, 3, 5, 7}) {
-        variants.push_back({std::to_string(levels) + "-level",
-                            paperHierarchy(levels), std::nullopt});
+        bench.addVariant(std::to_string(levels) + "-level",
+                         paperHierarchy(levels));
     }
-    std::vector<MemSimResult> results = runSweep(
-        makeGridCells(opts.apps, variants, opts.instructions), opts);
-
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        std::vector<double> row;
-        for (std::size_t v = 0; v < variants.size(); ++v) {
-            const MemSimResult &r = results[a * variants.size() + v];
-            row.push_back(sweepCell(r, 100.0 * r.missTimeFraction()));
-        }
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 1);
-    }
-    table.addMeanRow("Arith. Mean", 1);
-    table.print(opts.csv);
-    return sweepExitCode();
+    bench.useVariantHeader();
+    bench.runGrid();
+    bench.addMetricRows(1, [](const MemSimResult &r) {
+        return 100.0 * r.missTimeFraction();
+    });
+    return bench.finish(1);
 }

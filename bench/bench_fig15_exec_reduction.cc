@@ -12,12 +12,9 @@
 
 #include "core/presets.hh"
 #include "cpu/ooo_core.hh"
-#include "obs/manifest.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
+#include "harness.hh"
 #include "trace/spec2000.hh"
 #include "util/logging.hh"
-#include "util/table.hh"
 
 using namespace mnm;
 
@@ -47,10 +44,10 @@ runCycles(const std::string &app, const std::string &config,
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("fig15_exec_reduction");
-    Table table("Figure 15: reduction in execution cycles, parallel MNM "
-                "[%]");
+    SweepTableBench bench("fig15_exec_reduction",
+                          "Figure 15: reduction in execution cycles, "
+                          "parallel MNM [%]");
+    const ExperimentOptions &opts = bench.opts();
     std::vector<std::string> header = {"app"};
     // Variant 0 is the baseline (no MNM); the headline configs follow.
     std::vector<std::string> configs = {""};
@@ -58,7 +55,7 @@ main()
         header.push_back(config);
         configs.push_back(config);
     }
-    table.setHeader(header);
+    bench.setHeader(header);
 
     // Timing-core runs, one cell per (app, config), app-major. Every
     // column is baseline-relative, so a failure aborts the bench with
@@ -76,7 +73,7 @@ main()
         fatal("%s", e.what());
     }
 
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
+    for (std::size_t a = 0; a < bench.numApps(); ++a) {
         Cycles base = cycles[a * configs.size()];
         std::vector<double> row;
         for (std::size_t c = 1; c < configs.size(); ++c) {
@@ -86,9 +83,7 @@ main()
                                cycles[a * configs.size() + c])) /
                           static_cast<double>(base));
         }
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 2);
+        bench.addAppRow(a, row, 2);
     }
-    table.addMeanRow("Arith. Mean", 2);
-    table.print(opts.csv);
-    return sweepExitCode();
+    return bench.finish(2);
 }

@@ -12,40 +12,31 @@
 #include <limits>
 
 #include "core/presets.hh"
-#include "obs/manifest.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
-#include "util/table.hh"
+#include "harness.hh"
 
 using namespace mnm;
 
 int
 main()
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName("fig16_power_reduction");
-    Table table("Figure 16: reduction in cache power consumption, "
-                "serial MNM [%]");
-    std::vector<std::string> header = {"app"};
+    SweepTableBench bench("fig16_power_reduction",
+                          "Figure 16: reduction in cache power "
+                          "consumption, serial MNM [%]");
     // Variant 0 is the baseline; the headline configs follow.
-    std::vector<SweepVariant> variants = {
-        {"baseline", paperHierarchy(5), std::nullopt}};
+    bench.addVariant("baseline", paperHierarchy(5));
     for (const std::string &config : headlineConfigs()) {
-        header.push_back(config);
         MnmSpec spec = mnmSpecByName(config);
         spec.placement = MnmPlacement::Serial;
-        variants.push_back({config, paperHierarchy(5), spec});
+        bench.addVariant(config, paperHierarchy(5), spec);
     }
-    table.setHeader(header);
+    bench.useVariantHeader(1);
+    bench.runGrid();
 
-    std::vector<MemSimResult> results = runSweep(
-        makeGridCells(opts.apps, variants, opts.instructions), opts);
-
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        const MemSimResult &base = results[a * variants.size()];
+    for (std::size_t a = 0; a < bench.numApps(); ++a) {
+        const MemSimResult &base = bench.at(a, 0);
         std::vector<double> row;
-        for (std::size_t v = 1; v < variants.size(); ++v) {
-            const MemSimResult &r = results[a * variants.size() + v];
+        for (std::size_t v = 1; v < bench.numVariants(); ++v) {
+            const MemSimResult &r = bench.at(a, v);
             // A failed baseline gaps the whole row: the reduction is
             // relative, so no cell on it is computable.
             row.push_back(base.failed
@@ -55,9 +46,7 @@ main()
                                                   r.energy.total()) /
                                                  base.energy.total()));
         }
-        table.addRow(ExperimentOptions::shortName(opts.apps[a]), row, 2);
+        bench.addAppRow(a, row, 2);
     }
-    table.addMeanRow("Arith. Mean", 2);
-    table.print(opts.csv);
-    return sweepExitCode();
+    return bench.finish(2);
 }

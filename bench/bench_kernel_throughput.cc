@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Simulation-kernel throughput: functional-mode instructions per second
+ * for representative MNM configurations on the paper's 5-level machine.
+ *
+ * This bench measures the simulator, not the simulated machine: its
+ * numbers are wall-clock dependent and NOT byte-stable across runs, so
+ * it is deliberately excluded from the CI byte-diff that guards every
+ * other bench. It seeds and guards the kernel's performance trajectory
+ * instead: with MNM_BENCH_JSON=<path> it writes a machine-readable
+ * summary (schema mnm-kernel-bench-v1), which CI's Release job compares
+ * against the committed BENCH_kernel.json baseline via
+ * tools/extract_results.py --perf.
+ *
+ * Knobs: MNM_INSTRUCTIONS (measured window per config), MNM_APPS (the
+ * first named workload drives the measurement; default 164.gzip), and
+ * MNM_BENCH_JSON (summary path; unset = table only).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/presets.hh"
+#include "sim/config.hh"
+#include "sim/experiment.hh"
+#include "sim/memory_sim.hh"
+#include "trace/spec2000.hh"
+#include "util/logging.hh"
+
+using namespace mnm;
+
+namespace
+{
+
+/** One measured configuration: a paper label or "off" (no MNM). */
+struct KernelConfig
+{
+    const char *label;
+    bool mnm_enabled;
+};
+
+constexpr KernelConfig kernel_configs[] = {
+    {"off", false},         //!< bare hierarchy: the kernel floor
+    {"RMNM_2048_4", true},  //!< shared replacement tracker only
+    {"TMNM_13x2", true},    //!< per-cache counting tables
+    {"HMNM4", true},        //!< the paper's widest hybrid (headline)
+    {"Perfect", true},      //!< oracle: contains() per level, no filters
+};
+
+double
+measureInstrPerSec(const std::string &app, const KernelConfig &config,
+                   std::uint64_t instructions)
+{
+    std::optional<MnmSpec> spec;
+    if (config.mnm_enabled)
+        spec = mnmSpecByName(config.label);
+    MemorySimulator sim(paperHierarchy(5), spec);
+    std::unique_ptr<WorkloadGenerator> workload = makeSpecWorkload(app);
+
+    // Warm the caches and filters outside the timed window, mirroring
+    // runFunctional()'s 10% warm-up discipline.
+    sim.run(*workload, instructions / 10);
+
+    auto start = std::chrono::steady_clock::now();
+    MemSimResult result = sim.run(*workload, instructions);
+    auto stop = std::chrono::steady_clock::now();
+
+    double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (seconds <= 0.0)
+        fatal("kernel bench measured a non-positive interval; raise "
+              "MNM_INSTRUCTIONS");
+    return static_cast<double>(result.instructions) / seconds;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    std::string app = opts.apps.empty() ? "164.gzip" : opts.apps.front();
+
+    std::printf("== Kernel throughput (%s, %llu instructions/config) ==\n",
+                app.c_str(),
+                static_cast<unsigned long long>(opts.instructions));
+    std::printf("%-12s  %14s\n", "config", "instr_per_sec");
+
+    std::vector<std::pair<std::string, double>> rows;
+    for (const KernelConfig &config : kernel_configs) {
+        double ips = measureInstrPerSec(app, config, opts.instructions);
+        rows.emplace_back(config.label, ips);
+        std::printf("%-12s  %14.0f\n", config.label, ips);
+    }
+
+    const char *json_path = std::getenv("MNM_BENCH_JSON");
+    if (json_path && *json_path) {
+        std::FILE *f = std::fopen(json_path, "w");
+        if (!f)
+            fatal("cannot write MNM_BENCH_JSON file '%s'", json_path);
+        std::fprintf(f, "{\n  \"schema\": \"mnm-kernel-bench-v1\",\n");
+        std::fprintf(f, "  \"app\": \"%s\",\n", app.c_str());
+        std::fprintf(f, "  \"instructions\": %llu,\n",
+                     static_cast<unsigned long long>(opts.instructions));
+        std::fprintf(f, "  \"configs\": {\n");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            std::fprintf(f, "    \"%s\": {\"instr_per_sec\": %.0f}%s\n",
+                         rows[i].first.c_str(), rows[i].second,
+                         i + 1 < rows.size() ? "," : "");
+        }
+        std::fprintf(f, "  }\n}\n");
+        std::fclose(f);
+        std::fprintf(stderr, "kernel bench summary written to %s\n",
+                     json_path);
+    }
+    return 0;
+}

@@ -9,16 +9,12 @@
 #ifndef MNM_BENCH_COVERAGE_FIGURE_HH
 #define MNM_BENCH_COVERAGE_FIGURE_HH
 
-#include <limits>
 #include <string>
 #include <vector>
 
 #include "core/presets.hh"
-#include "obs/manifest.hh"
-#include "sim/config.hh"
-#include "sim/runner.hh"
+#include "harness.hh"
 #include "util/logging.hh"
-#include "util/table.hh"
 
 namespace mnm
 {
@@ -29,43 +25,28 @@ inline int
 runCoverageFigure(const std::string &title,
                   const std::vector<std::string> &configs)
 {
-    ExperimentOptions opts = ExperimentOptions::fromEnv();
-    setRunName(title);
-    Table table(title);
-    std::vector<std::string> header = {"app"};
-    std::vector<SweepVariant> variants;
-    for (const std::string &config : configs) {
-        header.push_back(config);
-        variants.push_back({config, paperHierarchy(5),
-                            mnmSpecByName(config)});
-    }
-    table.setHeader(header);
+    SweepTableBench bench(title, title);
+    for (const std::string &config : configs)
+        bench.addVariant(config, paperHierarchy(5),
+                         mnmSpecByName(config));
+    bench.useVariantHeader();
+    bench.runGrid();
 
-    std::vector<MemSimResult> results = runSweep(
-        makeGridCells(opts.apps, variants, opts.instructions), opts);
-
-    for (std::size_t a = 0; a < opts.apps.size(); ++a) {
-        const std::string &app = opts.apps[a];
+    for (std::size_t a = 0; a < bench.numApps(); ++a) {
         std::vector<double> row;
         for (std::size_t c = 0; c < configs.size(); ++c) {
-            const MemSimResult &r = results[a * configs.size() + c];
-            if (r.failed) {
-                row.push_back(std::numeric_limits<double>::quiet_NaN());
-                continue;
-            }
-            row.push_back(100.0 * r.coverage.coverage());
-            if (r.soundness_violations != 0) {
+            const MemSimResult &r = bench.at(a, c);
+            row.push_back(sweepCell(r, 100.0 * r.coverage.coverage()));
+            if (!r.failed && r.soundness_violations != 0) {
                 warn("%s on %s: %llu soundness violations",
-                     configs[c].c_str(), app.c_str(),
+                     configs[c].c_str(), bench.app(a).c_str(),
                      static_cast<unsigned long long>(
                          r.soundness_violations));
             }
         }
-        table.addRow(ExperimentOptions::shortName(app), row, 1);
+        bench.addAppRow(a, row, 1);
     }
-    table.addMeanRow("Arith. Mean", 1);
-    table.print(opts.csv);
-    return sweepExitCode();
+    return bench.finish(1);
 }
 
 } // namespace mnm

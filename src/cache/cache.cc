@@ -90,24 +90,6 @@ Cache::plruVictim(std::uint32_t set) const
     return way;
 }
 
-Cache::Line *
-Cache::findLine(BlockAddr block)
-{
-    std::uint32_t set = setIndex(block);
-    Line *base = &lines_[static_cast<std::size_t>(set) * num_ways_];
-    for (std::uint32_t w = 0; w < num_ways_; ++w) {
-        if (base[w].valid && base[w].tag == block)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(BlockAddr block) const
-{
-    return const_cast<Cache *>(this)->findLine(block);
-}
-
 bool
 Cache::probe(BlockAddr block, bool is_write)
 {
@@ -211,12 +193,6 @@ Cache::fill(BlockAddr block, bool dirty)
     if (params_.policy == ReplPolicy::TreePlru)
         plruTouch(set, way);
     return outcome;
-}
-
-bool
-Cache::contains(BlockAddr block) const
-{
-    return findLine(block) != nullptr;
 }
 
 bool

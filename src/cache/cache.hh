@@ -139,8 +139,13 @@ class Cache
      */
     FillOutcome fill(BlockAddr block, bool dirty = false);
 
-    /** Presence test with no side effects (for oracles and checkers). */
-    bool contains(BlockAddr block) const;
+    /** Presence test with no side effects (for oracles and checkers).
+     *  Inline: the perfect-MNM oracle and the oracle soundness guard
+     *  call this once per planned level per request. */
+    bool contains(BlockAddr block) const
+    {
+        return findLine(block) != nullptr;
+    }
 
     /**
      * An upper level wrote back @p block. If resident here the copy is
@@ -192,8 +197,20 @@ class Cache
         return static_cast<std::uint32_t>(block & (num_sets_ - 1));
     }
 
-    Line *findLine(BlockAddr block);
-    const Line *findLine(BlockAddr block) const;
+    Line *findLine(BlockAddr block)
+    {
+        std::uint32_t set = setIndex(block);
+        Line *base = &lines_[static_cast<std::size_t>(set) * num_ways_];
+        for (std::uint32_t w = 0; w < num_ways_; ++w) {
+            if (base[w].valid && base[w].tag == block)
+                return &base[w];
+        }
+        return nullptr;
+    }
+    const Line *findLine(BlockAddr block) const
+    {
+        return const_cast<Cache *>(this)->findLine(block);
+    }
     std::uint32_t victimWay(std::uint32_t set);
 
     /** Tree-PLRU helpers (valid when policy == TreePlru). */

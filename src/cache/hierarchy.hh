@@ -127,8 +127,11 @@ struct WritebackRecord
 /** Outcome of one hierarchy access. */
 struct AccessResult
 {
-    static constexpr std::size_t max_probes = 16;
-    static constexpr std::size_t max_writebacks = 16;
+    // One probe per cache on the access path plus the memory slot:
+    // sized for the 32-structure BypassMask ceiling so hierarchy depth
+    // is bounded by the mask, not by this record.
+    static constexpr std::size_t max_probes = 34;
+    static constexpr std::size_t max_writebacks = 34;
 
     /** 1-based level that supplied the data; levels()+1 means memory. */
     std::uint8_t supply_level = 0;

@@ -111,7 +111,7 @@ Cmnm::stickyDecrement(std::size_t cell)
 }
 
 bool
-Cmnm::definitelyMiss(BlockAddr block) const
+Cmnm::missHot(BlockAddr block) const
 {
     std::uint64_t prefix = prefixOf(block);
     if (spec_.policy == CmnmMaskPolicy::PaperReset) {
@@ -136,7 +136,7 @@ Cmnm::definitelyMiss(BlockAddr block) const
 }
 
 void
-Cmnm::onPlacement(BlockAddr block)
+Cmnm::placeHot(BlockAddr block)
 {
     std::uint32_t reg = registerForPlacement(prefixOf(block));
     stickyIncrement(cellIndex(reg, block));
@@ -151,7 +151,7 @@ Cmnm::onPlacement(BlockAddr block)
 }
 
 void
-Cmnm::onReplacement(BlockAddr block)
+Cmnm::replaceHot(BlockAddr block)
 {
     if (spec_.policy == CmnmMaskPolicy::Monotone) {
         auto it = placed_reg_.find(block);

@@ -44,9 +44,20 @@ class Cmnm : public MissFilter
   public:
     explicit Cmnm(const CmnmSpec &spec);
 
-    bool definitelyMiss(BlockAddr block) const override;
-    void onPlacement(BlockAddr block) override;
-    void onReplacement(BlockAddr block) override;
+    /** Non-virtual hot-path bodies; the verdict plan dispatches to
+     *  these directly (core/verdict_plan.hh). Out of line -- the CAM
+     *  walk dominates, so inlining buys nothing here -- but still a
+     *  direct call instead of a virtual one. */
+    bool missHot(BlockAddr block) const;
+    void placeHot(BlockAddr block);
+    void replaceHot(BlockAddr block);
+
+    bool definitelyMiss(BlockAddr block) const override
+    {
+        return missHot(block);
+    }
+    void onPlacement(BlockAddr block) override { placeHot(block); }
+    void onReplacement(BlockAddr block) override { replaceHot(block); }
     void onFlush() override;
     std::string name() const override;
     std::uint64_t storageBits() const override;

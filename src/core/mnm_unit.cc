@@ -13,6 +13,7 @@ MnmUnit::MnmUnit(const MnmSpec &spec, CacheHierarchy &hierarchy)
     : spec_(spec), hierarchy_(hierarchy)
 {
     per_cache_.resize(hierarchy_.numCaches());
+    violations_at_.assign(hierarchy_.levels() + 1, 0);
 
     // The RMNM granule is the level-2 block size (paper Section 3.1).
     // Tracked caches are every non-L1 structure, in id order.
@@ -33,6 +34,8 @@ MnmUnit::MnmUnit(const MnmSpec &spec, CacheHierarchy &hierarchy)
             for (const FilterSpec &fs : lf.filters) {
                 pc.filters.push_back(makeFilter(fs));
                 pc.any_unsound |= pc.filters.back()->maybeUnsound();
+                kernels_.push_back(
+                    {filterKindOf(fs), pc.filters.back().get()});
             }
         }
     }
@@ -79,7 +82,42 @@ MnmUnit::MnmUnit(const MnmSpec &spec, CacheHierarchy &hierarchy)
         }
     }
 
+    compilePlans();
     hierarchy_.setListener(this);
+}
+
+void
+MnmUnit::compilePlans()
+{
+    // The kernels were appended cache by cache above; record each
+    // cache's contiguous slice.
+    std::uint32_t next = 0;
+    for (PerCache &pc : per_cache_) {
+        pc.kernel_first = next;
+        pc.kernel_count = static_cast<std::uint32_t>(pc.filters.size());
+        next += pc.kernel_count;
+    }
+
+    // And flatten the per-path walk: the level >= 2 caches in path
+    // order, with everything the hot loop consults resolved up front.
+    auto compile = [&](AccessType type, std::vector<VerdictStep> &plan) {
+        for (CacheId id : hierarchy_.path(type)) {
+            std::uint32_t level = hierarchy_.levelOf(id);
+            if (level < 2)
+                continue;
+            VerdictStep step;
+            step.cache = &hierarchy_.cache(id);
+            step.pc = &per_cache_[id];
+            step.id = id;
+            step.level = level;
+            step.oracle_guard =
+                (per_cache_[id].any_unsound || spec_.oracle_check) &&
+                !spec_.perfect;
+            plan.push_back(step);
+        }
+    };
+    compile(AccessType::InstFetch, instr_plan_);
+    compile(AccessType::Load, data_plan_);
 }
 
 MnmUnit::~MnmUnit()
@@ -114,6 +152,59 @@ MnmUnit::computeBypass(AccessType type, Addr addr)
 {
     ++lookups_;
     rmnm_burst_charged_ = false; // new access: new RMNM update burst
+    if (reference_dispatch_)
+        return computeBypassReference(type, addr);
+
+    BypassMask mask;
+    const std::vector<VerdictStep> &plan =
+        type == AccessType::InstFetch ? instr_plan_ : data_plan_;
+    if (spec_.perfect) {
+        for (const VerdictStep &step : plan) {
+            if (!step.cache->contains(step.cache->blockAddr(addr)))
+                mask.set(step.id);
+        }
+        return mask;
+    }
+
+    // One RMNM probe answers every step: the plan's caches all test the
+    // same address, so hoist the entry lookup and keep only the
+    // per-cache bit test in the loop.
+    const std::uint32_t rmnm_bits = rmnm_ ? rmnm_->missBits(addr) : 0;
+    const FilterKernel *kernels = kernels_.data();
+    for (const VerdictStep &step : plan) {
+        const PerCache &pc = *step.pc;
+        bool miss = pc.rmnm_index >= 0 &&
+                    ((rmnm_bits >> pc.rmnm_index) & 1u);
+        if (!miss) {
+            BlockAddr block = step.cache->blockAddr(addr);
+            const FilterKernel *k = kernels + pc.kernel_first;
+            const FilterKernel *end = k + pc.kernel_count;
+            for (; k != end; ++k) {
+                if (kernelDefinitelyMiss(*k, block)) {
+                    miss = true;
+                    break;
+                }
+            }
+        }
+        if (!miss)
+            continue;
+        if (step.oracle_guard &&
+            step.cache->contains(step.cache->blockAddr(addr))) {
+            // The verdict was wrong: bypassing would have skipped a
+            // hit. Count it and suppress the bypass so the simulation
+            // stays architecturally correct.
+            ++violations_;
+            ++violations_at_[step.level];
+            continue;
+        }
+        mask.set(step.id);
+    }
+    return mask;
+}
+
+BypassMask
+MnmUnit::computeBypassReference(AccessType type, Addr addr)
+{
     BypassMask mask;
     for (CacheId id : hierarchy_.path(type)) {
         if (hierarchy_.levelOf(id) < 2)
@@ -124,12 +215,9 @@ MnmUnit::computeBypass(AccessType type, Addr addr)
         if ((pc.any_unsound || spec_.oracle_check) && !spec_.perfect) {
             const Cache &cache = hierarchy_.cache(id);
             if (cache.contains(cache.blockAddr(addr))) {
-                // The verdict was wrong: bypassing would have skipped a
-                // hit. Count it and suppress the bypass so the
-                // simulation stays architecturally correct.
                 ++violations_;
                 std::uint32_t level = hierarchy_.levelOf(id);
-                if (level < max_violation_levels)
+                if (level < violations_at_.size())
                     ++violations_at_[level];
                 continue;
             }
@@ -163,13 +251,13 @@ MnmUnit::applyPlacementCosts(const AccessResult &result)
         // consulted once after the L1 miss.
         Cycles extra = 0;
         if (l1_missed && rmnm_)
-            energy_pj_ += rmnm_lookup_pj_;
+            ++rmnm_lookup_events_;
         for (std::uint8_t i = 0; i < result.num_probes; ++i) {
             const ProbeRecord &probe = result.probes[i];
             if (probe.level < 2)
                 continue;
             extra += spec_.delay;
-            energy_pj_ += per_cache_[probe.cache].lookup_pj;
+            ++per_cache_[probe.cache].dist_lookup_events;
         }
         return extra;
       }
@@ -183,15 +271,22 @@ MnmUnit::onPlacement(CacheId id, BlockAddr block)
     if (spec_.perfect)
         return;
     PerCache &pc = per_cache_[id];
-    for (auto &filter : pc.filters)
-        filter->onPlacement(block);
-    energy_pj_ += pc.update_pj;
+    if (reference_dispatch_) {
+        for (auto &filter : pc.filters)
+            filter->onPlacement(block);
+    } else {
+        const FilterKernel *k = kernels_.data() + pc.kernel_first;
+        const FilterKernel *end = k + pc.kernel_count;
+        for (; k != end; ++k)
+            kernelOnPlacement(*k, block);
+    }
+    ++pc.update_events;
     if (rmnm_ && pc.rmnm_index >= 0) {
         rmnm_->onPlacement(static_cast<std::uint32_t>(pc.rmnm_index),
                            hierarchy_.cache(id).byteAddr(block),
                            pc.block_bits);
         if (!rmnm_burst_charged_) {
-            energy_pj_ += rmnm_update_pj_;
+            ++rmnm_burst_events_;
             rmnm_burst_charged_ = true;
         }
     }
@@ -203,18 +298,40 @@ MnmUnit::onReplacement(CacheId id, BlockAddr block)
     if (spec_.perfect)
         return;
     PerCache &pc = per_cache_[id];
-    for (auto &filter : pc.filters)
-        filter->onReplacement(block);
-    energy_pj_ += pc.update_pj;
+    if (reference_dispatch_) {
+        for (auto &filter : pc.filters)
+            filter->onReplacement(block);
+    } else {
+        const FilterKernel *k = kernels_.data() + pc.kernel_first;
+        const FilterKernel *end = k + pc.kernel_count;
+        for (; k != end; ++k)
+            kernelOnReplacement(*k, block);
+    }
+    ++pc.update_events;
     if (rmnm_ && pc.rmnm_index >= 0) {
         rmnm_->onReplacement(static_cast<std::uint32_t>(pc.rmnm_index),
                              hierarchy_.cache(id).byteAddr(block),
                              pc.block_bits);
         if (!rmnm_burst_charged_) {
-            energy_pj_ += rmnm_update_pj_;
+            ++rmnm_burst_events_;
             rmnm_burst_charged_ = true;
         }
     }
+}
+
+PicoJoules
+MnmUnit::consumedEnergyPj() const
+{
+    PicoJoules total =
+        static_cast<double>(lookup_charges_) * lookup_energy_pj_ +
+        static_cast<double>(rmnm_burst_events_) * rmnm_update_pj_ +
+        static_cast<double>(rmnm_lookup_events_) * rmnm_lookup_pj_;
+    for (const PerCache &pc : per_cache_) {
+        total += static_cast<double>(pc.update_events) * pc.update_pj;
+        total +=
+            static_cast<double>(pc.dist_lookup_events) * pc.lookup_pj;
+    }
+    return total;
 }
 
 void

@@ -22,7 +22,6 @@
 #ifndef MNM_CORE_MNM_UNIT_HH
 #define MNM_CORE_MNM_UNIT_HH
 
-#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -32,6 +31,7 @@
 #include "cache/hierarchy.hh"
 #include "core/miss_filter.hh"
 #include "core/rmnm.hh"
+#include "core/verdict_plan.hh"
 #include "util/types.hh"
 
 namespace mnm
@@ -100,11 +100,13 @@ class MnmUnit : public CacheEventListener
     /**
      * Produce the per-cache bypass verdicts for one access. Pure with
      * respect to filter state; verdict statistics are recorded.
+     * Dispatches through the compiled verdict plan by default, or the
+     * single-step virtual reference path under setReferenceDispatch().
      */
     BypassMask computeBypass(AccessType type, Addr addr);
 
     /** Charge one structure probe (caller decides per placement). */
-    void chargeLookup() { energy_pj_ += lookup_energy_pj_; }
+    void chargeLookup() { ++lookup_charges_; }
 
     /**
      * Apply the configured placement's latency and energy costs for one
@@ -123,8 +125,14 @@ class MnmUnit : public CacheEventListener
     /** Per-probe energy of all structures together, pJ. */
     PicoJoules lookupEnergyPerAccess() const { return lookup_energy_pj_; }
 
-    /** Total energy consumed so far (lookups + updates), pJ. */
-    PicoJoules consumedEnergyPj() const { return energy_pj_; }
+    /**
+     * Total energy consumed so far (lookups + updates), pJ. The hot
+     * paths count integer events; the per-event energies are multiplied
+     * out here, once per query, so the total is independent of event
+     * interleaving (no per-access floating-point accumulation order to
+     * worry about).
+     */
+    PicoJoules consumedEnergyPj() const;
 
     /** Worst-case structure delay under the analytical model, ns. */
     Nanoseconds probeDelayNs() const { return probe_delay_ns_; }
@@ -140,16 +148,32 @@ class MnmUnit : public CacheEventListener
      *  (or if a filter's bookkeeping broke, which tests would catch). */
     std::uint64_t soundnessViolations() const { return violations_; }
 
-    /** Caught violations at one cache level (1-based, < max_violation_
-     *  levels); the observability layer's forbidden confusion-matrix
-     *  cell (predicted-miss on a resident block). */
+    /** Caught violations at one cache level (1-based); the
+     *  observability layer's forbidden confusion-matrix cell
+     *  (predicted-miss on a resident block). The per-level counters are
+     *  sized from the attached hierarchy, so every level it can name is
+     *  tracked; levels beyond it report 0. */
     std::uint64_t
     violationsAtLevel(std::uint32_t level) const
     {
-        return level < max_violation_levels ? violations_at_[level] : 0;
+        return level < violations_at_.size() ? violations_at_[level] : 0;
     }
 
-    static constexpr std::size_t max_violation_levels = 16;
+    /** Number of tracked violation levels (hierarchy levels + 1; level
+     *  indices are 1-based). */
+    std::uint32_t violationLevels() const
+    {
+        return static_cast<std::uint32_t>(violations_at_.size());
+    }
+
+    /**
+     * Route computeBypass and the event feed through the single-step
+     * virtual MissFilter interface instead of the compiled plan. Slow;
+     * exists so kernel_equivalence_test can prove both dispatch styles
+     * produce bit-identical results.
+     */
+    void setReferenceDispatch(bool on) { reference_dispatch_ = on; }
+    bool referenceDispatch() const { return reference_dispatch_; }
 
     /** Number of verdict computations performed. */
     std::uint64_t lookups() const { return lookups_; }
@@ -186,14 +210,52 @@ class MnmUnit : public CacheEventListener
         PicoJoules update_pj = 0.0;
         /** Energy to probe this cache's filters once, pJ. */
         PicoJoules lookup_pj = 0.0;
+        /** This cache's slice of the flat kernel array:
+         *  kernels_[kernel_first .. kernel_first + kernel_count). */
+        std::uint32_t kernel_first = 0;
+        std::uint32_t kernel_count = 0;
+        /** Hot accounting: filter-update events (placements plus
+         *  replacements) and distributed-placement probe events.
+         *  Multiplied by update_pj / lookup_pj in consumedEnergyPj(). */
+        std::uint64_t update_events = 0;
+        std::uint64_t dist_lookup_events = 0;
     };
 
+    /** One compiled step of a per-path verdict plan: everything the
+     *  hot loop needs for a level >= 2 cache, resolved at construction
+     *  so computeBypass touches no per-access indirection beyond it. */
+    struct VerdictStep
+    {
+        const Cache *cache = nullptr;
+        const PerCache *pc = nullptr;
+        CacheId id = 0;
+        std::uint32_t level = 0;
+        /** Oracle-check every "miss" verdict at this cache. */
+        bool oracle_guard = false;
+    };
+
+    /** Reference (virtual-dispatch) verdict for one cache. */
     bool cacheVerdict(CacheId id, Addr addr) const;
+
+    /** The single-step reference walk computeBypass falls back to. */
+    BypassMask computeBypassReference(AccessType type, Addr addr);
+
+    /** Flatten the filter fan-out and the per-path walks into plans. */
+    void compilePlans();
 
     MnmSpec spec_;
     CacheHierarchy &hierarchy_;
     std::vector<PerCache> per_cache_;
     std::unique_ptr<Rmnm> rmnm_;
+
+    /** The flat verdict plan: every filter of every cache, contiguous,
+     *  type-tagged (cache c owns the slice described by its PerCache). */
+    std::vector<FilterKernel> kernels_;
+    /** Per-path walk plans (level >= 2 caches in path order). */
+    std::vector<VerdictStep> instr_plan_;
+    std::vector<VerdictStep> data_plan_;
+    bool reference_dispatch_ = false;
+
     PicoJoules lookup_energy_pj_ = 0.0;
     /** RMNM write energy, charged once per access burst: the fill
      *  path's placement/replacement report traverses the MNM as one
@@ -203,10 +265,16 @@ class MnmUnit : public CacheEventListener
     bool rmnm_burst_charged_ = false;
     PicoJoules rmnm_lookup_pj_ = 0.0;
     Nanoseconds probe_delay_ns_ = 0.0;
-    PicoJoules energy_pj_ = 0.0;
+
+    /** Hot accounting: integer event counts behind consumedEnergyPj(). */
+    std::uint64_t lookup_charges_ = 0;
+    std::uint64_t rmnm_burst_events_ = 0;
+    std::uint64_t rmnm_lookup_events_ = 0;
+
     std::uint64_t lookups_ = 0;
     std::uint64_t violations_ = 0;
-    std::array<std::uint64_t, max_violation_levels> violations_at_{};
+    /** Sized from the attached hierarchy (levels + 1, 1-based). */
+    std::vector<std::uint64_t> violations_at_;
 };
 
 } // namespace mnm

@@ -27,37 +27,12 @@ Rmnm::Rmnm(const RmnmSpec &spec, std::uint32_t num_tracked,
     entries_.resize(spec_.entries);
 }
 
-Rmnm::Entry *
-Rmnm::find(std::uint64_t granule)
-{
-    std::uint32_t set = setOf(granule);
-    Entry *base = &entries_[static_cast<std::size_t>(set) * num_ways_];
-    for (std::uint32_t w = 0; w < num_ways_; ++w) {
-        if (base[w].valid && base[w].granule == granule)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const Rmnm::Entry *
-Rmnm::find(std::uint64_t granule) const
-{
-    return const_cast<Rmnm *>(this)->find(granule);
-}
-
 std::uint64_t
 Rmnm::spanOf(unsigned block_bits) const
 {
     MNM_ASSERT(block_bits >= granule_bits_,
                "tracked cache block smaller than the RMNM granule");
     return std::uint64_t{1} << (block_bits - granule_bits_);
-}
-
-bool
-Rmnm::definitelyMiss(std::uint32_t tracked, Addr addr) const
-{
-    const Entry *entry = find(granuleOf(addr));
-    return entry && ((entry->miss_bits >> tracked) & 1u);
 }
 
 void

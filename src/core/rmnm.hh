@@ -48,8 +48,24 @@ class Rmnm
     Rmnm(const RmnmSpec &spec, std::uint32_t num_tracked,
          unsigned granule_bits);
 
-    /** Definite miss for tracked cache @p tracked at byte @p addr? */
-    bool definitelyMiss(std::uint32_t tracked, Addr addr) const;
+    /** Definite miss for tracked cache @p tracked at byte @p addr?
+     *  Inline: this sits on the per-request verdict hot path for every
+     *  placement, ahead of the per-cache filters. */
+    bool definitelyMiss(std::uint32_t tracked, Addr addr) const
+    {
+        return (missBits(addr) >> tracked) & 1u;
+    }
+
+    /** The whole miss-bit vector for the granule containing @p addr
+     *  (zero when no entry covers it). One lookup answers
+     *  definitelyMiss for every tracked cache at once; the verdict plan
+     *  walks several caches against the same address, so it hoists this
+     *  out of its per-cache loop. */
+    std::uint32_t missBits(Addr addr) const
+    {
+        const Entry *entry = find(granuleOf(addr));
+        return entry ? entry->miss_bits : 0;
+    }
 
     /**
      * A block of 2^@p block_bits bytes was placed into cache @p tracked.
@@ -113,8 +129,21 @@ class Rmnm
         return static_cast<std::uint32_t>(granule & (num_sets_ - 1));
     }
 
-    Entry *find(std::uint64_t granule);
-    const Entry *find(std::uint64_t granule) const;
+    Entry *find(std::uint64_t granule)
+    {
+        std::uint32_t set = setOf(granule);
+        Entry *base =
+            &entries_[static_cast<std::size_t>(set) * num_ways_];
+        for (std::uint32_t w = 0; w < num_ways_; ++w) {
+            if (base[w].valid && base[w].granule == granule)
+                return &base[w];
+        }
+        return nullptr;
+    }
+    const Entry *find(std::uint64_t granule) const
+    {
+        return const_cast<Rmnm *>(this)->find(granule);
+    }
 
     /** Granule span covered by a block of 2^@p block_bits bytes. */
     std::uint64_t spanOf(unsigned block_bits) const;

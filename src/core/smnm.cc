@@ -21,75 +21,11 @@ Smnm::Smnm(const SmnmSpec &spec) : spec_(spec)
 }
 
 std::uint32_t
-Smnm::sumHash(std::uint64_t addr, unsigned first_bit,
-              std::uint32_t sum_width)
-{
-    std::uint64_t window = addr >> first_bit;
-    std::uint32_t sum = 0;
-    for (std::uint32_t i = 1; i <= sum_width; ++i) {
-        if (window & 0x1)
-            sum += i * i;
-        window >>= 1;
-    }
-    return sum;
-}
-
-std::uint32_t
 Smnm::sumValues(std::uint32_t sum_width)
 {
     // Max sum = 1^2 + 2^2 + ... + w^2 = w(w+1)(2w+1)/6 (paper Eq. 3);
     // values range over [0, max], hence +1.
     return sum_width * (sum_width + 1) * (2 * sum_width + 1) / 6 + 1;
-}
-
-bool
-Smnm::definitelyMiss(BlockAddr block) const
-{
-    for (std::uint32_t c = 0; c < spec_.replication; ++c) {
-        std::uint32_t sum =
-            sumHash(block, checkerOffset(c), spec_.sum_width);
-        if (state_[static_cast<std::size_t>(c) * values_per_checker_ +
-                   sum] == 0) {
-            return true;
-        }
-    }
-    return false;
-}
-
-void
-Smnm::onPlacement(BlockAddr block)
-{
-    for (std::uint32_t c = 0; c < spec_.replication; ++c) {
-        std::uint32_t sum =
-            sumHash(block, checkerOffset(c), spec_.sum_width);
-        std::uint32_t &cell =
-            state_[static_cast<std::size_t>(c) * values_per_checker_ + sum];
-        if (spec_.mode == SmnmUpdateMode::Counting) {
-            ++cell;
-        } else {
-            cell = 1;
-        }
-    }
-}
-
-void
-Smnm::onReplacement(BlockAddr block)
-{
-    if (spec_.mode != SmnmUpdateMode::Counting)
-        return; // the literal circuit ignores replacements
-    for (std::uint32_t c = 0; c < spec_.replication; ++c) {
-        std::uint32_t sum =
-            sumHash(block, checkerOffset(c), spec_.sum_width);
-        std::uint32_t &cell =
-            state_[static_cast<std::size_t>(c) * values_per_checker_ + sum];
-        if (cell == 0) {
-            // Replacement of a block we never saw placed: only possible
-            // if we were attached to a warm cache. Clamp and record.
-            ++anomalies_;
-        } else {
-            --cell;
-        }
-    }
 }
 
 void

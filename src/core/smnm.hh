@@ -22,10 +22,12 @@
 #ifndef MNM_CORE_SMNM_HH
 #define MNM_CORE_SMNM_HH
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "core/miss_filter.hh"
+#include "util/bits.hh"
 
 namespace mnm
 {
@@ -36,16 +38,88 @@ class Smnm : public MissFilter
   public:
     explicit Smnm(const SmnmSpec &spec);
 
-    /** The paper's Figure 5 hash over a window of @p addr. */
-    static std::uint32_t sumHash(std::uint64_t addr, unsigned first_bit,
-                                 std::uint32_t sum_width);
+    /** The paper's Figure 5 hash over a window of @p addr. Iterates
+     *  only the set bits of the window -- bit p (0-based) contributes
+     *  (p+1)^2 -- which is exactly the Figure 5 loop's result. */
+    static std::uint32_t
+    sumHash(std::uint64_t addr, unsigned first_bit,
+            std::uint32_t sum_width)
+    {
+        std::uint64_t window = (addr >> first_bit) & lowMask(sum_width);
+        std::uint32_t sum = 0;
+        while (window) {
+            unsigned p = static_cast<unsigned>(std::countr_zero(window));
+            sum += (p + 1) * (p + 1);
+            window &= window - 1;
+        }
+        return sum;
+    }
 
     /** Number of distinct sum values for a width (Eq. 3 + 1 for zero). */
     static std::uint32_t sumValues(std::uint32_t sum_width);
 
-    bool definitelyMiss(BlockAddr block) const override;
-    void onPlacement(BlockAddr block) override;
-    void onReplacement(BlockAddr block) override;
+    /** Non-virtual hot-path bodies; the verdict plan dispatches to
+     *  these directly (core/verdict_plan.hh) so the per-access work
+     *  inlines into the simulators' inner loops. The virtual overrides
+     *  below forward here, keeping both paths behaviourally one. */
+    bool
+    missHot(BlockAddr block) const
+    {
+        for (std::uint32_t c = 0; c < spec_.replication; ++c) {
+            std::uint32_t sum =
+                sumHash(block, checkerOffset(c), spec_.sum_width);
+            if (state_[static_cast<std::size_t>(c) * values_per_checker_ +
+                       sum] == 0) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    placeHot(BlockAddr block)
+    {
+        for (std::uint32_t c = 0; c < spec_.replication; ++c) {
+            std::uint32_t sum =
+                sumHash(block, checkerOffset(c), spec_.sum_width);
+            std::uint32_t &cell =
+                state_[static_cast<std::size_t>(c) * values_per_checker_ +
+                       sum];
+            if (spec_.mode == SmnmUpdateMode::Counting) {
+                ++cell;
+            } else {
+                cell = 1;
+            }
+        }
+    }
+
+    void
+    replaceHot(BlockAddr block)
+    {
+        if (spec_.mode != SmnmUpdateMode::Counting)
+            return; // the literal circuit ignores replacements
+        for (std::uint32_t c = 0; c < spec_.replication; ++c) {
+            std::uint32_t sum =
+                sumHash(block, checkerOffset(c), spec_.sum_width);
+            std::uint32_t &cell =
+                state_[static_cast<std::size_t>(c) * values_per_checker_ +
+                       sum];
+            if (cell == 0) {
+                // Replacement of a block we never saw placed: only
+                // possible if we were attached to a warm cache.
+                ++anomalies_;
+            } else {
+                --cell;
+            }
+        }
+    }
+
+    bool definitelyMiss(BlockAddr block) const override
+    {
+        return missHot(block);
+    }
+    void onPlacement(BlockAddr block) override { placeHot(block); }
+    void onReplacement(BlockAddr block) override { replaceHot(block); }
     void onFlush() override;
     std::string name() const override;
     std::uint64_t storageBits() const override;

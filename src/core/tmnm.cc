@@ -25,56 +25,6 @@ Tmnm::Tmnm(const TmnmSpec &spec) : spec_(spec)
                      0);
 }
 
-std::size_t
-Tmnm::cellIndex(std::uint32_t table, BlockAddr block) const
-{
-    std::uint64_t idx =
-        bitSlice(block, tableOffset(table), spec_.index_bits);
-    return static_cast<std::size_t>(table) * table_entries_ +
-           static_cast<std::size_t>(idx);
-}
-
-bool
-Tmnm::definitelyMiss(BlockAddr block) const
-{
-    for (std::uint32_t t = 0; t < spec_.replication; ++t) {
-        if (counters_[cellIndex(t, block)] == 0)
-            return true;
-    }
-    return false;
-}
-
-void
-Tmnm::onPlacement(BlockAddr block)
-{
-    for (std::uint32_t t = 0; t < spec_.replication; ++t) {
-        std::uint8_t &c = counters_[cellIndex(t, block)];
-        if (c < saturation_)
-            ++c;
-        // A saturated counter stays saturated: once 2^bits or more
-        // blocks have mapped here we can no longer track the count.
-    }
-}
-
-void
-Tmnm::onReplacement(BlockAddr block)
-{
-    for (std::uint32_t t = 0; t < spec_.replication; ++t) {
-        std::uint8_t &c = counters_[cellIndex(t, block)];
-        if (c == saturation_) {
-            // Sticky: decrementing a saturated counter could let it
-            // reach zero while blocks remain resident, breaking
-            // soundness (paper Section 3.3).
-            continue;
-        }
-        if (c == 0) {
-            ++anomalies_;
-            continue;
-        }
-        --c;
-    }
-}
-
 void
 Tmnm::onFlush()
 {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/miss_filter.hh"
+#include "util/bits.hh"
 
 namespace mnm
 {
@@ -30,9 +31,56 @@ class Tmnm : public MissFilter
   public:
     explicit Tmnm(const TmnmSpec &spec);
 
-    bool definitelyMiss(BlockAddr block) const override;
-    void onPlacement(BlockAddr block) override;
-    void onReplacement(BlockAddr block) override;
+    /** Non-virtual hot-path bodies; the verdict plan dispatches to
+     *  these directly (core/verdict_plan.hh). The virtual overrides
+     *  forward here so both paths share one implementation. */
+    bool
+    missHot(BlockAddr block) const
+    {
+        for (std::uint32_t t = 0; t < spec_.replication; ++t) {
+            if (counters_[cellIndex(t, block)] == 0)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    placeHot(BlockAddr block)
+    {
+        for (std::uint32_t t = 0; t < spec_.replication; ++t) {
+            std::uint8_t &c = counters_[cellIndex(t, block)];
+            if (c < saturation_)
+                ++c;
+            // A saturated counter stays saturated: once 2^bits or more
+            // blocks have mapped here we can no longer track the count.
+        }
+    }
+
+    void
+    replaceHot(BlockAddr block)
+    {
+        for (std::uint32_t t = 0; t < spec_.replication; ++t) {
+            std::uint8_t &c = counters_[cellIndex(t, block)];
+            if (c == saturation_) {
+                // Sticky: decrementing a saturated counter could let it
+                // reach zero while blocks remain resident, breaking
+                // soundness (paper Section 3.3).
+                continue;
+            }
+            if (c == 0) {
+                ++anomalies_;
+                continue;
+            }
+            --c;
+        }
+    }
+
+    bool definitelyMiss(BlockAddr block) const override
+    {
+        return missHot(block);
+    }
+    void onPlacement(BlockAddr block) override { placeHot(block); }
+    void onReplacement(BlockAddr block) override { replaceHot(block); }
     void onFlush() override;
     std::string name() const override;
     std::uint64_t storageBits() const override;
@@ -61,7 +109,13 @@ class Tmnm : public MissFilter
     unsigned tableOffset(std::uint32_t i) const { return 6 * i; }
 
     std::size_t
-    cellIndex(std::uint32_t table, BlockAddr block) const;
+    cellIndex(std::uint32_t table, BlockAddr block) const
+    {
+        std::uint64_t idx =
+            bitSlice(block, tableOffset(table), spec_.index_bits);
+        return static_cast<std::size_t>(table) * table_entries_ +
+               static_cast<std::size_t>(idx);
+    }
 
     TmnmSpec spec_;
     std::uint32_t table_entries_;

@@ -131,6 +131,15 @@ runFunctional(const HierarchyParams &hierarchy,
               std::uint64_t instructions)
 {
     MemorySimulator sim(hierarchy, mnm);
+    // CI escape hatch: run every cell through the single-step virtual
+    // reference kernel so stdout can be byte-diffed against the
+    // batched verdict-plan path.
+    static const bool reference_kernel = [] {
+        const char *env = std::getenv("MNM_REFERENCE_KERNEL");
+        return env && *env && *env != '0';
+    }();
+    if (reference_kernel)
+        sim.setReferenceKernel(true);
     auto workload = makeSpecWorkload(app);
     std::uint64_t warmup = instructions / 10;
     if (warmup)

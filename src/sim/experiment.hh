@@ -28,6 +28,9 @@
  *                     pool (default: no timeout)
  *   MNM_FAIL_CELL     testing: any cell whose "app · label" contains
  *                     this substring throws on every attempt
+ *   MNM_REFERENCE_KERNEL  set to 1 to run functional cells through
+ *                     the single-step virtual reference kernel (CI
+ *                     byte-diffs it against the batched default)
  *
  * Every knob is validated on parse: a non-numeric or out-of-range
  * value is a one-line fatal() naming the variable, not a silent
@@ -85,6 +88,10 @@ struct ExperimentOptions
  * Run one workload through a fresh functional simulator: a warm-up
  * window (10% of the budget, accounting discarded) followed by the
  * measured window.
+ *
+ * MNM_REFERENCE_KERNEL=1 forces the single-step virtual reference
+ * kernel instead of the batched verdict-plan one -- CI byte-diffs a
+ * bench's stdout across the two to prove the hot path changes nothing.
  */
 MemSimResult runFunctional(const HierarchyParams &hierarchy,
                            const std::optional<MnmSpec> &mnm,

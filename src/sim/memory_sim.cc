@@ -68,29 +68,30 @@ MemorySimulator::request(AccessType type, Addr addr, MemSimResult &result)
     result.miss_cycles += latency - supply_cost;
 
     // Energy: probes split hit/miss; every level under the supplier was
-    // (re)filled on the way back.
+    // (re)filled on the way back. The hot path only counts events; the
+    // per-event energies are multiplied out once at the end of run().
     for (std::uint8_t i = 0; i < access.num_probes; ++i) {
         const ProbeRecord &probe = access.probes[i];
+        CacheEventCounts &ec = event_counts_[probe.cache];
         if (!probe.bypassed) {
-            const PowerDelay &pd = cache_power_[probe.cache];
             if (probe.hit) {
-                result.energy.probe_hit_pj += pd.read_energy_pj;
+                ++ec.probe_hit;
             } else {
-                result.energy.probe_miss_pj += pd.read_energy_pj;
+                ++ec.probe_miss;
             }
         }
-        if (probe.level < access.supply_level) {
-            result.energy.fill_pj +=
-                cache_power_[probe.cache].write_energy_pj;
-        }
+        if (probe.level < access.supply_level)
+            ++ec.fill;
     }
     for (std::uint8_t i = 0; i < access.num_writebacks; ++i) {
         const WritebackRecord &wb = access.writebacks[i];
         // Absorbing dirties a resident copy (a write); passing through
         // still paid a tag probe (charged as a read).
-        result.energy.writeback_pj +=
-            wb.absorbed ? cache_power_[wb.cache].write_energy_pj
-                        : cache_power_[wb.cache].read_energy_pj;
+        if (wb.absorbed) {
+            ++event_counts_[wb.cache].wb_absorbed;
+        } else {
+            ++event_counts_[wb.cache].wb_forwarded;
+        }
     }
 }
 
@@ -100,25 +101,50 @@ MemorySimulator::run(WorkloadGenerator &workload,
 {
     MemSimResult result;
     result.instructions = instructions;
+    event_counts_.assign(hierarchy_.numCaches(), CacheEventCounts());
 
     const Cache &l1i = hierarchy_.cacheAt(1, AccessType::InstFetch);
 
-    Instruction inst;
-    for (std::uint64_t i = 0; i < instructions; ++i) {
-        pollCellDeadline();
-        workload.next(inst);
-        Addr line = l1i.blockAddr(inst.pc);
-        if (line != cur_fetch_line_) {
-            cur_fetch_line_ = line;
-            ++result.fetch_requests;
-            request(AccessType::InstFetch, inst.pc, result);
+    if (reference_kernel_) {
+        // Single-step reference path: one virtual next() per
+        // instruction, exactly the pre-batching kernel.
+        Instruction inst;
+        for (std::uint64_t i = 0; i < instructions; ++i) {
+            pollCellDeadline();
+            workload.next(inst);
+            step(inst, l1i, result);
         }
-        if (inst.isMem()) {
-            ++result.data_requests;
-            request(inst.cls == InstClass::Load ? AccessType::Load
-                                                : AccessType::Store,
-                    inst.mem_addr, result);
+    } else {
+        if (!batch_)
+            batch_ = std::make_unique<InstructionBatch>();
+        std::uint64_t remaining = instructions;
+        while (remaining > 0) {
+            // The watchdog moves from per-instruction to per-batch: at
+            // most ~4096 instructions of extra latency before a cell
+            // deadline is noticed, well inside the second-scale
+            // timeouts MNM_CELL_TIMEOUT_S expresses.
+            pollCellDeadlineBatch();
+            workload.nextBatch(*batch_, remaining);
+            for (const Instruction &inst : *batch_)
+                step(inst, l1i, result);
+            remaining -= batch_->size;
         }
+    }
+
+    // Fold the per-cache event counts into the energy breakdown, one
+    // multiply per counter instead of one add per event.
+    for (CacheId id = 0; id < hierarchy_.numCaches(); ++id) {
+        const PowerDelay &pd = cache_power_[id];
+        const CacheEventCounts &ec = event_counts_[id];
+        result.energy.probe_hit_pj +=
+            static_cast<double>(ec.probe_hit) * pd.read_energy_pj;
+        result.energy.probe_miss_pj +=
+            static_cast<double>(ec.probe_miss) * pd.read_energy_pj;
+        result.energy.fill_pj +=
+            static_cast<double>(ec.fill) * pd.write_energy_pj;
+        result.energy.writeback_pj +=
+            static_cast<double>(ec.wb_absorbed) * pd.write_energy_pj +
+            static_cast<double>(ec.wb_forwarded) * pd.read_energy_pj;
     }
 
     if (mnm_) {
@@ -130,7 +156,7 @@ MemorySimulator::run(WorkloadGenerator &workload,
         result.soundness_violations = mnm_->soundnessViolations();
         result.filter_anomalies = mnm_->filterAnomalies();
         result.mnm_storage_bits = mnm_->storageBits();
-        for (std::uint32_t l = 0; l < DecisionMatrix::max_levels; ++l)
+        for (std::uint32_t l = 0; l < mnm_->violationLevels(); ++l)
             result.decisions.setForbidden(l, mnm_->violationsAtLevel(l));
     }
 
@@ -148,6 +174,14 @@ MemorySimulator::run(WorkloadGenerator &workload,
         result.caches.push_back(snap);
     }
     return result;
+}
+
+void
+MemorySimulator::setReferenceKernel(bool on)
+{
+    reference_kernel_ = on;
+    if (mnm_)
+        mnm_->setReferenceDispatch(on);
 }
 
 } // namespace mnm

@@ -134,17 +134,60 @@ class MemorySimulator
     MemSimResult run(WorkloadGenerator &workload,
                      std::uint64_t instructions);
 
+    /**
+     * Route run() through the single-step workload API and the MNM's
+     * virtual-dispatch reference path instead of the batched verdict
+     * plan. Slow; exists so kernel_equivalence_test can prove the two
+     * kernels produce bit-identical results.
+     */
+    void setReferenceKernel(bool on);
+    bool referenceKernel() const { return reference_kernel_; }
+
     CacheHierarchy &hierarchy() { return hierarchy_; }
     MnmUnit *mnm() { return mnm_ ? mnm_.get() : nullptr; }
 
   private:
+    /** Per-cache hot event counts for one run() window; the per-event
+     *  energies are multiplied out once at the end of run(). */
+    struct CacheEventCounts
+    {
+        std::uint64_t probe_hit = 0;
+        std::uint64_t probe_miss = 0;
+        std::uint64_t fill = 0;
+        std::uint64_t wb_absorbed = 0;  //!< writeback dirtied a copy
+        std::uint64_t wb_forwarded = 0; //!< writeback probed and passed
+    };
+
     /** One request through MNM + hierarchy with full accounting. */
     void request(AccessType type, Addr addr, MemSimResult &result);
+
+    /** One instruction: fetch-line dedup plus the data request. */
+    void
+    step(const Instruction &inst, const Cache &l1i, MemSimResult &result)
+    {
+        Addr line = l1i.blockAddr(inst.pc);
+        if (line != cur_fetch_line_) {
+            cur_fetch_line_ = line;
+            ++result.fetch_requests;
+            request(AccessType::InstFetch, inst.pc, result);
+        }
+        if (inst.isMem()) {
+            ++result.data_requests;
+            request(inst.cls == InstClass::Load ? AccessType::Load
+                                                : AccessType::Store,
+                    inst.mem_addr, result);
+        }
+    }
 
     CacheHierarchy hierarchy_;
     std::unique_ptr<MnmUnit> mnm_;
     /** Per-cache probe/fill energies from the analytical model. */
     std::vector<PowerDelay> cache_power_;
+    std::vector<CacheEventCounts> event_counts_;
+    /** Batch buffer, heap-allocated once (128KB is unkind to stacks
+     *  when runSweep's worker threads run many simulators). */
+    std::unique_ptr<InstructionBatch> batch_;
+    bool reference_kernel_ = false;
     PicoJoules mnm_energy_seen_ = 0.0; //!< consumed total at last drain
     Addr cur_fetch_line_ = invalid_addr;
 };

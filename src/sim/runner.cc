@@ -252,6 +252,21 @@ foldSweepTelemetry(const std::vector<SweepCell> &cells,
         cell_queue.add(
             static_cast<double>(t.start_us - sweep_start_us) / 1000.0);
 
+        // Per-cell kernel throughput. Lives under "runner." (not the
+        // cell's "sweep." prefix) because it is wall-clock derived:
+        // the manifest diff in CI ignores the runner subtree.
+        if (!r.failed && t.dur_us > 0) {
+            std::string label =
+                cell.label.empty() ? "default" : cell.label;
+            stats.setGauge(
+                "runner." + sanitizeMetricSegment(label) + "." +
+                    sanitizeMetricSegment(
+                        ExperimentOptions::shortName(cell.app)) +
+                    ".instr_per_sec",
+                static_cast<double>(r.instructions) * 1e6 /
+                    static_cast<double>(t.dur_us));
+        }
+
         if (traceFileEnabled()) {
             std::string name = ExperimentOptions::shortName(cell.app);
             if (!cell.label.empty())

@@ -13,6 +13,7 @@
 #ifndef MNM_TRACE_INSTRUCTION_HH
 #define MNM_TRACE_INSTRUCTION_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/types.hh"
@@ -56,6 +57,27 @@ struct Instruction
         return cls == InstClass::Load || cls == InstClass::Store;
     }
     bool isBranch() const { return cls == InstClass::Branch; }
+};
+
+/**
+ * A flat, fixed-capacity buffer of decoded instructions: the unit of
+ * the batch streaming API (WorkloadGenerator::nextBatch). Filling a
+ * whole batch through one virtual call keeps the per-instruction
+ * virtual dispatch and the generator's branchy decode out of the
+ * simulators' inner loops.
+ */
+struct InstructionBatch
+{
+    static constexpr std::size_t capacity = 4096;
+
+    Instruction records[capacity];
+    /** Valid records in this batch (always > 0 after a fill). */
+    std::size_t size = 0;
+
+    Instruction *begin() { return records; }
+    Instruction *end() { return records + size; }
+    const Instruction *begin() const { return records; }
+    const Instruction *end() const { return records + size; }
 };
 
 } // namespace mnm

@@ -201,4 +201,13 @@ SyntheticWorkload::next(Instruction &out)
     return;
 }
 
+void
+SyntheticWorkload::nextBatch(InstructionBatch &batch, std::size_t max)
+{
+    std::size_t n = std::min(max, InstructionBatch::capacity);
+    for (std::size_t i = 0; i < n; ++i)
+        SyntheticWorkload::next(batch.records[i]);
+    batch.size = n;
+}
+
 } // namespace mnm

@@ -93,6 +93,7 @@ class SyntheticWorkload : public WorkloadGenerator
     explicit SyntheticWorkload(const SyntheticParams &params);
 
     void next(Instruction &out) override;
+    void nextBatch(InstructionBatch &batch, std::size_t max) override;
     void reset() override;
     std::string name() const override { return params_.name; }
 

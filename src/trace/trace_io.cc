@@ -1,5 +1,6 @@
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -121,6 +122,17 @@ TraceReader::next(Instruction &out)
 {
     out = trace_[pos_];
     pos_ = (pos_ + 1) % trace_.size();
+}
+
+void
+TraceReader::nextBatch(InstructionBatch &batch, std::size_t max)
+{
+    std::size_t n = std::min(max, InstructionBatch::capacity);
+    for (std::size_t i = 0; i < n; ++i) {
+        batch.records[i] = trace_[pos_];
+        pos_ = (pos_ + 1) % trace_.size();
+    }
+    batch.size = n;
 }
 
 } // namespace mnm

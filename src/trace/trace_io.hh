@@ -53,6 +53,7 @@ class TraceReader : public WorkloadGenerator
     explicit TraceReader(const std::string &path);
 
     void next(Instruction &out) override;
+    void nextBatch(InstructionBatch &batch, std::size_t max) override;
     void reset() override { pos_ = 0; }
     std::string name() const override { return name_; }
 

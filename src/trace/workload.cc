@@ -1,9 +1,20 @@
 #include "trace/workload.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace mnm
 {
+
+void
+WorkloadGenerator::nextBatch(InstructionBatch &batch, std::size_t max)
+{
+    std::size_t n = std::min(max, InstructionBatch::capacity);
+    for (std::size_t i = 0; i < n; ++i)
+        next(batch.records[i]);
+    batch.size = n;
+}
 
 ScriptedWorkload::ScriptedWorkload(std::vector<Instruction> script,
                                    std::string name)
@@ -18,6 +29,15 @@ ScriptedWorkload::next(Instruction &out)
 {
     out = script_[pos_];
     pos_ = (pos_ + 1) % script_.size();
+}
+
+void
+ScriptedWorkload::nextBatch(InstructionBatch &batch, std::size_t max)
+{
+    std::size_t n = std::min(max, InstructionBatch::capacity);
+    for (std::size_t i = 0; i < n; ++i)
+        ScriptedWorkload::next(batch.records[i]);
+    batch.size = n;
 }
 
 UniformRandomWorkload::UniformRandomWorkload(std::uint64_t footprint_bytes,
@@ -50,6 +70,15 @@ UniformRandomWorkload::next(Instruction &out)
     }
     out.mem_addr = 0x40000000ull + (rng_.nextBelow(footprint_) & ~7ull);
     out.dep1 = static_cast<std::uint16_t>(rng_.nextBelow(8));
+}
+
+void
+UniformRandomWorkload::nextBatch(InstructionBatch &batch, std::size_t max)
+{
+    std::size_t n = std::min(max, InstructionBatch::capacity);
+    for (std::size_t i = 0; i < n; ++i)
+        UniformRandomWorkload::next(batch.records[i]);
+    batch.size = n;
 }
 
 void

@@ -27,6 +27,15 @@ class WorkloadGenerator
     /** Produce the next instruction into @p out. */
     virtual void next(Instruction &out) = 0;
 
+    /**
+     * Fill @p batch with the next min(@p max, capacity) instructions
+     * of the stream -- the exact sequence @p max calls of next() would
+     * produce, through a single virtual call. The base implementation
+     * loops next(); generators override it with a tight non-virtual
+     * loop so the simulators' inner loops stay dispatch-free.
+     */
+    virtual void nextBatch(InstructionBatch &batch, std::size_t max);
+
     /** Restart the stream from the beginning (same sequence again). */
     virtual void reset() = 0;
 
@@ -42,6 +51,7 @@ class ScriptedWorkload : public WorkloadGenerator
                               std::string name = "scripted");
 
     void next(Instruction &out) override;
+    void nextBatch(InstructionBatch &batch, std::size_t max) override;
     void reset() override { pos_ = 0; }
     std::string name() const override { return name_; }
 
@@ -64,6 +74,7 @@ class UniformRandomWorkload : public WorkloadGenerator
                           double store_frac, std::uint64_t seed = 1);
 
     void next(Instruction &out) override;
+    void nextBatch(InstructionBatch &batch, std::size_t max) override;
     void reset() override;
     std::string name() const override { return "uniform-random"; }
 

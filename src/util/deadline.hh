@@ -87,6 +87,20 @@ pollCellDeadline()
     detail::pollDeadlineSlow();
 }
 
+/**
+ * Batch-granularity check: consults the clock on every call when a
+ * deadline is armed. For loops where one call already covers thousands
+ * of simulated instructions (MemorySimulator's batched kernel), where
+ * the per-instruction tick divider above would make expiry detection
+ * needlessly lazy. One clock read per ~4096 instructions is noise.
+ */
+inline void
+pollCellDeadlineBatch()
+{
+    if (detail::deadlineState().armed)
+        detail::pollDeadlineSlow();
+}
+
 } // namespace mnm
 
 #endif // MNM_UTIL_DEADLINE_HH

@@ -20,12 +20,6 @@ splitMix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // anonymous namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -33,65 +27,6 @@ Rng::Rng(std::uint64_t seed)
     std::uint64_t x = seed;
     for (auto &word : s_)
         word = splitMix64(x);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextBelow(std::uint64_t bound)
-{
-    MNM_ASSERT(bound != 0, "nextBelow(0)");
-    // Lemire's nearly-divisionless bounded draw; the slight modulo bias of
-    // the simple fallback is irrelevant at 64-bit width.
-    return next() % bound;
-}
-
-std::uint64_t
-Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
-{
-    MNM_ASSERT(lo <= hi, "nextRange with lo > hi");
-    return lo + nextBelow(hi - lo + 1);
-}
-
-double
-Rng::nextDouble()
-{
-    // 53 high bits -> [0,1) double.
-    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
-}
-
-std::uint64_t
-Rng::nextGeometric(double mean)
-{
-    if (mean <= 0.0)
-        return 0;
-    double u = nextDouble();
-    // Inverse-CDF of geometric with success prob 1/(mean+1).
-    double p = 1.0 / (mean + 1.0);
-    double v = std::log1p(-u) / std::log1p(-p);
-    if (v < 0.0)
-        v = 0.0;
-    if (v > 1e12)
-        v = 1e12;
-    return static_cast<std::uint64_t>(v);
 }
 
 double

@@ -11,12 +11,23 @@
 #ifndef MNM_UTIL_RANDOM_HH
 #define MNM_UTIL_RANDOM_HH
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
+
+#include "util/logging.hh"
 
 namespace mnm
 {
 
-/** A deterministic xoshiro256** pseudo-random generator. */
+/** A deterministic xoshiro256** pseudo-random generator.
+ *
+ *  The draw functions are inline: workload generation sits on the
+ *  simulator's hot path and draws several values per synthesized
+ *  instruction, so out-of-line calls here are measurable against the
+ *  whole kernel. Inlining changes no arithmetic -- streams stay exactly
+ *  reproducible.
+ */
 class Rng
 {
   public:
@@ -24,25 +35,70 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform integer in [0, bound) (bound must be nonzero). */
-    std::uint64_t nextBelow(std::uint64_t bound);
+    std::uint64_t nextBelow(std::uint64_t bound)
+    {
+        MNM_ASSERT(bound != 0, "nextBelow(0)");
+        // Lemire's nearly-divisionless bounded draw; the slight modulo
+        // bias of the simple fallback is irrelevant at 64-bit width.
+        return next() % bound;
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        MNM_ASSERT(lo <= hi, "nextRange with lo > hi");
+        return lo + nextBelow(hi - lo + 1);
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double nextDouble()
+    {
+        // 53 high bits -> [0,1) double.
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
 
     /** Bernoulli draw with probability @p p of true. */
-    bool nextBool(double p);
+    bool nextBool(double p) { return nextDouble() < p; }
 
     /**
      * Draw from a (clamped) geometric distribution with mean ~@p mean.
      * Used for dependency distances and region dwell times.
      */
-    std::uint64_t nextGeometric(double mean);
+    std::uint64_t nextGeometric(double mean)
+    {
+        if (mean <= 0.0)
+            return 0;
+        double u = nextDouble();
+        // Inverse-CDF of geometric with success prob 1/(mean+1). The
+        // denominator depends only on the mean, which is constant per
+        // workload phase; one cached log1p replaces millions.
+        double p = 1.0 / (mean + 1.0);
+        if (mean != geo_mean_) {
+            geo_mean_ = mean;
+            geo_log1p_ = std::log1p(-p);
+        }
+        double v = std::log1p(-u) / geo_log1p_;
+        if (v < 0.0)
+            v = 0.0;
+        if (v > 1e12)
+            v = 1e12;
+        return static_cast<std::uint64_t>(v);
+    }
 
     /** Standard-normal variate (Box-Muller). */
     double nextGaussian();
@@ -51,7 +107,16 @@ class Rng
     Rng split();
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
+    /** nextGeometric()'s memoized log1p(-1/(mean+1)) for this mean.
+     *  NaN compares unequal to everything, forcing the first fill. */
+    double geo_mean_ = std::numeric_limits<double>::quiet_NaN();
+    double geo_log1p_ = 0.0;
 };
 
 } // namespace mnm

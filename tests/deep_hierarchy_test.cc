@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "core/fault_inject.hh"
 #include "core/presets.hh"
 #include "cpu/ooo_core.hh"
 #include "sim/config.hh"
@@ -138,6 +141,84 @@ TEST(DeepHierarchyTest, DistributedPlacementScalesDelayWithDepth)
     double d7 = extra_cycles(7);
     EXPECT_TRUE(std::isfinite(d3));
     EXPECT_TRUE(std::isfinite(d7));
+}
+
+/** An all-unified tower deeper than anything the paper plots: tiny
+ *  upper levels so blocks spill downward, and a last level roomy
+ *  enough to keep (part of) the warmed working set resident. */
+HierarchyParams
+towerHierarchy(std::uint32_t levels)
+{
+    HierarchyParams params;
+    params.memory_latency = 400;
+    for (std::uint32_t l = 1; l <= levels; ++l) {
+        LevelParams lvl;
+        lvl.data.name = "u" + std::to_string(l);
+        lvl.data.capacity_bytes = l == levels ? 16 * 1024 : 2 * 1024;
+        lvl.data.associativity = l == levels ? 4u : 1u;
+        lvl.data.block_bytes = 32;
+        lvl.data.hit_latency = static_cast<Cycles>(2 * l);
+        params.levels.push_back(lvl);
+    }
+    return params;
+}
+
+TEST(DeepHierarchyTest, ViolationCountersReachPastOldSixteenLevelCap)
+{
+    // violations_at_ used to be a fixed 16-slot array, so a violation
+    // at level >= 16 was silently dropped and the per-level breakdown
+    // under-reported the total. The counters are now sized from the
+    // attached hierarchy; prove it by forcing violations at level 17.
+    constexpr std::uint32_t depth = 17;
+    constexpr std::uint64_t warm = 60000;
+    MnmSpec spec = makeUniformSpec(TmnmSpec{10, 2, 3});
+    spec.oracle_check = true;
+    MemorySimulator sim(towerHierarchy(depth), spec);
+    auto workload = makeSpecWorkload("164.gzip");
+    sim.run(*workload, warm);
+    MnmUnit &unit = *sim.mnm();
+    ASSERT_EQ(unit.violationLevels(), depth + 1);
+
+    // The warmed run's data addresses, replayed as probe targets.
+    std::vector<Addr> addrs;
+    {
+        auto replay = makeSpecWorkload("164.gzip");
+        Instruction inst;
+        for (std::uint64_t i = 0; i < warm; ++i) {
+            replay->next(inst);
+            if (inst.isMem())
+                addrs.push_back(inst.mem_addr);
+        }
+    }
+    ASSERT_FALSE(addrs.empty());
+    for (Addr addr : addrs)
+        unit.computeBypass(AccessType::Load, addr);
+    std::uint64_t baseline = unit.soundnessViolations();
+
+    // Corrupt only the deepest filter (the last surface: per-cache
+    // filters enumerate by cache id). Zeroing every count==1 sticky
+    // counter turns "resident at the bottom level" into "definitely
+    // miss", which the oracle check must count at level 17, not drop.
+    auto surfaces = FaultInjector::faultSurfaces(unit);
+    ASSERT_FALSE(surfaces.empty());
+    std::size_t deepest = surfaces.size() - 1;
+    for (std::uint64_t bit = 0; bit < surfaces[deepest].bits; bit += 3)
+        FaultInjector::flip(unit, deepest, bit);
+    for (Addr addr : addrs)
+        unit.computeBypass(AccessType::Load, addr);
+    for (std::uint64_t bit = 0; bit < surfaces[deepest].bits; bit += 3)
+        FaultInjector::flip(unit, deepest, bit);
+
+    EXPECT_GT(unit.soundnessViolations(), baseline);
+    EXPECT_GT(unit.violationsAtLevel(depth), 0u);
+    // Only the corrupted level's counter moved, and the per-level
+    // breakdown accounts for every counted violation.
+    for (std::uint32_t l = 0; l < depth; ++l)
+        EXPECT_EQ(unit.violationsAtLevel(l), 0u) << "level " << l;
+    std::uint64_t sum = 0;
+    for (std::uint32_t l = 0; l < unit.violationLevels(); ++l)
+        sum += unit.violationsAtLevel(l);
+    EXPECT_EQ(sum, unit.soundnessViolations());
 }
 
 } // anonymous namespace

@@ -214,10 +214,8 @@ TEST(FaultInjectionTest, CorruptionIsNeverSilentlyUnsound)
         // reports the same totals through MemSimResult / the forbidden
         // confusion-matrix cells.
         std::uint64_t by_level = 0;
-        for (std::uint32_t l = 0; l < MnmUnit::max_violation_levels;
-             ++l) {
+        for (std::uint32_t l = 0; l < unit.violationLevels(); ++l)
             by_level += unit.violationsAtLevel(l);
-        }
         EXPECT_EQ(by_level, unit.soundnessViolations());
 
         MemSimResult window = sim.run(*workload, 10000);

@@ -17,6 +17,8 @@ usage: tools/extract_results.py bench_output.txt [outdir]
        tools/extract_results.py --stats run.json bench_output.txt [outdir]
        tools/extract_results.py --diff a.json b.json
        tools/extract_results.py --journal checkpoint.jsonl
+       tools/extract_results.py --perf [--baseline BENCH_kernel.json] \
+                                file...
 
 With --stats, every extracted coverage table is cross-checked against
 the MNM_STATS_JSON run manifest: each printed percentage must match the
@@ -37,6 +39,16 @@ With --journal, an MNM_CHECKPOINT journal is summarized: schema,
 completed-cell count, total journaled instructions, and any torn or
 foreign lines (reported, never fatal -- a truncated tail is exactly
 what the journal is designed to survive).
+
+With --perf, each input is either a kernel-bench summary (schema
+mnm-kernel-bench-v1, written by bench_kernel_throughput under
+MNM_BENCH_JSON) or an MNM_STATS_JSON run manifest. Summaries print
+their per-config instructions/sec; with --baseline, each config shared
+with the committed baseline is compared and any throughput drop beyond
+20% fails the run (CI's Release-build regression gate). Manifests print
+every per-cell metrics.runner.*.instr_per_sec gauge; manifests from
+older schema revisions simply have none, which is reported but never an
+error.
 
 Truncated or malformed JSON inputs are reported as such with a
 non-zero exit; the tool never dies with a traceback on a partial file.
@@ -204,6 +216,105 @@ def run_diff(path_a, path_b) -> int:
     return 0
 
 
+#: Schema tag written by bench_kernel_throughput under MNM_BENCH_JSON.
+KERNEL_BENCH_SCHEMA = "mnm-kernel-bench-v1"
+
+#: CI's Release-job gate: a config may lose at most this fraction of
+#: its committed-baseline throughput before the run fails.
+PERF_REGRESSION_LIMIT = 0.20
+
+
+def perf_configs(doc):
+    """{config: instr_per_sec} from a kernel-bench summary, skipping
+    malformed or non-positive cells rather than dying on them."""
+    out = {}
+    for name, cell in doc.get("configs", {}).items():
+        ips = cell.get("instr_per_sec") if isinstance(cell, dict) else None
+        if isinstance(ips, (int, float)) and ips > 0:
+            out[name] = float(ips)
+    return out
+
+
+def manifest_throughput(doc):
+    """Flattened per-cell instr_per_sec gauges from a run manifest's
+    metrics.runner subtree. Manifests from schema revisions that
+    predate the gauge simply yield nothing."""
+    rows = []
+
+    def walk(node, path):
+        if isinstance(node, dict):
+            for key in sorted(node):
+                walk(node[key], path + [key])
+        elif (path and path[-1] == "instr_per_sec"
+              and isinstance(node, (int, float))):
+            rows.append((".".join(path[:-1]), float(node)))
+
+    walk(doc.get("metrics", {}).get("runner", {}), [])
+    return rows
+
+
+def run_perf(baseline_path, paths) -> int:
+    """Print throughput summaries; gate against the baseline if given.
+    Returns non-zero on unreadable inputs or a gated regression."""
+    baseline = None
+    if baseline_path is not None:
+        doc = load_json(baseline_path, "baseline")
+        if doc is None:
+            return 1
+        baseline = perf_configs(doc)
+        if not baseline:
+            print(f"baseline {baseline_path} holds no usable configs",
+                  file=sys.stderr)
+            return 1
+
+    status = 0
+    for path in paths:
+        doc = load_json(path, "perf input")
+        if doc is None:
+            return 1
+        if doc.get("schema") == KERNEL_BENCH_SCHEMA:
+            configs = perf_configs(doc)
+            print(f"{path}: kernel bench, app {doc.get('app', '?')}, "
+                  f"{doc.get('instructions', '?')} instructions/config")
+            for name, ips in configs.items():
+                line = f"  {name:<16} {ips:14.0f} instr/sec"
+                if baseline is not None and name in baseline:
+                    ratio = ips / baseline[name]
+                    line += f"  ({ratio:.2f}x of baseline)"
+                    if ratio < 1.0 - PERF_REGRESSION_LIMIT:
+                        line += "  REGRESSION"
+                        status = 1
+                elif baseline is not None:
+                    line += "  (no baseline entry)"
+                print(line)
+            if baseline is not None:
+                for name in sorted(set(baseline) - set(configs)):
+                    # A vanished config is suspicious but not gated:
+                    # baselines may carry configs a trimmed run skips.
+                    print(f"  {name:<16} missing from this run "
+                          f"(baseline has it)", file=sys.stderr)
+        elif "metrics" in doc:
+            rows = manifest_throughput(doc)
+            if rows:
+                print(f"{path}: {len(rows)} per-cell throughput "
+                      f"gauges")
+                for cell, ips in rows:
+                    print(f"  {cell:<40} {ips:14.0f} instr/sec")
+            else:
+                print(f"{path}: no per-cell instr_per_sec gauges "
+                      f"(manifest predates the field); nothing to "
+                      f"print")
+        else:
+            print(f"{path}: neither a kernel-bench summary nor a run "
+                  f"manifest", file=sys.stderr)
+            return 1
+    if baseline is not None and status:
+        print(f"throughput regression beyond "
+              f"{PERF_REGRESSION_LIMIT:.0%} of {baseline_path}",
+              file=sys.stderr)
+    return status
+
+
 #: Schema tag written by sim/recovery.cc (CheckpointJournal::schema).
 JOURNAL_SCHEMA = "mnm-checkpoint-v1"
 
@@ -273,6 +384,19 @@ def main() -> int:
             print(__doc__, file=sys.stderr)
             return 1
         return run_journal(args[1])
+    if args[:1] == ["--perf"]:
+        args = args[1:]
+        baseline = None
+        if args[:1] == ["--baseline"]:
+            if len(args) < 2:
+                print(__doc__, file=sys.stderr)
+                return 1
+            baseline = args[1]
+            args = args[2:]
+        if not args:
+            print(__doc__, file=sys.stderr)
+            return 1
+        return run_perf(baseline, args)
 
     stats_path = None
     if args[:1] == ["--stats"]:
