@@ -1,25 +1,47 @@
 /**
  * @file
  * Simulation-kernel throughput: functional-mode instructions per second
- * for representative MNM configurations on the paper's 5-level machine.
+ * for representative MNM configurations on the paper's 5-level machine,
+ * with one cell per SIMD backend where the backend matters.
  *
  * This bench measures the simulator, not the simulated machine: its
  * numbers are wall-clock dependent and NOT byte-stable across runs, so
  * it is deliberately excluded from the CI byte-diff that guards every
  * other bench. It seeds and guards the kernel's performance trajectory
  * instead: with MNM_BENCH_JSON=<path> it writes a machine-readable
- * summary (schema mnm-kernel-bench-v1), which CI's Release job compares
+ * summary (schema mnm-kernel-bench-v2), which CI's Release job compares
  * against the committed BENCH_kernel.json baseline via
  * tools/extract_results.py --perf.
  *
- * Knobs: MNM_INSTRUCTIONS (measured window per config), MNM_APPS (the
- * first named workload drives the measurement; default 164.gzip), and
- * MNM_BENCH_JSON (summary path; unset = table only).
+ * Backends are reported under ROLE names, not ISA names: "off" (the
+ * legacy per-access plan walk), "scalar-soa", and "native" (whatever
+ * vector ISA this machine runs -- AVX2, NEON, or scalar-soa again when
+ * neither exists; the summary records the resolution). Role names keep
+ * one committed baseline comparable across recording and CI machines
+ * with different ISAs.
+ *
+ * Methodology: every (config, backend) cell owns one simulator; after
+ * a warm-up run, the cell is measured in MNM_BENCH_ROUNDS consecutive
+ * rounds of MNM_INSTRUCTIONS each and reports its best round (minimum
+ * time). Rounds run back-to-back per cell -- interleaving cells would
+ * evict each cell's tag arrays and filter tables from the LLC between
+ * its rounds, measuring the machine's cache size instead of the
+ * kernel -- and min-time is the standard robust throughput estimator
+ * under external noise: slowdowns from host contention are one-sided,
+ * so the fastest observed round is the closest to the kernel's true
+ * cost.
+ *
+ * Knobs: MNM_INSTRUCTIONS (measured window per round), MNM_BENCH_ROUNDS
+ * (rounds; default 5), MNM_APPS (the first named workload drives the
+ * measurement; default 164.gzip), and MNM_BENCH_JSON (summary path;
+ * unset = table only).
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +50,7 @@
 #include "sim/experiment.hh"
 #include "sim/memory_sim.hh"
 #include "trace/spec2000.hh"
+#include "util/cpu.hh"
 #include "util/logging.hh"
 
 using namespace mnm;
@@ -40,40 +63,64 @@ struct KernelConfig
 {
     const char *label;
     bool mnm_enabled;
+    /** Measure one cell per backend role? The bare hierarchy has no
+     *  verdicts at all and the perfect oracle's verdicts are cache
+     *  probes every backend serves with the same scalar pass, so both
+     *  report a single "n/a" cell. */
+    bool per_backend;
 };
 
 constexpr KernelConfig kernel_configs[] = {
-    {"off", false},         //!< bare hierarchy: the kernel floor
-    {"RMNM_2048_4", true},  //!< shared replacement tracker only
-    {"TMNM_13x2", true},    //!< per-cache counting tables
-    {"HMNM4", true},        //!< the paper's widest hybrid (headline)
-    {"Perfect", true},      //!< oracle: contains() per level, no filters
+    {"off", false, false},        //!< bare hierarchy: the kernel floor
+    {"RMNM_2048_4", true, true},  //!< shared replacement tracker only
+    {"TMNM_13x2", true, true},    //!< per-cache counting tables
+    {"HMNM4", true, true},        //!< the paper's widest hybrid (headline)
+    {"Perfect", true, false},     //!< oracle: contains(), no filters
+};
+
+/** Backend roles a per-backend config is measured under. */
+struct BackendRole
+{
+    const char *role;
+    SimdBackend backend;
+};
+
+/** One (config, backend) measurement cell and its live simulator. */
+struct Cell
+{
+    std::string config;
+    std::string backend_role; //!< "off" / "scalar-soa" / "native" / "n/a"
+    std::unique_ptr<MemorySimulator> sim;
+    std::unique_ptr<WorkloadGenerator> workload;
+    double best_instr_per_sec = 0.0;
 };
 
 double
-measureInstrPerSec(const std::string &app, const KernelConfig &config,
-                   std::uint64_t instructions)
+measureWindow(Cell &cell, std::uint64_t instructions)
 {
-    std::optional<MnmSpec> spec;
-    if (config.mnm_enabled)
-        spec = mnmSpecByName(config.label);
-    MemorySimulator sim(paperHierarchy(5), spec);
-    std::unique_ptr<WorkloadGenerator> workload = makeSpecWorkload(app);
-
-    // Warm the caches and filters outside the timed window, mirroring
-    // runFunctional()'s 10% warm-up discipline.
-    sim.run(*workload, instructions / 10);
-
     auto start = std::chrono::steady_clock::now();
-    MemSimResult result = sim.run(*workload, instructions);
+    MemSimResult result = cell.sim->run(*cell.workload, instructions);
     auto stop = std::chrono::steady_clock::now();
-
     double seconds =
         std::chrono::duration<double>(stop - start).count();
     if (seconds <= 0.0)
         fatal("kernel bench measured a non-positive interval; raise "
               "MNM_INSTRUCTIONS");
     return static_cast<double>(result.instructions) / seconds;
+}
+
+std::uint64_t
+roundsFromEnv()
+{
+    const char *value = std::getenv("MNM_BENCH_ROUNDS");
+    if (!value || !*value)
+        return 5;
+    char *end = nullptr;
+    unsigned long long rounds = std::strtoull(value, &end, 10);
+    if (!end || *end || rounds == 0)
+        fatal("MNM_BENCH_ROUNDS must be a positive integer, got '%s'",
+              value);
+    return rounds;
 }
 
 } // anonymous namespace
@@ -83,17 +130,58 @@ main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
     std::string app = opts.apps.empty() ? "164.gzip" : opts.apps.front();
+    const std::uint64_t rounds = roundsFromEnv();
+    const SimdBackend native = nativeSimdBackend();
 
-    std::printf("== Kernel throughput (%s, %llu instructions/config) ==\n",
-                app.c_str(),
-                static_cast<unsigned long long>(opts.instructions));
-    std::printf("%-12s  %14s\n", "config", "instr_per_sec");
+    const BackendRole roles[] = {
+        {"off", SimdBackend::Off},
+        {"scalar-soa", SimdBackend::ScalarSoa},
+        {"native", native},
+    };
 
-    std::vector<std::pair<std::string, double>> rows;
+    std::vector<Cell> cells;
     for (const KernelConfig &config : kernel_configs) {
-        double ips = measureInstrPerSec(app, config, opts.instructions);
-        rows.emplace_back(config.label, ips);
-        std::printf("%-12s  %14.0f\n", config.label, ips);
+        std::size_t num_roles =
+            config.per_backend ? std::size(roles) : 1;
+        for (std::size_t r = 0; r < num_roles; ++r) {
+            Cell cell;
+            cell.config = config.label;
+            cell.backend_role =
+                config.per_backend ? roles[r].role : "n/a";
+            std::optional<MnmSpec> spec;
+            if (config.mnm_enabled)
+                spec = mnmSpecByName(config.label);
+            cell.sim = std::make_unique<MemorySimulator>(
+                paperHierarchy(5), spec);
+            if (config.per_backend)
+                cell.sim->mnm()->setSimdBackend(roles[r].backend);
+            cell.workload = makeSpecWorkload(app);
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    for (Cell &cell : cells) {
+        // Warm the cell's caches and filters outside the timed rounds,
+        // mirroring runFunctional()'s 10% warm-up discipline.
+        cell.sim->run(*cell.workload, opts.instructions / 10);
+        for (std::uint64_t round = 0; round < rounds; ++round) {
+            double ips = measureWindow(cell, opts.instructions);
+            if (ips > cell.best_instr_per_sec)
+                cell.best_instr_per_sec = ips;
+        }
+    }
+
+    std::printf("== Kernel throughput (%s, %llu instructions/round, "
+                "best of %llu rounds) ==\n",
+                app.c_str(),
+                static_cast<unsigned long long>(opts.instructions),
+                static_cast<unsigned long long>(rounds));
+    std::printf("%-12s  %-12s  %14s\n", "config", "backend",
+                "instr_per_sec");
+    for (const Cell &cell : cells) {
+        std::printf("%-12s  %-12s  %14.0f\n", cell.config.c_str(),
+                    cell.backend_role.c_str(),
+                    cell.best_instr_per_sec);
     }
 
     const char *json_path = std::getenv("MNM_BENCH_JSON");
@@ -101,15 +189,31 @@ main()
         std::FILE *f = std::fopen(json_path, "w");
         if (!f)
             fatal("cannot write MNM_BENCH_JSON file '%s'", json_path);
-        std::fprintf(f, "{\n  \"schema\": \"mnm-kernel-bench-v1\",\n");
+        std::fprintf(f, "{\n  \"schema\": \"mnm-kernel-bench-v2\",\n");
         std::fprintf(f, "  \"app\": \"%s\",\n", app.c_str());
         std::fprintf(f, "  \"instructions\": %llu,\n",
                      static_cast<unsigned long long>(opts.instructions));
+        std::fprintf(f, "  \"rounds\": %llu,\n",
+                     static_cast<unsigned long long>(rounds));
+        std::fprintf(f, "  \"estimator\": \"best-of-rounds\",\n");
+        std::fprintf(f, "  \"native_backend\": \"%s\",\n",
+                     simdBackendName(native));
         std::fprintf(f, "  \"configs\": {\n");
-        for (std::size_t i = 0; i < rows.size(); ++i) {
-            std::fprintf(f, "    \"%s\": {\"instr_per_sec\": %.0f}%s\n",
-                         rows[i].first.c_str(), rows[i].second,
-                         i + 1 < rows.size() ? "," : "");
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            bool open = i == 0 || cells[i].config != cells[i - 1].config;
+            bool close = i + 1 == cells.size() ||
+                         cells[i + 1].config != cells[i].config;
+            if (open)
+                std::fprintf(f, "    \"%s\": {\n",
+                             cells[i].config.c_str());
+            std::fprintf(f, "      \"%s\": {\"instr_per_sec\": %.0f}%s\n",
+                         cells[i].backend_role.c_str(),
+                         cells[i].best_instr_per_sec,
+                         close ? "" : ",");
+            if (close) {
+                std::fprintf(f, "    }%s\n",
+                             i + 1 == cells.size() ? "" : ",");
+            }
         }
         std::fprintf(f, "  }\n}\n");
         std::fclose(f);

@@ -76,6 +76,8 @@ CacheHierarchy::access(AccessType type, Addr addr, const BypassMask &bypass)
         ProbeRecord rec;
         rec.cache = id;
         rec.level = static_cast<std::uint8_t>(level);
+        rec.bypassed = false;
+        rec.hit = false;
         if (bypass.test(id)) {
             // MNM said "miss": skip the structure entirely. The verdict
             // machinery guarantees the block is absent (soundness), so

@@ -98,6 +98,11 @@ class CacheEventListener
 class BypassMask
 {
   public:
+    BypassMask() = default;
+    /** Adopt a raw verdict bit vector (bit i = cache id i); the SoA
+     *  kernels compute whole masks at once rather than bit by bit. */
+    explicit BypassMask(std::uint32_t raw) : mask_(raw) {}
+
     void set(CacheId id) { mask_ |= (1u << id); }
     bool test(CacheId id) const { return (mask_ >> id) & 1u; }
     void clear() { mask_ = 0; }
@@ -107,21 +112,25 @@ class BypassMask
     std::uint32_t mask_ = 0;
 };
 
-/** What happened at one cache during an access. */
+/** What happened at one cache during an access. No default member
+ *  initializers: AccessResult embeds arrays of these, and zeroing the
+ *  full arrays per access would cost more than the access itself for
+ *  L1 hits. Only entries below num_probes/num_writebacks are written
+ *  and read. */
 struct ProbeRecord
 {
-    CacheId cache = 0;
-    std::uint8_t level = 0;
-    bool bypassed = false;
-    bool hit = false;
+    CacheId cache;
+    std::uint8_t level;
+    bool bypassed;
+    bool hit;
 };
 
 /** One hop of a writeback chain triggered by this access. */
 struct WritebackRecord
 {
-    CacheId cache = 0;
+    CacheId cache;
     /** The block was found and dirtied here (chain ends). */
-    bool absorbed = false;
+    bool absorbed;
 };
 
 /** Outcome of one hierarchy access. */

@@ -141,12 +141,13 @@ Cmnm::placeHot(BlockAddr block)
     std::uint32_t reg = registerForPlacement(prefixOf(block));
     stickyIncrement(cellIndex(reg, block));
     if (spec_.policy == CmnmMaskPolicy::Monotone) {
-        auto [it, fresh] = placed_reg_.emplace(block, reg);
+        bool fresh = false;
+        std::uint32_t &attached = placed_reg_.insert(block, fresh);
         if (!fresh) {
             // Double placement without replacement: warm-attach only.
             ++anomalies_;
-            it->second = reg;
         }
+        attached = reg;
     }
 }
 
@@ -154,13 +155,13 @@ void
 Cmnm::replaceHot(BlockAddr block)
 {
     if (spec_.policy == CmnmMaskPolicy::Monotone) {
-        auto it = placed_reg_.find(block);
-        if (it == placed_reg_.end()) {
+        const std::uint32_t *attached = placed_reg_.find(block);
+        if (!attached) {
             ++anomalies_;
             return;
         }
-        stickyDecrement(cellIndex(it->second, block));
-        placed_reg_.erase(it);
+        stickyDecrement(cellIndex(*attached, block));
+        placed_reg_.erase(block);
         return;
     }
     // PaperReset: decrement whichever register matches now; if the masks

@@ -30,10 +30,10 @@
 #define MNM_CORE_CMNM_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/miss_filter.hh"
+#include "util/flatmap.hh"
 
 namespace mnm
 {
@@ -107,11 +107,10 @@ class Cmnm : public MissFilter
     /** Total mask widenings performed (diagnostic). */
     std::uint64_t maskWidenings() const { return widenings_; }
 
-  private:
-    /** Injectable bits per virtual-tag register (16 prefix + valid). */
-    static constexpr std::uint64_t register_fault_bits = 17;
-
-    /** One virtual-tag register. */
+    /** One virtual-tag register. Public so the SoA verdict program can
+     *  borrow the live register file and run the Monotone CAM walk
+     *  inline (core/soa_state.hh) instead of calling back in here per
+     *  lane. */
     struct VtagRegister
     {
         /** Upper bits of the block address at allocation (block >> m). */
@@ -121,11 +120,22 @@ class Cmnm : public MissFilter
         bool valid = false;
     };
 
+    /** widen can legitimately reach 64; plain >> would be UB there. */
     static std::uint64_t
     shiftRight(std::uint64_t v, std::uint32_t s)
     {
         return s >= 64 ? 0 : v >> s;
     }
+
+    /** Live register file / counter table, borrowed by the SoA
+     *  program. Neither reallocates after construction (onFlush
+     *  rewrites in place), so the pointers are stable. */
+    const VtagRegister *registerTable() const { return registers_.data(); }
+    const std::uint8_t *counterTable() const { return counters_.data(); }
+
+  private:
+    /** Injectable bits per virtual-tag register (16 prefix + valid). */
+    static constexpr std::uint64_t register_fault_bits = 17;
 
     std::uint64_t prefixOf(BlockAddr block) const
     {
@@ -169,8 +179,11 @@ class Cmnm : public MissFilter
     std::uint8_t saturation_;
     std::vector<VtagRegister> registers_;
     std::vector<std::uint8_t> counters_; //!< k * 2^m sticky counters
-    /** Monotone policy: which register each resident block incremented. */
-    std::unordered_map<BlockAddr, std::uint32_t> placed_reg_;
+    /** Monotone policy: which register each resident block incremented.
+     *  A flat open-addressing map: one insert per placement and one
+     *  find+erase per replacement land here, hot enough that node
+     *  allocation shows up in whole-pipeline profiles. */
+    FlatMap64<std::uint32_t> placed_reg_;
     std::uint64_t anomalies_ = 0;
     std::uint64_t widenings_ = 0;
 };

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * AVX2 backend of the SoA verdict kernels (core/soa_state.hh).
+ *
+ * Eight addresses per pass. The paper models a 32-bit address space,
+ * so the lanes run 32-bit arithmetic and dword gathers; any chunk
+ * carrying a wider address (nothing in-tree generates one) falls back
+ * to the scalar pass, keeping the wide case correct without widening
+ * every gather. Data-dependent probes -- the CMNM register CAM and the
+ * RMNM set search -- stay scalar per lane; the wins here are the SMNM
+ * segment-LUT gathers, the TMNM counter gathers, and the lane-wise
+ * verdict merge.
+ *
+ * This translation unit is compiled with -mavx2 (see core/CMakeLists)
+ * and must only be ENTERED when cpuHasAvx2() -- soaCompute() and the
+ * MNM_SIMD knob enforce that; nothing here re-checks.
+ */
+
+#include "core/soa_state.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "cache/cache.hh"
+
+namespace mnm
+{
+
+namespace
+{
+
+/** Every lane's comparison mask is all-ones? */
+inline bool
+allLanesSet(__m256i v)
+{
+    return _mm256_movemask_epi8(v) == -1;
+}
+
+/** Lane-wise logical right shift by a runtime count; counts >= 32
+ *  yield zero, matching a 64-bit shift of a value below 2^32. */
+inline __m256i
+srlVar(__m256i v, unsigned count)
+{
+    return _mm256_srl_epi32(v,
+                            _mm_cvtsi32_si128(static_cast<int>(count)));
+}
+
+/** Per-lane scalar evaluation for the probes that do not vectorize
+ *  (CMNM's CAM walk, TMNM tables too small for dword gathers). Lanes
+ *  already decided skip the walk but still produce a zero lane. */
+inline __m256i
+opMissPerLane(const SoaOp &op, __m256i block_v, __m256i miss_v)
+{
+    alignas(32) std::uint32_t blocks[8];
+    alignas(32) std::uint32_t decided[8];
+    alignas(32) std::uint32_t out[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(blocks), block_v);
+    _mm256_store_si256(reinterpret_cast<__m256i *>(decided), miss_v);
+    for (unsigned l = 0; l < 8; ++l) {
+        out[l] = !decided[l] && soaOpMiss(op, blocks[l]) ? ~0u : 0u;
+    }
+    return _mm256_load_si256(reinterpret_cast<const __m256i *>(out));
+}
+
+} // anonymous namespace
+
+void
+soaComputeAvx2(const SoaProgram &program, const Addr *addrs,
+               std::uint32_t *cand, std::size_t n)
+{
+    const SoaStep *steps = program.steps.data();
+    const std::size_t num_steps = program.steps.size();
+    const SoaOp *ops = program.ops.data();
+    const Rmnm *rmnm = program.rmnm;
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i one = _mm256_set1_epi32(1);
+
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        std::uint64_t wide = 0;
+        for (unsigned l = 0; l < 8; ++l)
+            wide |= addrs[i + l] >> 32;
+        if (wide != 0) {
+            soaComputeScalar(program, addrs + i, cand + i, 8);
+            continue;
+        }
+
+        alignas(32) std::uint32_t a32[8];
+        alignas(32) std::uint32_t rb[8] = {};
+        for (unsigned l = 0; l < 8; ++l)
+            a32[l] = static_cast<std::uint32_t>(addrs[i + l]);
+        if (rmnm) {
+            for (unsigned l = 0; l < 8 && i + 8 + l < n; ++l)
+                rmnm->prefetch(addrs[i + 8 + l]);
+            for (unsigned l = 0; l < 8; ++l)
+                rb[l] = rmnm->missBits(addrs[i + l]);
+        }
+        const __m256i addr_v =
+            _mm256_load_si256(reinterpret_cast<const __m256i *>(a32));
+        const __m256i rb_v =
+            _mm256_load_si256(reinterpret_cast<const __m256i *>(rb));
+
+        __m256i mask_v = zero;
+        for (std::size_t s = 0; s < num_steps; ++s) {
+            const SoaStep &step = steps[s];
+            const __m256i block_v = srlVar(addr_v, step.block_bits);
+            __m256i miss;
+            if (step.rmnm_index >= 0) {
+                __m256i bit = _mm256_and_si256(
+                    srlVar(rb_v,
+                           static_cast<unsigned>(step.rmnm_index)),
+                    one);
+                miss = _mm256_cmpeq_epi32(bit, one);
+            } else {
+                miss = zero;
+            }
+            const SoaOp *op = ops + step.op_first;
+            const SoaOp *end = op + step.op_count;
+            for (; op != end && !allLanesSet(miss); ++op) {
+                __m256i op_miss = zero;
+                switch (op->kind) {
+                  case FilterKind::Smnm: {
+                    const int *state =
+                        reinterpret_cast<const int *>(op->sm_state);
+                    for (std::uint32_t c = 0; c < op->sm_replication;
+                         ++c) {
+                        const Smnm::CheckerSegments &cs = op->sm_segs[c];
+                        __m256i sum = zero;
+                        for (unsigned g = 0; g < cs.count; ++g) {
+                            const Smnm::SumSegment &seg = cs.seg[g];
+                            __m256i idx = _mm256_and_si256(
+                                srlVar(block_v, seg.shift),
+                                _mm256_set1_epi32(
+                                    static_cast<int>(seg.mask)));
+                            sum = _mm256_add_epi32(
+                                sum,
+                                _mm256_i32gather_epi32(
+                                    reinterpret_cast<const int *>(
+                                        seg.lut),
+                                    idx, 4));
+                        }
+                        __m256i cell = _mm256_add_epi32(
+                            sum,
+                            _mm256_set1_epi32(static_cast<int>(
+                                c * op->sm_values_per_checker)));
+                        __m256i st =
+                            _mm256_i32gather_epi32(state, cell, 4);
+                        op_miss = _mm256_or_si256(
+                            op_miss, _mm256_cmpeq_epi32(st, zero));
+                    }
+                    break;
+                  }
+                  case FilterKind::Tmnm: {
+                    if ((op->tm_entries & 3u) != 0) {
+                        // A sub-dword table cannot be gathered without
+                        // overreading its tail; take the scalar lanes.
+                        op_miss = opMissPerLane(*op, block_v, miss);
+                        break;
+                    }
+                    // The counters are bytes; gather the dword holding
+                    // each one (offset rounded down to 4, always in
+                    // bounds for a 4-multiple table) and shift the
+                    // addressed byte into place.
+                    const int *base =
+                        reinterpret_cast<const int *>(op->tm_counters);
+                    for (std::uint32_t t = 0; t < op->tm_replication;
+                         ++t) {
+                        __m256i idx = _mm256_and_si256(
+                            srlVar(block_v, 6 * t),
+                            _mm256_set1_epi32(static_cast<int>(
+                                lowMask(op->tm_index_bits))));
+                        __m256i cell = _mm256_add_epi32(
+                            idx, _mm256_set1_epi32(static_cast<int>(
+                                     t * op->tm_entries)));
+                        __m256i g = _mm256_i32gather_epi32(
+                            base,
+                            _mm256_and_si256(cell,
+                                             _mm256_set1_epi32(~3)),
+                            1);
+                        __m256i sh = _mm256_slli_epi32(
+                            _mm256_and_si256(cell,
+                                             _mm256_set1_epi32(3)),
+                            3);
+                        __m256i byte = _mm256_and_si256(
+                            _mm256_srlv_epi32(g, sh),
+                            _mm256_set1_epi32(0xFF));
+                        op_miss = _mm256_or_si256(
+                            op_miss, _mm256_cmpeq_epi32(byte, zero));
+                    }
+                    break;
+                  }
+                  case FilterKind::Cmnm:
+                    op_miss = opMissPerLane(*op, block_v, miss);
+                    break;
+                }
+                miss = _mm256_or_si256(miss, op_miss);
+            }
+            mask_v = _mm256_or_si256(
+                mask_v,
+                _mm256_and_si256(
+                    miss, _mm256_set1_epi32(
+                              static_cast<int>(step.cache_bit))));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(cand + i),
+                            mask_v);
+    }
+    if (i < n)
+        soaComputeScalar(program, addrs + i, cand + i, n - i);
+}
+
+} // namespace mnm
+
+#endif // __x86_64__

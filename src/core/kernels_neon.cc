@@ -1,0 +1,192 @@
+/**
+ * @file
+ * NEON backend of the SoA verdict kernels (core/soa_state.hh).
+ *
+ * Four addresses per pass. AArch64 has no gather instruction, so every
+ * table access is four scalar loads; what NEON buys is the index
+ * arithmetic (shift/mask over all lanes), the zero-compares, and the
+ * lane-wise verdict merge, with the loads batched so they issue back
+ * to back instead of interleaving with verdict control flow. As in the
+ * AVX2 backend, lanes run 32-bit (the paper's address space), chunks
+ * carrying a wider address fall back to the scalar pass, and the CMNM
+ * CAM walk plus the RMNM set search stay scalar per lane.
+ */
+
+#include "core/soa_state.hh"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "cache/cache.hh"
+
+namespace mnm
+{
+
+namespace
+{
+
+/** Every lane's comparison mask is all-ones? */
+inline bool
+allLanesSet(uint32x4_t v)
+{
+    return vminvq_u32(v) == ~0u;
+}
+
+/** Lane-wise logical right shift by a runtime count; counts >= 32
+ *  yield zero, matching a 64-bit shift of a value below 2^32. */
+inline uint32x4_t
+srlVar(uint32x4_t v, unsigned count)
+{
+    if (count >= 32)
+        return vdupq_n_u32(0);
+    return vshlq_u32(v, vdupq_n_s32(-static_cast<int>(count)));
+}
+
+/** Four scalar 32-bit table loads at vector-computed indices. */
+inline uint32x4_t
+gather32(const std::uint32_t *table, uint32x4_t idx_v)
+{
+    std::uint32_t idx[4];
+    std::uint32_t val[4];
+    vst1q_u32(idx, idx_v);
+    for (unsigned l = 0; l < 4; ++l)
+        val[l] = table[idx[l]];
+    return vld1q_u32(val);
+}
+
+/** Four scalar byte loads at vector-computed indices, widened. */
+inline uint32x4_t
+gather8(const std::uint8_t *table, uint32x4_t idx_v)
+{
+    std::uint32_t idx[4];
+    std::uint32_t val[4];
+    vst1q_u32(idx, idx_v);
+    for (unsigned l = 0; l < 4; ++l)
+        val[l] = table[idx[l]];
+    return vld1q_u32(val);
+}
+
+/** Per-lane scalar evaluation for the probes that do not vectorize. */
+inline uint32x4_t
+opMissPerLane(const SoaOp &op, uint32x4_t block_v, uint32x4_t miss_v)
+{
+    std::uint32_t blocks[4];
+    std::uint32_t decided[4];
+    std::uint32_t out[4];
+    vst1q_u32(blocks, block_v);
+    vst1q_u32(decided, miss_v);
+    for (unsigned l = 0; l < 4; ++l)
+        out[l] = !decided[l] && soaOpMiss(op, blocks[l]) ? ~0u : 0u;
+    return vld1q_u32(out);
+}
+
+} // anonymous namespace
+
+void
+soaComputeNeon(const SoaProgram &program, const Addr *addrs,
+               std::uint32_t *cand, std::size_t n)
+{
+    const SoaStep *steps = program.steps.data();
+    const std::size_t num_steps = program.steps.size();
+    const SoaOp *ops = program.ops.data();
+    const Rmnm *rmnm = program.rmnm;
+    const uint32x4_t zero = vdupq_n_u32(0);
+    const uint32x4_t one = vdupq_n_u32(1);
+
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        std::uint64_t wide = 0;
+        for (unsigned l = 0; l < 4; ++l)
+            wide |= addrs[i + l] >> 32;
+        if (wide != 0) {
+            soaComputeScalar(program, addrs + i, cand + i, 4);
+            continue;
+        }
+
+        std::uint32_t a32[4];
+        std::uint32_t rb[4] = {};
+        for (unsigned l = 0; l < 4; ++l)
+            a32[l] = static_cast<std::uint32_t>(addrs[i + l]);
+        if (rmnm) {
+            for (unsigned l = 0; l < 4 && i + 4 + l < n; ++l)
+                rmnm->prefetch(addrs[i + 4 + l]);
+            for (unsigned l = 0; l < 4; ++l)
+                rb[l] = rmnm->missBits(addrs[i + l]);
+        }
+        const uint32x4_t addr_v = vld1q_u32(a32);
+        const uint32x4_t rb_v = vld1q_u32(rb);
+
+        uint32x4_t mask_v = zero;
+        for (std::size_t s = 0; s < num_steps; ++s) {
+            const SoaStep &step = steps[s];
+            const uint32x4_t block_v = srlVar(addr_v, step.block_bits);
+            uint32x4_t miss;
+            if (step.rmnm_index >= 0) {
+                uint32x4_t bit = vandq_u32(
+                    srlVar(rb_v, static_cast<unsigned>(step.rmnm_index)),
+                    one);
+                miss = vceqq_u32(bit, one);
+            } else {
+                miss = zero;
+            }
+            const SoaOp *op = ops + step.op_first;
+            const SoaOp *end = op + step.op_count;
+            for (; op != end && !allLanesSet(miss); ++op) {
+                uint32x4_t op_miss = zero;
+                switch (op->kind) {
+                  case FilterKind::Smnm:
+                    for (std::uint32_t c = 0; c < op->sm_replication;
+                         ++c) {
+                        const Smnm::CheckerSegments &cs = op->sm_segs[c];
+                        uint32x4_t sum = zero;
+                        for (unsigned g = 0; g < cs.count; ++g) {
+                            const Smnm::SumSegment &seg = cs.seg[g];
+                            uint32x4_t idx = vandq_u32(
+                                srlVar(block_v, seg.shift),
+                                vdupq_n_u32(seg.mask));
+                            sum = vaddq_u32(sum, gather32(seg.lut, idx));
+                        }
+                        uint32x4_t cell = vaddq_u32(
+                            sum, vdupq_n_u32(
+                                     c * op->sm_values_per_checker));
+                        op_miss = vorrq_u32(
+                            op_miss,
+                            vceqq_u32(gather32(op->sm_state, cell),
+                                      zero));
+                    }
+                    break;
+                  case FilterKind::Tmnm:
+                    for (std::uint32_t t = 0; t < op->tm_replication;
+                         ++t) {
+                        uint32x4_t idx = vandq_u32(
+                            srlVar(block_v, 6 * t),
+                            vdupq_n_u32(static_cast<std::uint32_t>(
+                                lowMask(op->tm_index_bits))));
+                        uint32x4_t cell = vaddq_u32(
+                            idx, vdupq_n_u32(t * op->tm_entries));
+                        op_miss = vorrq_u32(
+                            op_miss,
+                            vceqq_u32(gather8(op->tm_counters, cell),
+                                      zero));
+                    }
+                    break;
+                  case FilterKind::Cmnm:
+                    op_miss = opMissPerLane(*op, block_v, miss);
+                    break;
+                }
+                miss = vorrq_u32(miss, op_miss);
+            }
+            mask_v = vorrq_u32(mask_v,
+                               vandq_u32(miss,
+                                         vdupq_n_u32(step.cache_bit)));
+        }
+        vst1q_u32(cand + i, mask_v);
+    }
+    if (i < n)
+        soaComputeScalar(program, addrs + i, cand + i, n - i);
+}
+
+} // namespace mnm
+
+#endif // __aarch64__

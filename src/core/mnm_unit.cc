@@ -83,6 +83,7 @@ MnmUnit::MnmUnit(const MnmSpec &spec, CacheHierarchy &hierarchy)
     }
 
     compilePlans();
+    backend_ = simdBackendFromEnv();
     hierarchy_.setListener(this);
 }
 
@@ -118,6 +119,79 @@ MnmUnit::compilePlans()
     };
     compile(AccessType::InstFetch, instr_plan_);
     compile(AccessType::Load, data_plan_);
+
+    // Lower each walk into its SoA program.
+    lowerPlan(instr_plan_, soa_instr_);
+    lowerPlan(data_plan_, soa_data_);
+    plans_identical_ = instr_plan_.size() == data_plan_.size();
+    for (std::size_t i = 0; plans_identical_ && i < instr_plan_.size();
+         ++i) {
+        plans_identical_ = instr_plan_[i].id == data_plan_[i].id;
+    }
+    instr_guards_ = false;
+    for (const VerdictStep &step : instr_plan_)
+        instr_guards_ |= step.oracle_guard;
+    data_guards_ = false;
+    for (const VerdictStep &step : data_plan_)
+        data_guards_ |= step.oracle_guard;
+}
+
+void
+MnmUnit::lowerPlan(const std::vector<VerdictStep> &plan,
+                   SoaProgram &program) const
+{
+    program.steps.clear();
+    program.ops.clear();
+    program.perfect = spec_.perfect;
+    program.rmnm = spec_.perfect ? nullptr : rmnm_.get();
+    for (const VerdictStep &step : plan) {
+        SoaStep s;
+        s.cache_bit = std::uint32_t{1} << step.id;
+        s.rmnm_index = program.rmnm ? step.pc->rmnm_index : -1;
+        s.block_bits = step.pc->block_bits;
+        s.cache = step.cache;
+        s.op_first = static_cast<std::uint32_t>(program.ops.size());
+        const FilterKernel *k = kernels_.data() + step.pc->kernel_first;
+        const FilterKernel *end = k + step.pc->kernel_count;
+        for (; k != end; ++k) {
+            SoaOp op;
+            op.kind = k->kind;
+            switch (k->kind) {
+              case FilterKind::Smnm: {
+                const auto *sm = static_cast<const Smnm *>(k->filter);
+                op.sm_state = sm->stateData();
+                op.sm_segs = &sm->checkerSegments(0);
+                op.sm_values_per_checker = sm->valuesPerChecker();
+                op.sm_replication = sm->spec().replication;
+                break;
+              }
+              case FilterKind::Tmnm: {
+                const auto *tm = static_cast<const Tmnm *>(k->filter);
+                op.tm_counters = tm->countersData();
+                op.tm_entries = tm->tableEntries();
+                op.tm_index_bits = tm->spec().index_bits;
+                op.tm_replication = tm->spec().replication;
+                break;
+              }
+              case FilterKind::Cmnm: {
+                const auto *cm = static_cast<const Cmnm *>(k->filter);
+                if (cm->spec().policy == CmnmMaskPolicy::Monotone) {
+                    op.cm_regs = cm->registerTable();
+                    op.cm_counters = cm->counterTable();
+                    op.cm_num_regs = cm->spec().num_registers;
+                    op.cm_index_bits = cm->spec().table_index_bits;
+                } else {
+                    op.cmnm = cm;
+                }
+                break;
+              }
+            }
+            program.ops.push_back(op);
+        }
+        s.op_count = static_cast<std::uint32_t>(program.ops.size()) -
+                     s.op_first;
+        program.steps.push_back(s);
+    }
 }
 
 MnmUnit::~MnmUnit()
@@ -149,6 +223,52 @@ MnmUnit::cacheVerdict(CacheId id, Addr addr) const
 
 BypassMask
 MnmUnit::computeBypass(AccessType type, Addr addr)
+{
+    if (reference_dispatch_ || backend_ == SimdBackend::Off)
+        return computeBypassLegacy(type, addr);
+    std::uint32_t cand;
+    computeCandidates(type, &addr, &cand, 1);
+    return finishBypass(type, addr, cand);
+}
+
+void
+MnmUnit::computeCandidates(AccessType type, const Addr *addrs,
+                           std::uint32_t *cand, std::size_t n)
+{
+    const bool instr = type == AccessType::InstFetch;
+    const SoaProgram &program = instr ? soa_instr_ : soa_data_;
+    soaCompute(program, addrs, cand, n, backend_);
+}
+
+BypassMask
+MnmUnit::finishBypass(AccessType type, Addr addr, std::uint32_t cand)
+{
+    ++lookups_;
+    rmnm_burst_charged_ = false; // new access: new RMNM update burst
+    const bool instr = type == AccessType::InstFetch;
+    if (!(instr ? instr_guards_ : data_guards_))
+        return BypassMask(cand);
+    // Oracle-guarded steps check the candidate against live cache
+    // contents at consumption time, exactly as the legacy walk does.
+    BypassMask mask;
+    const std::vector<VerdictStep> &plan =
+        instr ? instr_plan_ : data_plan_;
+    for (const VerdictStep &step : plan) {
+        if (!((cand >> step.id) & 1u))
+            continue;
+        if (step.oracle_guard &&
+            step.cache->contains(step.cache->blockAddr(addr))) {
+            ++violations_;
+            ++violations_at_[step.level];
+            continue;
+        }
+        mask.set(step.id);
+    }
+    return mask;
+}
+
+BypassMask
+MnmUnit::computeBypassLegacy(AccessType type, Addr addr)
 {
     ++lookups_;
     rmnm_burst_charged_ = false; // new access: new RMNM update burst
@@ -268,9 +388,14 @@ MnmUnit::applyPlacementCosts(const AccessResult &result)
 void
 MnmUnit::onPlacement(CacheId id, BlockAddr block)
 {
+    PerCache &pc = per_cache_[id];
+    // Level >= 2 state moved: filters and RMNM below, and in perfect
+    // mode the cache contents the oracle verdicts read. L1 events leave
+    // every verdict input untouched (L1 is not on any plan).
+    if (pc.rmnm_index >= 0)
+        ++state_epoch_;
     if (spec_.perfect)
         return;
-    PerCache &pc = per_cache_[id];
     if (reference_dispatch_) {
         for (auto &filter : pc.filters)
             filter->onPlacement(block);
@@ -295,9 +420,11 @@ MnmUnit::onPlacement(CacheId id, BlockAddr block)
 void
 MnmUnit::onReplacement(CacheId id, BlockAddr block)
 {
+    PerCache &pc = per_cache_[id];
+    if (pc.rmnm_index >= 0)
+        ++state_epoch_;
     if (spec_.perfect)
         return;
-    PerCache &pc = per_cache_[id];
     if (reference_dispatch_) {
         for (auto &filter : pc.filters)
             filter->onReplacement(block);
@@ -337,6 +464,7 @@ MnmUnit::consumedEnergyPj() const
 void
 MnmUnit::onFlush(CacheId id)
 {
+    ++state_epoch_;
     PerCache &pc = per_cache_[id];
     for (auto &filter : pc.filters)
         filter->onFlush();

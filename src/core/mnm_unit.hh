@@ -31,7 +31,9 @@
 #include "cache/hierarchy.hh"
 #include "core/miss_filter.hh"
 #include "core/rmnm.hh"
+#include "core/soa_state.hh"
 #include "core/verdict_plan.hh"
+#include "util/cpu.hh"
 #include "util/types.hh"
 
 namespace mnm
@@ -104,6 +106,76 @@ class MnmUnit : public CacheEventListener
      * single-step virtual reference path under setReferenceDispatch().
      */
     BypassMask computeBypass(AccessType type, Addr addr);
+
+    /**
+     * Batch verdict interface (the SoA/SIMD fast path; sim/memory_sim).
+     *
+     * computeCandidates() fills @p cand with one raw candidate mask per
+     * address: the pre-guard "definite miss" bits the compiled plan
+     * would produce against CURRENT filter state. It is pure -- no
+     * statistics, no energy, no guard checks -- so candidates may be
+     * computed ahead of time and consumed later, PROVIDED stateEpoch()
+     * has not moved in between (any placement/replacement/flush/fault
+     * touching verdict-relevant state bumps the epoch; recompute the
+     * not-yet-consumed tail when it does).
+     *
+     * finishBypass() then turns one candidate into the final verdict
+     * exactly as computeBypass() would have: it performs the per-access
+     * bookkeeping, applies oracle guards against live cache contents,
+     * and records violations. computeBypass(type, addr) is equivalent
+     * to computeCandidates(..1..) + finishBypass on every backend.
+     */
+    void computeCandidates(AccessType type, const Addr *addrs,
+                           std::uint32_t *cand, std::size_t n);
+    BypassMask finishBypass(AccessType type, Addr addr,
+                            std::uint32_t cand);
+
+    /** True when the fetch and data paths compile to the same verdict
+     *  plan: any access type may then share one candidate span. */
+    bool plansIdentical() const { return plans_identical_; }
+
+    /** Whether @p type's plan has any oracle-guarded step. Guard-free
+     *  verdicts are pure data with no per-verdict statistics, so a
+     *  caller that can prove a verdict will go unread (the access hits
+     *  before the first planned level) may skip producing it -- after
+     *  noteLookup() for the per-access bookkeeping. */
+    bool
+    planGuarded(AccessType type) const
+    {
+        return type == AccessType::InstFetch ? instr_guards_
+                                             : data_guards_;
+    }
+
+    /** The per-access bookkeeping finishBypass performs, for accesses
+     *  whose verdict is provably unread. Keeping the counts identical
+     *  to the verdict path keeps every backend's outputs identical. */
+    void
+    noteLookup()
+    {
+        ++lookups_;
+        rmnm_burst_charged_ = false;
+    }
+
+    /** Hint the filter-table lines a future computeCandidates for
+     *  @p addr will read (soaPrefetch; index locations are pure in the
+     *  address, so state churn cannot stale the hint). */
+    void
+    prefetchCandidates(AccessType type, Addr addr) const
+    {
+        soaPrefetch(type == AccessType::InstFetch ? soa_instr_
+                                                  : soa_data_,
+                    addr);
+    }
+
+    /** Monotone stamp of all verdict-relevant MNM state; candidates
+     *  are valid only while it holds still. */
+    std::uint64_t stateEpoch() const { return state_epoch_; }
+
+    /** Kernel backend behind computeBypass/computeCandidates. Defaults
+     *  to the MNM_SIMD environment knob (util/cpu.hh); Off preserves
+     *  the legacy per-access plan walk with no SoA programs. */
+    void setSimdBackend(SimdBackend backend) { backend_ = backend; }
+    SimdBackend simdBackend() const { return backend_; }
 
     /** Charge one structure probe (caller decides per placement). */
     void chargeLookup() { ++lookup_charges_; }
@@ -240,8 +312,16 @@ class MnmUnit : public CacheEventListener
     /** The single-step reference walk computeBypass falls back to. */
     BypassMask computeBypassReference(AccessType type, Addr addr);
 
+    /** The legacy (MNM_SIMD=off) per-access plan walk. */
+    BypassMask computeBypassLegacy(AccessType type, Addr addr);
+
     /** Flatten the filter fan-out and the per-path walks into plans. */
     void compilePlans();
+
+    /** Lower one walk plan into its SoA program (borrowing the live
+     *  filter tables; core/soa_state.hh). */
+    void lowerPlan(const std::vector<VerdictStep> &plan,
+                   SoaProgram &program) const;
 
     MnmSpec spec_;
     CacheHierarchy &hierarchy_;
@@ -255,6 +335,22 @@ class MnmUnit : public CacheEventListener
     std::vector<VerdictStep> instr_plan_;
     std::vector<VerdictStep> data_plan_;
     bool reference_dispatch_ = false;
+
+    /** SoA lowerings of the walk plans (batch/SIMD verdict path). */
+    SoaProgram soa_instr_;
+    SoaProgram soa_data_;
+    /** Both paths traverse the same level >= 2 caches (the common
+     *  split-L1-only topology), so a batch may chunk verdict spans
+     *  across fetch/data boundaries. */
+    bool plans_identical_ = false;
+    /** Any oracle-guarded step on the path? Guard-free plans turn a
+     *  candidate mask into the final BypassMask with no per-step loop. */
+    bool instr_guards_ = false;
+    bool data_guards_ = false;
+    /** Bumped by every mutation verdicts can observe; starts at 1 so
+     *  precomputed candidate spans are validated against a live value. */
+    std::uint64_t state_epoch_ = 1;
+    SimdBackend backend_ = SimdBackend::Off;
 
     PicoJoules lookup_energy_pj_ = 0.0;
     /** RMNM write energy, charged once per access burst: the fill

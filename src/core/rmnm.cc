@@ -24,6 +24,7 @@ Rmnm::Rmnm(const RmnmSpec &spec, std::uint32_t num_tracked,
     num_sets_ = spec_.entries / spec_.associativity;
     if (!isPowerOf2(num_sets_))
         fatal("RMNM set count %u not a power of two", num_sets_);
+    set_bits_ = floorLog2(num_sets_);
     entries_.resize(spec_.entries);
 }
 
@@ -46,7 +47,7 @@ Rmnm::onPlacement(std::uint32_t tracked, Addr addr, unsigned block_bits)
         entry->miss_bits &= ~(1u << tracked);
         if (entry->miss_bits == 0) {
             // An all-clear entry carries no information; free the slot.
-            entry->valid = false;
+            entry->stamp = 0;
             --in_use_;
         }
     }
@@ -64,12 +65,18 @@ Rmnm::onReplacement(std::uint32_t tracked, Addr addr, unsigned block_bits)
         }
         // Allocate: invalid way first, else LRU victim (losing whatever
         // miss information the victim held -- safe, just less coverage).
+        // A tag that does not fit the 32-bit field could alias another
+        // granule and emit an unsound verdict; no workload's address
+        // space comes near 2^(32 + set + granule bits), so fail loudly
+        // rather than widen the entry.
+        MNM_ASSERT(tagOf(g) <= 0xffffffffull,
+                   "RMNM granule tag exceeds 32 bits");
         std::uint32_t set = setOf(g);
         Entry *base =
             &entries_[static_cast<std::size_t>(set) * num_ways_];
         Entry *slot = nullptr;
         for (std::uint32_t w = 0; w < num_ways_; ++w) {
-            if (!base[w].valid) {
+            if (base[w].stamp == 0) {
                 slot = &base[w];
                 ++in_use_;
                 break;
@@ -82,8 +89,7 @@ Rmnm::onReplacement(std::uint32_t tracked, Addr addr, unsigned block_bits)
                     slot = &base[w];
             }
         }
-        slot->valid = true;
-        slot->granule = g;
+        slot->tag = static_cast<std::uint32_t>(tagOf(g));
         slot->miss_bits = 1u << tracked;
         slot->stamp = ++tick_;
     }

@@ -92,6 +92,21 @@ class Rmnm
     const RmnmSpec &spec() const { return spec_; }
     std::uint64_t entriesInUse() const { return in_use_; }
 
+    /** log2 of the tracking granule (the MnmUnit's verdict memo keys
+     *  addresses at the coarsest granule every structure shares). */
+    unsigned granuleBits() const { return granule_bits_; }
+
+    /** Hint the set covering @p addr into cache ahead of a batch of
+     *  missBits() probes; the SoA kernels issue these one chunk ahead
+     *  so the random-indexed entry rows are resident when walked. */
+    void
+    prefetch(Addr addr) const
+    {
+        std::uint32_t set = setOf(granuleOf(addr));
+        __builtin_prefetch(
+            &entries_[static_cast<std::size_t>(set) * num_ways_], 0, 1);
+    }
+
     /** Fault surface (core/fault_inject.hh): one miss bit per tracked
      *  cache per entry. Flips on invalid entries have no behavioral
      *  effect (lookups require valid), mirroring a strike on a
@@ -111,12 +126,17 @@ class Rmnm
     }
 
   private:
+    /** 16 bytes, so the common 4-way set occupies exactly one cache
+     *  line (the row is randomly indexed on every probe and update;
+     *  the old 24-byte entry made each set span two lines). The tag is
+     *  the granule's bits above the set index -- tagFits() is asserted
+     *  at insert, so a probe whose tag exceeds 32 bits simply never
+     *  matches -- and stamp == 0 encodes "invalid" (ticks start at 1). */
     struct Entry
     {
-        std::uint64_t granule = 0;
-        std::uint64_t stamp = 0;
+        std::uint64_t stamp = 0; //!< LRU tick; 0 = invalid
+        std::uint32_t tag = 0;   //!< granule >> set_bits_
         std::uint32_t miss_bits = 0;
-        bool valid = false;
     };
 
     std::uint64_t granuleOf(Addr addr) const
@@ -129,13 +149,19 @@ class Rmnm
         return static_cast<std::uint32_t>(granule & (num_sets_ - 1));
     }
 
+    std::uint64_t tagOf(std::uint64_t granule) const
+    {
+        return granule >> set_bits_;
+    }
+
     Entry *find(std::uint64_t granule)
     {
         std::uint32_t set = setOf(granule);
+        const std::uint64_t tag = tagOf(granule);
         Entry *base =
             &entries_[static_cast<std::size_t>(set) * num_ways_];
         for (std::uint32_t w = 0; w < num_ways_; ++w) {
-            if (base[w].valid && base[w].granule == granule)
+            if (base[w].stamp != 0 && base[w].tag == tag)
                 return &base[w];
         }
         return nullptr;
@@ -152,6 +178,7 @@ class Rmnm
     std::uint32_t num_tracked_;
     unsigned granule_bits_;
     std::uint32_t num_sets_;
+    unsigned set_bits_ = 0; //!< log2(num_sets_)
     std::uint32_t num_ways_;
     std::vector<Entry> entries_;
     std::uint64_t tick_ = 0;

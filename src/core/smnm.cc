@@ -1,12 +1,54 @@
 #include "core/smnm.hh"
 
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 #include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace mnm
 {
+
+namespace
+{
+
+/**
+ * Shared, immortal segment LUTs keyed by (window base, width). The
+ * entry for value v is the exact partial hash: the sum of
+ * (base + q + 1)^2 over every set bit q of v. Only a handful of
+ * distinct (base, width) pairs exist across all SMNM configurations,
+ * so the store stays tiny.
+ */
+const std::uint32_t *
+segmentLut(unsigned base, unsigned width)
+{
+    static std::mutex mu;
+    static std::map<std::uint64_t,
+                    std::unique_ptr<std::vector<std::uint32_t>>>
+        store;
+    std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t key = (static_cast<std::uint64_t>(base) << 8) | width;
+    auto it = store.find(key);
+    if (it == store.end()) {
+        auto lut = std::make_unique<std::vector<std::uint32_t>>(
+            std::size_t{1} << width, 0u);
+        for (std::size_t v = 0; v < lut->size(); ++v) {
+            std::uint32_t sum = 0;
+            for (unsigned q = 0; q < width; ++q) {
+                if ((v >> q) & 1u)
+                    sum += (base + q + 1) * (base + q + 1);
+            }
+            (*lut)[v] = sum;
+        }
+        it = store.emplace(key, std::move(lut)).first;
+    }
+    return it->second->data();
+}
+
+} // anonymous namespace
 
 Smnm::Smnm(const SmnmSpec &spec) : spec_(spec)
 {
@@ -18,6 +60,38 @@ Smnm::Smnm(const SmnmSpec &spec) : spec_(spec)
     state_.assign(static_cast<std::size_t>(values_per_checker_) *
                       spec_.replication,
                   0);
+
+    // Compile each checker's window into LUT segments. A segment whose
+    // shift would reach bit 64 covers only bits the original window
+    // zero-extends over, so it is dropped rather than shifted (a >> 64
+    // would be undefined).
+    checker_segs_.resize(spec_.replication);
+    for (std::uint32_t c = 0; c < spec_.replication; ++c) {
+        CheckerSegments &cs = checker_segs_[c];
+        for (unsigned base = 0; base < spec_.sum_width;
+             base += seg_bits) {
+            unsigned width = std::min(seg_bits, spec_.sum_width - base);
+            unsigned shift = checkerOffset(c) + base;
+            if (shift >= 64)
+                continue;
+            SumSegment &seg = cs.seg[cs.count++];
+            seg.shift = shift;
+            seg.mask = static_cast<std::uint32_t>(lowMask(width));
+            seg.lut = segmentLut(base, width);
+        }
+    }
+    for (std::uint32_t c = 0; c < spec_.replication; ++c) {
+        // Construction-time self-check: the decomposition must agree
+        // with the Figure 5 loop on every single-bit input (linearity
+        // makes single bits a complete basis for the sum).
+        for (unsigned b = 0; b < 64; ++b) {
+            BlockAddr probe = BlockAddr{1} << b;
+            MNM_ASSERT(sumHashFast(probe, c) ==
+                           sumHash(probe, checkerOffset(c),
+                                   spec_.sum_width),
+                       "SMNM segment LUTs diverge from sumHash");
+        }
+    }
 }
 
 std::uint32_t

@@ -36,6 +36,34 @@ namespace mnm
 class Smnm : public MissFilter
 {
   public:
+    /** Figure 5's hash evaluated by table lookup: the window is split
+     *  into segments of <= seg_bits bits and each segment's
+     *  contribution (sum of (global_pos+1)^2 over its set bits) comes
+     *  from one shared LUT. The decomposition is exact -- the hash is
+     *  a plain sum over bit positions -- so sumHashFast() equals
+     *  sumHash() bit-for-bit while replacing the per-set-bit loop with
+     *  two or three loads. The SoA verdict kernels
+     *  (core/soa_state.hh) run the same segments 8-wide. */
+    static constexpr unsigned seg_bits = 11;
+    static constexpr unsigned max_segments = 3; // ceil(32 / seg_bits)
+
+    /** One LUT-backed window segment: sum += lut[(addr >> shift) & mask]. */
+    struct SumSegment
+    {
+        unsigned shift = 0;
+        std::uint32_t mask = 0;
+        const std::uint32_t *lut = nullptr;
+    };
+
+    /** The segments of one checker's window. Segments whose shift
+     *  would reach past bit 63 are dropped at build time: the original
+     *  window sees only zeros there, so they contribute nothing. */
+    struct CheckerSegments
+    {
+        SumSegment seg[max_segments];
+        unsigned count = 0;
+    };
+
     explicit Smnm(const SmnmSpec &spec);
 
     /** The paper's Figure 5 hash over a window of @p addr. Iterates
@@ -58,6 +86,19 @@ class Smnm : public MissFilter
     /** Number of distinct sum values for a width (Eq. 3 + 1 for zero). */
     static std::uint32_t sumValues(std::uint32_t sum_width);
 
+    /** sumHash() by segment LUTs; identical result, no per-bit loop. */
+    std::uint32_t
+    sumHashFast(BlockAddr block, std::uint32_t checker) const
+    {
+        const CheckerSegments &cs = checker_segs_[checker];
+        std::uint32_t sum = 0;
+        for (unsigned s = 0; s < cs.count; ++s) {
+            const SumSegment &seg = cs.seg[s];
+            sum += seg.lut[(block >> seg.shift) & seg.mask];
+        }
+        return sum;
+    }
+
     /** Non-virtual hot-path bodies; the verdict plan dispatches to
      *  these directly (core/verdict_plan.hh) so the per-access work
      *  inlines into the simulators' inner loops. The virtual overrides
@@ -66,8 +107,7 @@ class Smnm : public MissFilter
     missHot(BlockAddr block) const
     {
         for (std::uint32_t c = 0; c < spec_.replication; ++c) {
-            std::uint32_t sum =
-                sumHash(block, checkerOffset(c), spec_.sum_width);
+            std::uint32_t sum = sumHashFast(block, c);
             if (state_[static_cast<std::size_t>(c) * values_per_checker_ +
                        sum] == 0) {
                 return true;
@@ -80,8 +120,7 @@ class Smnm : public MissFilter
     placeHot(BlockAddr block)
     {
         for (std::uint32_t c = 0; c < spec_.replication; ++c) {
-            std::uint32_t sum =
-                sumHash(block, checkerOffset(c), spec_.sum_width);
+            std::uint32_t sum = sumHashFast(block, c);
             std::uint32_t &cell =
                 state_[static_cast<std::size_t>(c) * values_per_checker_ +
                        sum];
@@ -99,8 +138,7 @@ class Smnm : public MissFilter
         if (spec_.mode != SmnmUpdateMode::Counting)
             return; // the literal circuit ignores replacements
         for (std::uint32_t c = 0; c < spec_.replication; ++c) {
-            std::uint32_t sum =
-                sumHash(block, checkerOffset(c), spec_.sum_width);
+            std::uint32_t sum = sumHashFast(block, c);
             std::uint32_t &cell =
                 state_[static_cast<std::size_t>(c) * values_per_checker_ +
                        sum];
@@ -140,6 +178,18 @@ class Smnm : public MissFilter
 
     const SmnmSpec &spec() const { return spec_; }
 
+    /** SoA-program views (core/soa_state.hh): the live state table and
+     *  the compiled segments. The kernels borrow this storage rather
+     *  than copying it, so every update and every injected fault is
+     *  visible to them by construction. */
+    const std::uint32_t *stateData() const { return state_.data(); }
+    std::uint32_t valuesPerChecker() const { return values_per_checker_; }
+    const CheckerSegments &
+    checkerSegments(std::uint32_t checker) const
+    {
+        return checker_segs_[checker];
+    }
+
   private:
     /** Bit offset of checker @p i's address window. */
     unsigned checkerOffset(std::uint32_t i) const { return 6 * i; }
@@ -149,6 +199,8 @@ class Smnm : public MissFilter
     /** Counting mode: per-checker, per-sum resident counts.
      *  SetOnly mode: 0/1 flags with no decrement. */
     std::vector<std::uint32_t> state_;
+    /** Per-checker LUT segments behind sumHashFast(). */
+    std::vector<CheckerSegments> checker_segs_;
     std::uint64_t anomalies_ = 0;
 };
 

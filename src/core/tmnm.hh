@@ -105,6 +105,12 @@ class Tmnm : public MissFilter
     /** Number of saturated (permanently "maybe") counters right now. */
     std::uint64_t saturatedCounters() const;
 
+    /** SoA-program views (core/soa_state.hh): the live counter table
+     *  and its geometry. Borrowed, never copied -- updates and
+     *  injected faults are visible to the kernels by construction. */
+    const std::uint8_t *countersData() const { return counters_.data(); }
+    std::uint32_t tableEntries() const { return table_entries_; }
+
   private:
     unsigned tableOffset(std::uint32_t i) const { return 6 * i; }
 

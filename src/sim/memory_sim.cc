@@ -42,7 +42,14 @@ MemorySimulator::request(AccessType type, Addr addr, MemSimResult &result)
     BypassMask mask;
     if (mnm_)
         mask = mnm_->computeBypass(type, addr);
+    performAccess(type, addr, mask, result);
+}
 
+void
+MemorySimulator::performAccess(AccessType type, Addr addr,
+                               const BypassMask &mask,
+                               MemSimResult &result)
+{
     AccessResult access = hierarchy_.access(type, addr, mask);
     ++result.requests;
     if (mnm_) {
@@ -95,6 +102,144 @@ MemorySimulator::request(AccessType type, Addr addr, MemSimResult &result)
     }
 }
 
+void
+MemorySimulator::runBatchRequests(const InstructionBatch &batch,
+                                  const Cache &l1i, MemSimResult &result)
+{
+    if (req_addr_.empty()) {
+        constexpr std::size_t max_requests =
+            2 * InstructionBatch::capacity;
+        req_addr_.reset(max_requests);
+        req_type_.reset(max_requests);
+        req_cand_.reset(max_requests);
+    }
+
+    // Stage 1: derive the batch's ordered request stream. The fetch-
+    // line dedup is a pure function of the pc sequence, so hoisting it
+    // off the access path changes no request and no count.
+    std::size_t n = 0;
+    for (const Instruction &inst : batch) {
+        Addr line = l1i.blockAddr(inst.pc);
+        if (line != cur_fetch_line_) {
+            cur_fetch_line_ = line;
+            ++result.fetch_requests;
+            req_type_[n] =
+                static_cast<std::uint8_t>(AccessType::InstFetch);
+            req_addr_[n] = inst.pc;
+            ++n;
+        }
+        if (inst.isMem()) {
+            ++result.data_requests;
+            req_type_[n] = static_cast<std::uint8_t>(
+                inst.cls == InstClass::Load ? AccessType::Load
+                                            : AccessType::Store);
+            req_addr_[n] = inst.mem_addr;
+            ++n;
+        }
+    }
+
+    // Stage 2a, guard-free plans (every sound config): a request that
+    // hits its level-1 cache never consults the bypass mask -- the
+    // walk stops before the first planned level -- and a guard-free
+    // verdict carries no per-verdict statistics, so the verdict is
+    // provably dead data. Peek L1 (contains() is side-effect free;
+    // the real access still performs the stamping probe) and compute
+    // verdicts only for the L1-missing minority, each against live
+    // state exactly as the per-access path would.
+    if (!mnm_->planGuarded(AccessType::InstFetch) &&
+        !mnm_->planGuarded(AccessType::Load)) {
+        const Cache &l1d = hierarchy_.cacheAt(1, AccessType::Load);
+        constexpr std::size_t prefetch_requests = 12;
+        for (std::size_t k = 0; k < n; ++k) {
+            const AccessType type =
+                static_cast<AccessType>(req_type_[k]);
+            const Cache &l1 =
+                type == AccessType::InstFetch ? l1i : l1d;
+            // Hint the filter tables a fixed distance ahead, gated on
+            // the same peek: hints for L1-hitting requests would be
+            // dead weight. The peek against current state is only a
+            // heuristic for future state -- a wrong guess costs a
+            // missed hint, never correctness.
+            if (k + prefetch_requests < n) {
+                const std::size_t f = k + prefetch_requests;
+                const AccessType ftype =
+                    static_cast<AccessType>(req_type_[f]);
+                const Cache &fl1 =
+                    ftype == AccessType::InstFetch ? l1i : l1d;
+                if (!fl1.contains(fl1.blockAddr(req_addr_[f])))
+                    mnm_->prefetchCandidates(ftype, req_addr_[f]);
+            }
+            BypassMask mask;
+            if (!l1.contains(l1.blockAddr(req_addr_[k]))) {
+                std::uint32_t cand;
+                mnm_->computeCandidates(type, req_addr_.data() + k,
+                                        &cand, 1);
+                mask = mnm_->finishBypass(type, req_addr_[k], cand);
+            } else {
+                mnm_->noteLookup();
+            }
+            performAccess(type, req_addr_[k], mask, result);
+        }
+        return;
+    }
+
+    // Stage 2b, guarded plans (unsound ablations, oracle checking):
+    // every verdict is consumed -- guards record violations -- so run
+    // same-plan requests through the SoA kernels a chunk at a time,
+    // then consume in order. Consumption can move MNM state (fills,
+    // evictions, flushes); the epoch check recomputes the
+    // not-yet-consumed tail whenever it does, so every access sees
+    // exactly the verdict the per-access path would have produced
+    // against the same state.
+    constexpr std::size_t chunk_lanes = 8;
+    const std::uint8_t fetch_tag =
+        static_cast<std::uint8_t>(AccessType::InstFetch);
+    // With split L1s over a unified L2+ spine (the common topology),
+    // the fetch and data plans compile identically, so a chunk may
+    // span plan switches -- the stream alternates types every couple
+    // of requests, and same-plan runs alone would cap chunks there.
+    const bool any_plan = mnm_->plansIdentical();
+    std::size_t i = 0;
+    while (i < n) {
+        const bool fetch = req_type_[i] == fetch_tag;
+        std::size_t j = i + 1;
+        while (j < n && j - i < chunk_lanes &&
+               (any_plan || (req_type_[j] == fetch_tag) == fetch)) {
+            ++j;
+        }
+        const AccessType plan_type =
+            fetch ? AccessType::InstFetch : AccessType::Load;
+        std::uint64_t epoch = mnm_->stateEpoch();
+        mnm_->computeCandidates(plan_type, req_addr_.data() + i,
+                                req_cand_.data() + i, j - i);
+        for (std::size_t k = i; k < j; ++k) {
+            if (mnm_->stateEpoch() != epoch) {
+                epoch = mnm_->stateEpoch();
+                mnm_->computeCandidates(plan_type, req_addr_.data() + k,
+                                        req_cand_.data() + k, j - k);
+            }
+            // Hint the filter-table lines a fixed request distance
+            // ahead -- far enough to cover the tables' miss latency,
+            // near enough that the lines survive until use. Table
+            // indices are pure in the address, so epoch churn between
+            // hint and verdict cannot misdirect them.
+            constexpr std::size_t prefetch_requests = 12;
+            if (k + prefetch_requests < n) {
+                mnm_->prefetchCandidates(
+                    static_cast<AccessType>(
+                        req_type_[k + prefetch_requests]),
+                    req_addr_[k + prefetch_requests]);
+            }
+            const AccessType type =
+                static_cast<AccessType>(req_type_[k]);
+            BypassMask mask =
+                mnm_->finishBypass(type, req_addr_[k], req_cand_[k]);
+            performAccess(type, req_addr_[k], mask, result);
+        }
+        i = j;
+    }
+}
+
 MemSimResult
 MemorySimulator::run(WorkloadGenerator &workload,
                      std::uint64_t instructions)
@@ -117,6 +262,8 @@ MemorySimulator::run(WorkloadGenerator &workload,
     } else {
         if (!batch_)
             batch_ = std::make_unique<InstructionBatch>();
+        const bool batch_verdicts =
+            mnm_ && mnm_->simdBackend() != SimdBackend::Off;
         std::uint64_t remaining = instructions;
         while (remaining > 0) {
             // The watchdog moves from per-instruction to per-batch: at
@@ -125,8 +272,12 @@ MemorySimulator::run(WorkloadGenerator &workload,
             // timeouts MNM_CELL_TIMEOUT_S expresses.
             pollCellDeadlineBatch();
             workload.nextBatch(*batch_, remaining);
-            for (const Instruction &inst : *batch_)
-                step(inst, l1i, result);
+            if (batch_verdicts) {
+                runBatchRequests(*batch_, l1i, result);
+            } else {
+                for (const Instruction &inst : *batch_)
+                    step(inst, l1i, result);
+            }
             remaining -= batch_->size;
         }
     }

@@ -29,6 +29,7 @@
 #include "obs/confusion.hh"
 #include "power/sram_model.hh"
 #include "trace/workload.hh"
+#include "util/aligned.hh"
 
 namespace mnm
 {
@@ -161,6 +162,16 @@ class MemorySimulator
     /** One request through MNM + hierarchy with full accounting. */
     void request(AccessType type, Addr addr, MemSimResult &result);
 
+    /** The hierarchy walk and accounting behind request(), taking the
+     *  verdict as input (the batch path precomputes verdicts). */
+    void performAccess(AccessType type, Addr addr,
+                       const BypassMask &mask, MemSimResult &result);
+
+    /** Batch path: derive one batch's ordered request stream, verdict
+     *  it in chunks through the MNM's SoA kernels, consume in order. */
+    void runBatchRequests(const InstructionBatch &batch, const Cache &l1i,
+                          MemSimResult &result);
+
     /** One instruction: fetch-line dedup plus the data request. */
     void
     step(const Instruction &inst, const Cache &l1i, MemSimResult &result)
@@ -187,6 +198,12 @@ class MemorySimulator
     /** Batch buffer, heap-allocated once (128KB is unkind to stacks
      *  when runSweep's worker threads run many simulators). */
     std::unique_ptr<InstructionBatch> batch_;
+    /** Per-batch request stream scratch (<= 2 requests/instruction:
+     *  one fetch-line fill plus one data access), allocated lazily by
+     *  the batch-verdict path. */
+    AlignedArray<Addr> req_addr_;
+    AlignedArray<std::uint8_t> req_type_;
+    AlignedArray<std::uint32_t> req_cand_;
     bool reference_kernel_ = false;
     PicoJoules mnm_energy_seen_ = 0.0; //!< consumed total at last drain
     Addr cur_fetch_line_ = invalid_addr;

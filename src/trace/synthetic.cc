@@ -32,7 +32,19 @@ SyntheticWorkload::SyntheticWorkload(const SyntheticParams &params)
         if (r.stride == 0)
             fatal("region with zero stride");
         total_weight_ += r.weight;
+
+        RegionFast rf;
+        rf.footprint = FastMod(r.footprint_bytes);
+        rf.hot_bytes = std::max<std::uint64_t>(
+            64, static_cast<std::uint64_t>(
+                    r.hot_fraction *
+                    static_cast<double>(r.footprint_bytes)));
+        rf.hot = FastMod(rf.hot_bytes);
+        rf.hot_thr = Rng::boolThreshold(r.hot_probability);
+        rf.wrap_by_subtract = r.stride <= r.footprint_bytes;
+        region_fast_.push_back(rf);
     }
+    temporal_thr_ = Rng::boolThreshold(params_.temporal_reuse);
     if (total_weight_ <= 0.0)
         fatal("synthetic workload '%s': zero total region weight",
               params_.name.c_str());
@@ -58,53 +70,43 @@ SyntheticWorkload::reset()
     loop_start_ = code_base_;
     loop_bytes_ = 0;
     loop_iters_left_ = 0;
-    startLoop();
+    startLoop(rng_);
 }
 
 void
-SyntheticWorkload::startLoop()
+SyntheticWorkload::startLoop(Rng &rng)
 {
     // Pick a loop body somewhere in the text and a repeat count. Loop
     // bodies are 16-byte aligned; sizes are geometric around the mean.
     std::uint64_t body =
-        16 + 16 * rng_.nextGeometric(
+        16 + 16 * rng.nextGeometric(
                       static_cast<double>(params_.loop_body_bytes_mean) /
                       16.0);
     if (body > params_.code_footprint_bytes)
         body = params_.code_footprint_bytes;
     std::uint64_t span = params_.code_footprint_bytes - body;
     Addr start =
-        code_base_ + (span ? (rng_.nextBelow(span) & ~15ull) : 0);
+        code_base_ + (span ? (rng.nextBelow(span) & ~15ull) : 0);
     loop_start_ = start;
     loop_bytes_ = body;
-    loop_iters_left_ = 1 + rng_.nextGeometric(params_.loop_iterations_mean);
+    loop_iters_left_ = 1 + rng.nextGeometric(params_.loop_iterations_mean);
     pc_ = loop_start_;
 }
 
-void
-SyntheticWorkload::advancePc()
-{
-    pc_ += 4;
-    if (pc_ >= loop_start_ + loop_bytes_) {
-        if (loop_iters_left_ > 1) {
-            --loop_iters_left_;
-            pc_ = loop_start_;
-        } else {
-            startLoop();
-        }
-    }
-}
-
 Addr
-SyntheticWorkload::dataAddress()
+SyntheticWorkload::dataAddress(Rng &rng)
 {
     // Short-range temporal reuse first: re-touch a recent address.
-    if (recent_count_ > 0 && rng_.nextBool(params_.temporal_reuse)) {
-        return recent_[rng_.nextBelow(
-            std::min(recent_count_, reuse_depth))];
+    // Once the ring is full the bound is the power-of-two depth and
+    // the modulo reduces to a mask (same value, no divide).
+    if (recent_count_ > 0 && rng.nextBoolFast(temporal_thr_)) {
+        static_assert(isPowerOf2(reuse_depth));
+        if (recent_count_ >= reuse_depth)
+            return recent_[rng.next() & (reuse_depth - 1)];
+        return recent_[rng.nextBelow(recent_count_)];
     }
     if (dwell_left_ == 0) {
-        double draw = rng_.nextDouble() * total_weight_;
+        double draw = rng.nextDouble() * total_weight_;
         active_region_ = params_.regions.size() - 1;
         for (std::size_t i = 0; i < params_.regions.size(); ++i) {
             if (draw < params_.regions[i].weight) {
@@ -114,20 +116,27 @@ SyntheticWorkload::dataAddress()
             draw -= params_.regions[i].weight;
         }
         dwell_left_ =
-            1 + rng_.nextGeometric(params_.regions[active_region_].dwell);
+            1 + rng.nextGeometric(params_.regions[active_region_].dwell);
     }
     --dwell_left_;
 
     const RegionParams &rp = params_.regions[active_region_];
+    const RegionFast &rf = region_fast_[active_region_];
     RegionState &rs = regions_[active_region_];
     std::uint64_t offset = 0;
     switch (rp.pattern) {
       case RegionPattern::Sequential:
         offset = rs.cursor;
-        rs.cursor = (rs.cursor + rp.stride) % rp.footprint_bytes;
+        rs.cursor += rp.stride;
+        if (rf.wrap_by_subtract) {
+            if (rs.cursor >= rp.footprint_bytes)
+                rs.cursor -= rp.footprint_bytes;
+        } else {
+            rs.cursor = rf.footprint.mod(rs.cursor);
+        }
         break;
       case RegionPattern::RandomUniform:
-        offset = rng_.nextBelow(rp.footprint_bytes) & ~std::uint64_t{7};
+        offset = rf.footprint.mod(rng.next()) & ~std::uint64_t{7};
         break;
       case RegionPattern::PointerChase: {
         // A full-period LCG walk over the region's cache-block grid:
@@ -140,14 +149,10 @@ SyntheticWorkload::dataAddress()
         break;
       }
       case RegionPattern::HotCold: {
-        std::uint64_t hot_bytes = std::max<std::uint64_t>(
-            64, static_cast<std::uint64_t>(
-                    rp.hot_fraction *
-                    static_cast<double>(rp.footprint_bytes)));
-        if (rng_.nextBool(rp.hot_probability)) {
-            offset = rng_.nextBelow(hot_bytes) & ~std::uint64_t{7};
+        if (rng.nextBoolFast(rf.hot_thr)) {
+            offset = rf.hot.mod(rng.next()) & ~std::uint64_t{7};
         } else {
-            offset = rng_.nextBelow(rp.footprint_bytes) & ~std::uint64_t{7};
+            offset = rf.footprint.mod(rng.next()) & ~std::uint64_t{7};
         }
         break;
       }
@@ -161,52 +166,107 @@ SyntheticWorkload::dataAddress()
 }
 
 void
+SyntheticWorkload::generateRun(Rng &rng, Instruction *out, std::size_t n)
+{
+    // Class-select thresholds: the cutoff doubles are computed with
+    // exactly the additions the original per-instruction comparisons
+    // performed, then folded to integer thresholds over the raw 53-bit
+    // uniform (Rng::boolThreshold) so the loop below runs no
+    // int-to-double conversions. Same draws, same outcomes.
+    const std::uint64_t load_t = Rng::boolThreshold(params_.load_frac);
+    const std::uint64_t store_t =
+        Rng::boolThreshold(params_.load_frac + params_.store_frac);
+    const std::uint64_t branch_t = Rng::boolThreshold(
+        params_.load_frac + params_.store_frac + params_.branch_frac);
+    const std::uint64_t fp_t = Rng::boolThreshold(params_.fp_frac);
+    const std::uint64_t mispredict_t =
+        Rng::boolThreshold(params_.mispredict_rate);
+    const std::uint64_t half_t = Rng::boolThreshold(0.5);
+    const double dep_mean = params_.dep_dist_mean;
+    // Bind the dependence-distance table once instead of re-checking
+    // the memoized mean on every draw (the dwell and loop-shape draws
+    // interleave other means through nextGeometric).
+    const GeometricTable *dep_table =
+        dep_mean > 0.0 ? GeometricTable::forMean(dep_mean) : nullptr;
+
+    // The pc walk advances every instruction; keep it in locals and
+    // resync around the (rare) startLoop draw.
+    Addr pc = pc_;
+    Addr loop_end = loop_start_ + loop_bytes_;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        Instruction &inst = out[i];
+
+        pc += 4;
+        if (pc >= loop_end) {
+            if (loop_iters_left_ > 1) {
+                --loop_iters_left_;
+                pc = loop_start_;
+            } else {
+                startLoop(rng);
+                pc = pc_;
+                loop_end = loop_start_ + loop_bytes_;
+            }
+        }
+
+        InstClass cls;
+        Addr mem_addr = 0;
+        std::uint8_t exec_latency = 1;
+        bool mispredicted = false;
+        const std::uint64_t m = rng.next() >> 11;
+        if (m < store_t) {
+            cls = m < load_t ? InstClass::Load : InstClass::Store;
+            mem_addr = dataAddress(rng);
+        } else if (m < branch_t) {
+            cls = InstClass::Branch;
+            mispredicted = rng.nextBoolFast(mispredict_t);
+        } else if (rng.nextBoolFast(fp_t)) {
+            cls = InstClass::FpAlu;
+            exec_latency = 4;
+        } else {
+            cls = InstClass::IntAlu;
+        }
+
+        // Producer distances: geometric around the mean, capped so
+        // they always reference an earlier instruction in any
+        // realistic window.
+        auto dist = [&]() -> std::uint16_t {
+            std::uint64_t d =
+                dep_table ? dep_table->sample(rng.next() >> 11) : 0;
+            return static_cast<std::uint16_t>(
+                std::min<std::uint64_t>(d, 512));
+        };
+        const std::uint16_t dep1 = dist();
+        const std::uint16_t dep2 = rng.nextBoolFast(half_t) ? dist() : 0;
+
+        // Every field written exactly once (no Instruction() reset;
+        // the trace writer copies fields, so padding never escapes).
+        inst.cls = cls;
+        inst.pc = pc;
+        inst.mem_addr = mem_addr;
+        inst.dep1 = dep1;
+        inst.dep2 = dep2;
+        inst.exec_latency = exec_latency;
+        inst.mispredicted = mispredicted;
+    }
+    pc_ = pc;
+}
+
+void
 SyntheticWorkload::next(Instruction &out)
 {
-    out = Instruction();
-    advancePc();
-    out.pc = pc_;
-
-    double draw = rng_.nextDouble();
-    if (draw < params_.load_frac) {
-        out.cls = InstClass::Load;
-        out.mem_addr = dataAddress();
-        out.exec_latency = 1; // cache latency added by the memory model
-    } else if (draw < params_.load_frac + params_.store_frac) {
-        out.cls = InstClass::Store;
-        out.mem_addr = dataAddress();
-        out.exec_latency = 1;
-    } else if (draw < params_.load_frac + params_.store_frac +
-                          params_.branch_frac) {
-        out.cls = InstClass::Branch;
-        out.exec_latency = 1;
-        out.mispredicted = rng_.nextBool(params_.mispredict_rate);
-    } else if (rng_.nextBool(params_.fp_frac)) {
-        out.cls = InstClass::FpAlu;
-        out.exec_latency = 4;
-    } else {
-        out.cls = InstClass::IntAlu;
-        out.exec_latency = 1;
-    }
-
-    // Producer distances: geometric around the mean, capped so they
-    // always reference an earlier instruction in any realistic window.
-    auto dist = [&]() -> std::uint16_t {
-        std::uint64_t d = rng_.nextGeometric(params_.dep_dist_mean);
-        return static_cast<std::uint16_t>(std::min<std::uint64_t>(d, 512));
-    };
-    out.dep1 = dist();
-    if (rng_.nextBool(0.5))
-        out.dep2 = dist();
-    return;
+    generateRun(rng_, &out, 1);
 }
 
 void
 SyntheticWorkload::nextBatch(InstructionBatch &batch, std::size_t max)
 {
     std::size_t n = std::min(max, InstructionBatch::capacity);
-    for (std::size_t i = 0; i < n; ++i)
-        SyntheticWorkload::next(batch.records[i]);
+    // A local rng keeps the 256-bit state in registers across the whole
+    // batch; the stream is the member stream, written back at the end.
+    Rng rng = rng_;
+    generateRun(rng, batch.records, n);
+    rng_ = rng;
     batch.size = n;
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "trace/workload.hh"
+#include "util/fastdiv.hh"
 
 namespace mnm
 {
@@ -107,14 +108,36 @@ class SyntheticWorkload : public WorkloadGenerator
         std::uint64_t chase = 1;    //!< PointerChase LCG state
     };
 
-    Addr dataAddress();
-    void advancePc();
-    void startLoop();
+    /** Per-region constants hoisted out of dataAddress(): the modulo
+     *  reductions there sit on the batch pipeline's hottest edge. All
+     *  draws stay bit-identical -- FastMod is an exact remainder and
+     *  the wrap-by-subtract shortcut only applies when the cursor can
+     *  never exceed twice the footprint. */
+    struct RegionFast
+    {
+        FastMod footprint;             //!< modulo by footprint_bytes
+        FastMod hot;                   //!< modulo by hot_bytes
+        std::uint64_t hot_bytes = 64;  //!< HotCold hot-subset size
+        std::uint64_t hot_thr = 0;     //!< boolThreshold(hot_probability)
+        bool wrap_by_subtract = false; //!< stride <= footprint
+    };
+
+    Addr dataAddress(Rng &rng);
+    void startLoop(Rng &rng);
+    /** The generation kernel behind next()/nextBatch(): fills @p n
+     *  records drawing from @p rng. Hot scalar state (the rng, the pc
+     *  walk) lives in locals for the whole run so it stays in
+     *  registers; draw order is exactly next()'s. */
+    void generateRun(Rng &rng, Instruction *out, std::size_t n);
 
     SyntheticParams params_;
     Rng rng_;
     std::vector<RegionState> regions_;
+    std::vector<RegionFast> region_fast_;
     double total_weight_ = 0.0;
+    /** boolThreshold(temporal_reuse): integer form of the per-data-op
+     *  reuse draw (see Rng::boolThreshold; same stream). */
+    std::uint64_t temporal_thr_ = 0;
 
     /** Current region and remaining dwell. */
     std::size_t active_region_ = 0;

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cache-line-aligned heap arrays for the batch scratch buffers.
+ *
+ * The SoA verdict kernels stream thousands of addresses and candidate
+ * masks per InstructionBatch; aligning those buffers to 64 bytes keeps
+ * every vector load/store within one line and lets the compiler emit
+ * aligned moves. std::vector cannot promise that alignment for plain
+ * integer element types, hence this minimal owning array.
+ */
+
+#ifndef MNM_UTIL_ALIGNED_HH
+#define MNM_UTIL_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+
+namespace mnm
+{
+
+/** A fixed-size, 64-byte-aligned, value-initialized heap array. */
+template <typename T>
+class AlignedArray
+{
+  public:
+    static constexpr std::size_t alignment = 64;
+
+    AlignedArray() = default;
+
+    explicit AlignedArray(std::size_t n) { reset(n); }
+
+    ~AlignedArray() { release(); }
+
+    AlignedArray(const AlignedArray &) = delete;
+    AlignedArray &operator=(const AlignedArray &) = delete;
+
+    AlignedArray(AlignedArray &&other) noexcept
+        : data_(other.data_), size_(other.size_)
+    {
+        other.data_ = nullptr;
+        other.size_ = 0;
+    }
+
+    AlignedArray &
+    operator=(AlignedArray &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            data_ = other.data_;
+            size_ = other.size_;
+            other.data_ = nullptr;
+            other.size_ = 0;
+        }
+        return *this;
+    }
+
+    /** Drop the old contents and allocate @p n zero-initialized slots. */
+    void
+    reset(std::size_t n)
+    {
+        release();
+        if (n == 0)
+            return;
+        data_ = static_cast<T *>(::operator new[](
+            n * sizeof(T), std::align_val_t{alignment}));
+        size_ = n;
+        for (std::size_t i = 0; i < n; ++i)
+            new (data_ + i) T();
+    }
+
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+  private:
+    void
+    release()
+    {
+        if (!data_)
+            return;
+        for (std::size_t i = size_; i > 0; --i)
+            data_[i - 1].~T();
+        ::operator delete[](data_, std::align_val_t{alignment});
+        data_ = nullptr;
+        size_ = 0;
+    }
+
+    T *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace mnm
+
+#endif // MNM_UTIL_ALIGNED_HH

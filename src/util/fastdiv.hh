@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Exact division-free modulo by a runtime-constant divisor.
+ *
+ * The workload generators reduce raw 64-bit random draws modulo region
+ * footprints on every synthesized memory access; a hardware 64-bit
+ * divide there is one of the costliest instructions left in the batch
+ * pipeline. FastMod replaces it with a multiply-high/shift reciprocal
+ * plus a bounded correction loop.
+ *
+ * Exactness does NOT rest on the reciprocal's precision: the estimate
+ * q^ = (m * magic) >> (64 + shift) with magic = floor(2^(64+shift)/d)
+ * never exceeds the true quotient and undershoots it by at most 2, so
+ * the correction loop (at most two subtractions of d) always lands on
+ * the exact remainder m % d for every 64-bit m. A construction-time
+ * self-check verifies edge inputs anyway.
+ */
+
+#ifndef MNM_UTIL_FASTDIV_HH
+#define MNM_UTIL_FASTDIV_HH
+
+#include <cstdint>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+/** Precomputed exact modulo-by-constant (divisor >= 1). */
+class FastMod
+{
+  public:
+    FastMod() = default;
+
+    explicit FastMod(std::uint64_t divisor) : d_(divisor)
+    {
+        MNM_ASSERT(divisor != 0, "FastMod by zero");
+        if (isPowerOf2(d_)) {
+            mask_ = d_ - 1;
+            pow2_ = true;
+            return;
+        }
+        pow2_ = false;
+        shift_ = floorLog2(d_);
+        magic_ = static_cast<std::uint64_t>(
+            ((static_cast<unsigned __int128>(1) << (64 + shift_))) / d_);
+        // Spot-check the contract on the extremes the proof covers.
+        MNM_ASSERT(mod(~std::uint64_t{0}) == ~std::uint64_t{0} % d_ &&
+                       mod(d_) == 0 && mod(d_ - 1) == d_ - 1,
+                   "FastMod self-check failed");
+    }
+
+    std::uint64_t divisor() const { return d_; }
+
+    /** m % divisor, exactly, with no divide instruction. */
+    std::uint64_t mod(std::uint64_t m) const
+    {
+        if (pow2_)
+            return m & mask_;
+        return slowMod(m);
+    }
+
+  private:
+    std::uint64_t
+    slowMod(std::uint64_t m) const
+    {
+        std::uint64_t q = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(m) * magic_) >> 64 >> shift_);
+        std::uint64_t r = m - q * d_;
+        while (r >= d_)
+            r -= d_;
+        return r;
+    }
+
+    std::uint64_t d_ = 1;
+    std::uint64_t magic_ = 0;
+    std::uint64_t mask_ = 0;
+    unsigned shift_ = 0;
+    bool pow2_ = true; //!< d_ == 1: mask_ == 0 answers every mod
+};
+
+} // namespace mnm
+
+#endif // MNM_UTIL_FASTDIV_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Open-addressing hash map from 64-bit keys to small values.
+ *
+ * The CMNM's block -> placement-register attachment sits on the fill
+ * path: one insert per placement, one find+erase per replacement.
+ * std::unordered_map pays a node allocation per insert and a pointer
+ * chase per probe there; this flat table keeps keys, values, and slot
+ * states in three parallel arrays (linear probing, tombstones on
+ * erase, doubling growth), so the common probe touches one cache line
+ * of keys. Semantics match the map operations the filters use:
+ * find/insert/erase/clear with exact keys -- no iteration order is
+ * exposed at all.
+ */
+
+#ifndef MNM_UTIL_FLATMAP_HH
+#define MNM_UTIL_FLATMAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+template <typename V>
+class FlatMap64
+{
+  public:
+    FlatMap64() { rehash(initial_slots); }
+
+    /** Pointer to the value for @p key, or nullptr when absent. */
+    V *
+    find(std::uint64_t key)
+    {
+        std::size_t i = slotOf(key);
+        while (true) {
+            if (state_[i] == Slot::Empty)
+                return nullptr;
+            if (state_[i] == Slot::Full && keys_[i] == key)
+                return &vals_[i];
+            i = (i + 1) & mask_;
+        }
+    }
+
+    /**
+     * Value slot for @p key, inserting a default-constructed value if
+     * absent. @p fresh reports whether the insert happened (the
+     * unordered_map::emplace contract the CMNM's anomaly accounting
+     * relies on).
+     */
+    V &
+    insert(std::uint64_t key, bool &fresh)
+    {
+        if ((used_ + 1) * 10 >= (mask_ + 1) * 7)
+            rehash((mask_ + 1) * 2);
+        std::size_t i = slotOf(key);
+        std::size_t grave = invalid_slot;
+        while (true) {
+            if (state_[i] == Slot::Empty) {
+                if (grave != invalid_slot)
+                    i = grave;  // reuse the first tombstone crossed
+                else
+                    ++used_;
+                state_[i] = Slot::Full;
+                keys_[i] = key;
+                vals_[i] = V();
+                ++size_;
+                fresh = true;
+                return vals_[i];
+            }
+            if (state_[i] == Slot::Tomb) {
+                if (grave == invalid_slot)
+                    grave = i;
+            } else if (keys_[i] == key) {
+                fresh = false;
+                return vals_[i];
+            }
+            i = (i + 1) & mask_;
+        }
+    }
+
+    /** Drop @p key. @return true when it was present. */
+    bool
+    erase(std::uint64_t key)
+    {
+        std::size_t i = slotOf(key);
+        while (true) {
+            if (state_[i] == Slot::Empty)
+                return false;
+            if (state_[i] == Slot::Full && keys_[i] == key) {
+                state_[i] = Slot::Tomb;
+                --size_;
+                return true;
+            }
+            i = (i + 1) & mask_;
+        }
+    }
+
+    void
+    clear()
+    {
+        std::fill(state_.begin(), state_.end(),
+                  static_cast<std::uint8_t>(Slot::Empty));
+        size_ = 0;
+        used_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+
+  private:
+    enum Slot : std::uint8_t
+    {
+        Empty = 0,
+        Full = 1,
+        Tomb = 2,
+    };
+
+    static constexpr std::size_t initial_slots = 1024;
+    static constexpr std::size_t invalid_slot = ~std::size_t{0};
+
+    std::size_t
+    slotOf(std::uint64_t key) const
+    {
+        // Fibonacci multiply-shift; the table is always a power of two.
+        return static_cast<std::size_t>(key * 0x9E3779B97F4A7C15ull) &
+               mask_;
+    }
+
+    void
+    rehash(std::size_t new_slots)
+    {
+        MNM_ASSERT((new_slots & (new_slots - 1)) == 0,
+                   "flat map size must be a power of two");
+        std::vector<std::uint64_t> old_keys = std::move(keys_);
+        std::vector<V> old_vals = std::move(vals_);
+        std::vector<std::uint8_t> old_state = std::move(state_);
+        keys_.assign(new_slots, 0);
+        vals_.assign(new_slots, V());
+        state_.assign(new_slots, static_cast<std::uint8_t>(Slot::Empty));
+        mask_ = new_slots - 1;
+        size_ = 0;
+        used_ = 0;
+        for (std::size_t i = 0; i < old_state.size(); ++i) {
+            if (old_state[i] != Slot::Full)
+                continue;
+            bool fresh = false;
+            insert(old_keys[i], fresh) = old_vals[i];
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<V> vals_;
+    std::vector<std::uint8_t> state_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0; //!< live entries
+    std::size_t used_ = 0; //!< live entries plus tombstones
+};
+
+} // namespace mnm
+
+#endif // MNM_UTIL_FLATMAP_HH

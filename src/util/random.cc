@@ -1,6 +1,10 @@
 #include "util/random.hh"
 
+#include <bit>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "util/logging.hh"
 
@@ -20,7 +24,100 @@ splitMix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
+/** Largest raw 53-bit uniform (u closest to 1). */
+constexpr std::uint64_t max_m = (std::uint64_t{1} << 53) - 1;
+
+/** Tables beyond this many steps fall back to the formula; the largest
+ *  mean any workload uses (200) needs ~7.4k steps. */
+constexpr std::uint64_t max_table_steps = 1u << 20;
+
 } // anonymous namespace
+
+std::uint64_t
+GeometricTable::sampleFormula(std::uint64_t m) const
+{
+    // The original inverse-CDF arithmetic, kept verbatim: the table is
+    // only ever a bit-exact cache of this function.
+    double u = static_cast<double>(m) * (1.0 / 9007199254740992.0);
+    double v = std::log1p(-u) / log1p_mp_;
+    if (v < 0.0)
+        v = 0.0;
+    if (v > 1e12)
+        v = 1e12;
+    return static_cast<std::uint64_t>(v);
+}
+
+GeometricTable::GeometricTable(double mean)
+{
+    log1p_mp_ = std::log1p(-(1.0 / (mean + 1.0)));
+
+    const std::uint64_t steps = sampleFormula(max_m);
+    if (steps == 0 || steps > max_table_steps)
+        return; // degenerate or huge: sampleFormula serves every draw
+
+    // thresholds_[j] = smallest m with sampleFormula(m) > j, by binary
+    // search over the formula itself. The formula is monotone in m (u
+    // is exact in m; log1p and the divide by a negative constant are
+    // monotone), so the thresholds partition [0, 2^53) exactly.
+    thresholds_.resize(static_cast<std::size_t>(steps));
+    std::uint64_t lo = 0;
+    for (std::uint64_t j = 0; j < steps; ++j) {
+        std::uint64_t hi = max_m;
+        // Invariant: sampleFormula(lo-1) <= j < sampleFormula(hi).
+        while (lo < hi) {
+            std::uint64_t mid = lo + (hi - lo) / 2;
+            if (sampleFormula(mid) > j) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        MNM_ASSERT(sampleFormula(lo) > j &&
+                       (lo == 0 || sampleFormula(lo - 1) <= j),
+                   "geometric threshold search lost monotonicity");
+        thresholds_[static_cast<std::size_t>(j)] = lo;
+    }
+
+    // Guide: for each bucket of the top guide_bits of m, the range of
+    // threshold indices that can matter. Most buckets straddle no
+    // threshold and resolve in O(1).
+    const std::size_t buckets = std::size_t{1} << guide_bits;
+    guide_.resize(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+        const std::uint64_t first = static_cast<std::uint64_t>(b)
+                                    << guide_shift;
+        const std::uint64_t last =
+            first + (std::uint64_t{1} << guide_shift) - 1;
+        const std::uint64_t lo = static_cast<std::uint64_t>(
+            std::upper_bound(thresholds_.begin(), thresholds_.end(),
+                             first) -
+            thresholds_.begin());
+        const std::uint64_t hi = static_cast<std::uint64_t>(
+            std::upper_bound(thresholds_.begin(), thresholds_.end(),
+                             last) -
+            thresholds_.begin());
+        guide_[b] = lo | (hi << 32);
+    }
+    tabulated_ = true;
+}
+
+const GeometricTable *
+GeometricTable::forMean(double mean)
+{
+    static std::mutex mu;
+    static std::map<std::uint64_t, std::unique_ptr<GeometricTable>>
+        cache;
+    std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t key = std::bit_cast<std::uint64_t>(mean);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key, std::unique_ptr<GeometricTable>(
+                                   new GeometricTable(mean)))
+                 .first;
+    }
+    return it->second.get();
+}
 
 Rng::Rng(std::uint64_t seed)
 {

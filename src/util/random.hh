@@ -11,14 +11,77 @@
 #ifndef MNM_UTIL_RANDOM_HH
 #define MNM_UTIL_RANDOM_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "util/logging.hh"
 
 namespace mnm
 {
+
+/**
+ * Precomputed inverse-CDF table for Rng::nextGeometric at one mean.
+ *
+ * The geometric draw used to evaluate log1p(-u) / log1p(-p) per call --
+ * a libm call plus an FP divide on the batch pipeline's hottest edge
+ * (every synthesized instruction draws one or two dependence
+ * distances). Since u is always (next() >> 11) * 2^-53, the draw is a
+ * pure function of the 53-bit integer m = next() >> 11, and that
+ * function is a monotone step function: tabulating the step boundaries
+ * once per mean turns every draw into a guide-table lookup.
+ *
+ * The boundaries are found by binary search over the ORIGINAL
+ * floating-point formula, so the table reproduces it bit-for-bit --
+ * a property random_test checks against the formula directly. Means
+ * whose tables would be unreasonably large (beyond any mean the
+ * workloads use) fall back to the formula.
+ */
+class GeometricTable
+{
+  public:
+    /** Shared immortal table for @p mean (> 0), built on first use. */
+    static const GeometricTable *forMean(double mean);
+
+    /** The draw for raw 53-bit uniform @p m; bit-identical to the
+     *  log1p formula this table was built from. */
+    std::uint64_t
+    sample(std::uint64_t m) const
+    {
+        if (!tabulated_)
+            return sampleFormula(m);
+        // lo and hi are packed into one word so the common single-step
+        // bucket resolves with one load.
+        const std::uint64_t g =
+            guide_[static_cast<std::uint32_t>(m >> guide_shift)];
+        const std::uint32_t lo = static_cast<std::uint32_t>(g);
+        const std::uint32_t hi = static_cast<std::uint32_t>(g >> 32);
+        if (lo == hi)
+            return lo;
+        const std::uint64_t *t = thresholds_.data();
+        return static_cast<std::uint64_t>(
+            std::upper_bound(t + lo, t + hi, m) - t);
+    }
+
+    /** The original formula (the table's reference semantics). */
+    std::uint64_t sampleFormula(std::uint64_t m) const;
+
+  private:
+    explicit GeometricTable(double mean);
+
+    static constexpr unsigned guide_bits = 12;
+    static constexpr unsigned guide_shift = 53 - guide_bits;
+
+    double log1p_mp_ = 0.0; //!< log1p(-1/(mean+1))
+    bool tabulated_ = false;
+    /** thresholds_[j]: smallest m whose draw exceeds j. */
+    std::vector<std::uint64_t> thresholds_;
+    /** Per-bucket draw range over the top guide_bits of m:
+     *  lo in the low word, hi in the high word. */
+    std::vector<std::uint64_t> guide_;
+};
 
 /** A deterministic xoshiro256** pseudo-random generator.
  *
@@ -76,28 +139,45 @@ class Rng
     bool nextBool(double p) { return nextDouble() < p; }
 
     /**
+     * Integer threshold t with (next() >> 11) < t ⟺ nextBool(p),
+     * for hoisting the int-to-double conversion and double compare out
+     * of per-draw hot loops. nextDouble() is m * 2^-53 with m < 2^53
+     * exact, so the real comparison m * 2^-53 < p is m < p * 2^53,
+     * i.e. m < ceil(p * 2^53) over the integers (exact: scaling by a
+     * power of two loses no mantissa bits).
+     */
+    static std::uint64_t boolThreshold(double p)
+    {
+        if (p <= 0.0)
+            return 0;
+        if (p >= 1.0)
+            return std::uint64_t{1} << 53;
+        return static_cast<std::uint64_t>(
+            std::ceil(p * 9007199254740992.0));
+    }
+
+    /** The draw half of boolThreshold: same stream as nextBool(p). */
+    bool nextBoolFast(std::uint64_t threshold)
+    {
+        return (next() >> 11) < threshold;
+    }
+
+    /**
      * Draw from a (clamped) geometric distribution with mean ~@p mean.
-     * Used for dependency distances and region dwell times.
+     * Used for dependency distances and region dwell times. Evaluated
+     * through the shared GeometricTable for the mean, which reproduces
+     * the inverse-CDF formula bit-for-bit without its per-draw log1p.
      */
     std::uint64_t nextGeometric(double mean)
     {
         if (mean <= 0.0)
             return 0;
-        double u = nextDouble();
-        // Inverse-CDF of geometric with success prob 1/(mean+1). The
-        // denominator depends only on the mean, which is constant per
-        // workload phase; one cached log1p replaces millions.
-        double p = 1.0 / (mean + 1.0);
+        std::uint64_t m = next() >> 11;
         if (mean != geo_mean_) {
             geo_mean_ = mean;
-            geo_log1p_ = std::log1p(-p);
+            geo_table_ = GeometricTable::forMean(mean);
         }
-        double v = std::log1p(-u) / geo_log1p_;
-        if (v < 0.0)
-            v = 0.0;
-        if (v > 1e12)
-            v = 1e12;
-        return static_cast<std::uint64_t>(v);
+        return geo_table_->sample(m);
     }
 
     /** Standard-normal variate (Box-Muller). */
@@ -113,10 +193,10 @@ class Rng
     }
 
     std::uint64_t s_[4];
-    /** nextGeometric()'s memoized log1p(-1/(mean+1)) for this mean.
+    /** nextGeometric()'s memoized table binding for the current mean.
      *  NaN compares unequal to everything, forcing the first fill. */
     double geo_mean_ = std::numeric_limits<double>::quiet_NaN();
-    double geo_log1p_ = 0.0;
+    const GeometricTable *geo_table_ = nullptr;
 };
 
 } // namespace mnm

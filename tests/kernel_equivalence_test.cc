@@ -1,12 +1,14 @@
 /**
  * @file
  * The batched/devirtualized hot kernel against the single-step virtual
- * reference path (sim/memory_sim.hh setReferenceKernel). The refactor's
- * contract is *bit-identical* results -- every counter, the coverage
- * and confusion breakdowns, and the energy doubles -- across the preset
- * grid: the five techniques plus the perfect MNM and the bare
- * hierarchy, under all three placements, and with faults injected
- * mid-run through both kernels.
+ * reference path (sim/memory_sim.hh setReferenceKernel), on EVERY
+ * verdict backend this machine runs: the legacy per-access plan walk
+ * (off), the scalar SoA pass, and the native vector pass (AVX2/NEON)
+ * when one exists. The refactor's contract is *bit-identical* results
+ * -- every counter, the coverage and confusion breakdowns, and the
+ * energy doubles -- across the preset grid: the five techniques plus
+ * the perfect MNM and the bare hierarchy, under all three placements,
+ * and with faults injected mid-run through every kernel.
  */
 
 #include <cstdint>
@@ -21,6 +23,7 @@
 #include "sim/config.hh"
 #include "sim/memory_sim.hh"
 #include "trace/spec2000.hh"
+#include "util/cpu.hh"
 
 namespace mnm
 {
@@ -138,21 +141,37 @@ class KernelEquivalenceTest
 {
 };
 
+/** Every backend a verdict can be computed under on this machine. */
+std::vector<SimdBackend>
+verdictBackends()
+{
+    std::vector<SimdBackend> backends = {SimdBackend::Off,
+                                         SimdBackend::ScalarSoa};
+    if (nativeSimdBackend() != SimdBackend::ScalarSoa)
+        backends.push_back(nativeSimdBackend());
+    return backends;
+}
+
 TEST_P(KernelEquivalenceTest, BatchedMatchesReferenceOnPresetMachine)
 {
     const KernelCase &c = GetParam();
-    MemSimResult results[2];
-    for (int reference = 0; reference < 2; ++reference) {
+    auto run_case = [&](bool reference, SimdBackend backend) {
         MemorySimulator sim(paperHierarchy(5), c.spec);
-        sim.setReferenceKernel(reference != 0);
+        sim.setReferenceKernel(reference);
+        if (!reference && c.spec)
+            sim.mnm()->setSimdBackend(backend);
         auto workload = makeSpecWorkload(workload_name);
         // Two runs: the second starts warm, covering the carried
         // state (filters, coverage, cumulative violation counters).
         sim.run(*workload, run_instructions / 2);
-        results[reference] =
-            sim.run(*workload, run_instructions / 2);
+        return sim.run(*workload, run_instructions / 2);
+    };
+    MemSimResult reference = run_case(true, SimdBackend::Off);
+    for (SimdBackend backend : verdictBackends()) {
+        SCOPED_TRACE(simdBackendName(backend));
+        MemSimResult batched = run_case(false, backend);
+        expectIdenticalResults(batched, reference);
     }
-    expectIdenticalResults(results[0], results[1]);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -168,23 +187,25 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(KernelEquivalenceTest, FaultedFiltersMatchReferenceExactly)
 {
-    // Same contract with corrupted filter state: warm both kernels,
+    // Same contract with corrupted filter state: warm each kernel,
     // apply the identical deterministic flips (first/middle/last bit
     // of every surface), and the oracle-checked continuation must
-    // still agree bit for bit -- violations included.
+    // still agree bit for bit -- violations included -- on every
+    // backend.
     for (const char *name : {"RMNM_512_2", "SMNM_13x2", "TMNM_12x3",
                              "CMNM_8_10", "HMNM4"}) {
         SCOPED_TRACE(name);
         MnmSpec spec = mnmSpecByName(name);
         spec.oracle_check = true;
-        MemSimResult results[2];
-        for (int reference = 0; reference < 2; ++reference) {
+        auto run_case = [&](bool reference, SimdBackend backend) {
             MemorySimulator sim(paperHierarchy(5), spec);
-            sim.setReferenceKernel(reference != 0);
+            sim.setReferenceKernel(reference);
+            if (!reference)
+                sim.mnm()->setSimdBackend(backend);
             auto workload = makeSpecWorkload(workload_name);
             sim.run(*workload, run_instructions / 2);
             auto surfaces = FaultInjector::faultSurfaces(*sim.mnm());
-            ASSERT_FALSE(surfaces.empty());
+            EXPECT_FALSE(surfaces.empty());
             for (std::size_t s = 0; s < surfaces.size(); ++s) {
                 for (std::uint64_t bit :
                      {std::uint64_t{0}, surfaces[s].bits / 2,
@@ -192,10 +213,14 @@ TEST(KernelEquivalenceTest, FaultedFiltersMatchReferenceExactly)
                     FaultInjector::flip(*sim.mnm(), s, bit);
                 }
             }
-            results[reference] =
-                sim.run(*workload, run_instructions / 2);
+            return sim.run(*workload, run_instructions / 2);
+        };
+        MemSimResult reference = run_case(true, SimdBackend::Off);
+        for (SimdBackend backend : verdictBackends()) {
+            SCOPED_TRACE(simdBackendName(backend));
+            MemSimResult batched = run_case(false, backend);
+            expectIdenticalResults(batched, reference);
         }
-        expectIdenticalResults(results[0], results[1]);
     }
 }
 

@@ -18,7 +18,9 @@ usage: tools/extract_results.py bench_output.txt [outdir]
        tools/extract_results.py --diff a.json b.json
        tools/extract_results.py --journal checkpoint.jsonl
        tools/extract_results.py --perf [--baseline BENCH_kernel.json] \
-                                file...
+                                [--require-same-cells] file...
+       tools/extract_results.py --perf --baseline BENCH_kernel.json \
+                                --update-baseline [--force] new.json
 
 With --stats, every extracted coverage table is cross-checked against
 the MNM_STATS_JSON run manifest: each printed percentage must match the
@@ -41,14 +43,23 @@ foreign lines (reported, never fatal -- a truncated tail is exactly
 what the journal is designed to survive).
 
 With --perf, each input is either a kernel-bench summary (schema
-mnm-kernel-bench-v1, written by bench_kernel_throughput under
+mnm-kernel-bench-v1 or -v2, written by bench_kernel_throughput under
 MNM_BENCH_JSON) or an MNM_STATS_JSON run manifest. Summaries print
-their per-config instructions/sec; with --baseline, each config shared
-with the committed baseline is compared and any throughput drop beyond
-20% fails the run (CI's Release-build regression gate). Manifests print
-every per-cell metrics.runner.*.instr_per_sec gauge; manifests from
-older schema revisions simply have none, which is reported but never an
-error.
+their per-cell instructions/sec (v2 cells are "config[backend]"); with
+--baseline, each cell shared with the committed baseline is compared
+and any throughput drop beyond 20% fails the run (CI's Release-build
+regression gate). --require-same-cells additionally fails when the
+baseline's cell set differs from the run's -- the staleness check CI
+runs so a schema or config change cannot quietly dodge the gate.
+Manifests print every per-cell metrics.runner.*.instr_per_sec gauge;
+manifests from older schema revisions simply have none, which is
+reported but never an error.
+
+With --perf --update-baseline, the ratchet: the given summary replaces
+the committed baseline file, printing every cell's delta. Lowering any
+cell (or dropping one) is refused unless --force is also passed -- the
+baseline only moves up by default, so a regression can only be
+baselined deliberately.
 
 Truncated or malformed JSON inputs are reported as such with a
 non-zero exit; the tool never dies with a traceback on a partial file.
@@ -216,8 +227,9 @@ def run_diff(path_a, path_b) -> int:
     return 0
 
 
-#: Schema tag written by bench_kernel_throughput under MNM_BENCH_JSON.
-KERNEL_BENCH_SCHEMA = "mnm-kernel-bench-v1"
+#: Schema tags written by bench_kernel_throughput under MNM_BENCH_JSON.
+#: v1 keyed cells by config alone; v2 adds a backend dimension.
+KERNEL_BENCH_SCHEMAS = ("mnm-kernel-bench-v1", "mnm-kernel-bench-v2")
 
 #: CI's Release-job gate: a config may lose at most this fraction of
 #: its committed-baseline throughput before the run fails.
@@ -225,13 +237,26 @@ PERF_REGRESSION_LIMIT = 0.20
 
 
 def perf_configs(doc):
-    """{config: instr_per_sec} from a kernel-bench summary, skipping
-    malformed or non-positive cells rather than dying on them."""
+    """{cell: instr_per_sec} from a kernel-bench summary, skipping
+    malformed or non-positive cells rather than dying on them. v1 cells
+    are keyed by config name; v2 cells by "config[backend]". The two
+    key spaces never collide, so a schema change between a committed
+    baseline and a fresh run shows up as fully-disjoint cell sets --
+    exactly what --require-same-cells exists to catch."""
     out = {}
     for name, cell in doc.get("configs", {}).items():
-        ips = cell.get("instr_per_sec") if isinstance(cell, dict) else None
-        if isinstance(ips, (int, float)) and ips > 0:
-            out[name] = float(ips)
+        if not isinstance(cell, dict):
+            continue
+        if doc.get("schema") == "mnm-kernel-bench-v1":
+            ips = cell.get("instr_per_sec")
+            if isinstance(ips, (int, float)) and ips > 0:
+                out[name] = float(ips)
+            continue
+        for backend, inner in cell.items():
+            ips = (inner.get("instr_per_sec")
+                   if isinstance(inner, dict) else None)
+            if isinstance(ips, (int, float)) and ips > 0:
+                out[f"{name}[{backend}]"] = float(ips)
     return out
 
 
@@ -253,9 +278,66 @@ def manifest_throughput(doc):
     return rows
 
 
-def run_perf(baseline_path, paths) -> int:
+def update_baseline(baseline_path, new_path, force) -> int:
+    """The perf ratchet: install @p new_path as the committed baseline
+    at @p baseline_path. Prints the per-cell delta. Refuses to LOWER any
+    shared cell (or drop cells) without --force -- the baseline only
+    ratchets upward; lowering it means accepting a regression, which
+    must be a deliberate, visible act."""
+    new_doc = load_json(new_path, "new baseline")
+    if new_doc is None:
+        return 1
+    if new_doc.get("schema") not in KERNEL_BENCH_SCHEMAS:
+        print(f"{new_path} is not a kernel-bench summary",
+              file=sys.stderr)
+        return 1
+    new_cells = perf_configs(new_doc)
+    if not new_cells:
+        print(f"{new_path} holds no usable cells", file=sys.stderr)
+        return 1
+
+    old_cells = {}
+    if os.path.exists(baseline_path):
+        old_doc = load_json(baseline_path, "baseline")
+        if old_doc is None:
+            return 1
+        old_cells = perf_configs(old_doc)
+
+    lowered = []
+    for name in sorted(set(new_cells) | set(old_cells)):
+        if name not in old_cells:
+            print(f"  {name:<28} {new_cells[name]:14.0f} instr/sec  "
+                  f"(new cell)")
+        elif name not in new_cells:
+            print(f"  {name:<28} dropped (baseline had "
+                  f"{old_cells[name]:.0f} instr/sec)")
+            lowered.append(name)
+        else:
+            ratio = new_cells[name] / old_cells[name]
+            print(f"  {name:<28} {old_cells[name]:14.0f} -> "
+                  f"{new_cells[name]:14.0f} instr/sec  ({ratio:.2f}x)")
+            if ratio < 1.0:
+                lowered.append(name)
+    if lowered and not force:
+        print(f"refusing to lower the baseline for: "
+              f"{', '.join(lowered)} (pass --force to accept the "
+              f"regression deliberately)", file=sys.stderr)
+        return 1
+
+    with open(new_path, encoding="utf-8") as f:
+        text = f.read()
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        f.write(text)
+    print(f"baseline {baseline_path} updated from {new_path}"
+          + (" (--force)" if lowered else ""))
+    return 0
+
+
+def run_perf(baseline_path, paths, require_same_cells=False) -> int:
     """Print throughput summaries; gate against the baseline if given.
-    Returns non-zero on unreadable inputs or a gated regression."""
+    Returns non-zero on unreadable inputs, a gated regression, or --
+    under --require-same-cells -- a baseline whose cell set no longer
+    matches what the bench produces (a stale committed baseline)."""
     baseline = None
     if baseline_path is not None:
         doc = load_json(baseline_path, "baseline")
@@ -272,12 +354,12 @@ def run_perf(baseline_path, paths) -> int:
         doc = load_json(path, "perf input")
         if doc is None:
             return 1
-        if doc.get("schema") == KERNEL_BENCH_SCHEMA:
+        if doc.get("schema") in KERNEL_BENCH_SCHEMAS:
             configs = perf_configs(doc)
             print(f"{path}: kernel bench, app {doc.get('app', '?')}, "
                   f"{doc.get('instructions', '?')} instructions/config")
             for name, ips in configs.items():
-                line = f"  {name:<16} {ips:14.0f} instr/sec"
+                line = f"  {name:<28} {ips:14.0f} instr/sec"
                 if baseline is not None and name in baseline:
                     ratio = ips / baseline[name]
                     line += f"  ({ratio:.2f}x of baseline)"
@@ -287,11 +369,19 @@ def run_perf(baseline_path, paths) -> int:
                 elif baseline is not None:
                     line += "  (no baseline entry)"
                 print(line)
+            if baseline is not None and require_same_cells and \
+                    set(baseline) != set(configs):
+                print(f"STALE baseline {baseline_path}: cells "
+                      f"{sorted(set(baseline) ^ set(configs))} differ "
+                      f"between baseline and this run -- re-measure and "
+                      f"commit via --update-baseline", file=sys.stderr)
+                status = 1
             if baseline is not None:
                 for name in sorted(set(baseline) - set(configs)):
-                    # A vanished config is suspicious but not gated:
-                    # baselines may carry configs a trimmed run skips.
-                    print(f"  {name:<16} missing from this run "
+                    # A vanished config is suspicious but not gated
+                    # (unless --require-same-cells): baselines may carry
+                    # configs a trimmed run skips.
+                    print(f"  {name:<28} missing from this run "
                           f"(baseline has it)", file=sys.stderr)
         elif "metrics" in doc:
             rows = manifest_throughput(doc)
@@ -387,16 +477,32 @@ def main() -> int:
     if args[:1] == ["--perf"]:
         args = args[1:]
         baseline = None
-        if args[:1] == ["--baseline"]:
-            if len(args) < 2:
+        update = False
+        force = False
+        require_same_cells = False
+        while args and args[0].startswith("--"):
+            if args[0] == "--baseline" and len(args) >= 2:
+                baseline = args[1]
+                args = args[2:]
+            elif args[0] == "--update-baseline":
+                update = True
+                args = args[1:]
+            elif args[0] == "--force":
+                force = True
+                args = args[1:]
+            elif args[0] == "--require-same-cells":
+                require_same_cells = True
+                args = args[1:]
+            else:
                 print(__doc__, file=sys.stderr)
                 return 1
-            baseline = args[1]
-            args = args[2:]
-        if not args:
+        if not args or (update and
+                        (baseline is None or len(args) != 1)):
             print(__doc__, file=sys.stderr)
             return 1
-        return run_perf(baseline, args)
+        if update:
+            return update_baseline(baseline, args[0], force)
+        return run_perf(baseline, args, require_same_cells)
 
     stats_path = None
     if args[:1] == ["--stats"]:
