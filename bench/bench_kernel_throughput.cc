@@ -46,6 +46,8 @@
 #include <vector>
 
 #include "core/presets.hh"
+#include "obs/phase_profiler.hh"
+#include "obs/registry.hh"
 #include "sim/config.hh"
 #include "sim/experiment.hh"
 #include "sim/memory_sim.hh"
@@ -93,6 +95,9 @@ struct Cell
     std::unique_ptr<MemorySimulator> sim;
     std::unique_ptr<WorkloadGenerator> workload;
     double best_instr_per_sec = 0.0;
+    /** Phase attribution over this cell's measured rounds (MNM_PROF
+     *  active only; warm-up excluded). */
+    PhaseTotals prof;
 };
 
 double
@@ -107,6 +112,33 @@ measureWindow(Cell &cell, std::uint64_t instructions)
         fatal("kernel bench measured a non-positive interval; raise "
               "MNM_INSTRUCTIONS");
     return static_cast<double>(result.instructions) / seconds;
+}
+
+/** Optional per-cell JSON suffix: phase shares when MNM_PROF is active
+ *  ("" otherwise, keeping the summary byte-identical with knobs unset).
+ *  Additive to schema v2 -- the perf gate reads instr_per_sec only. */
+std::string
+profSharesJson(const PhaseTotals &totals)
+{
+    const std::uint64_t total = totals.totalTicks();
+    if (total == 0)
+        return "";
+    std::string out = ", \"prof\": {";
+    bool first = true;
+    for (int p = 0; p < num_phases; ++p) {
+        if (totals.phase[p].ticks == 0)
+            continue;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %.4f",
+                      first ? "" : ", ",
+                      phaseName(static_cast<Phase>(p)),
+                      static_cast<double>(totals.phase[p].ticks) /
+                          static_cast<double>(total));
+        out += buf;
+        first = false;
+    }
+    out += "}";
+    return out;
 }
 
 std::uint64_t
@@ -164,10 +196,19 @@ main()
         // Warm the cell's caches and filters outside the timed rounds,
         // mirroring runFunctional()'s 10% warm-up discipline.
         cell.sim->run(*cell.workload, opts.instructions / 10);
+        const PhaseTotals prof_before = threadPhaseTotals();
         for (std::uint64_t round = 0; round < rounds; ++round) {
             double ips = measureWindow(cell, opts.instructions);
             if (ips > cell.best_instr_per_sec)
                 cell.best_instr_per_sec = ips;
+        }
+        if (profActive()) {
+            cell.prof =
+                phaseTotalsDelta(prof_before, threadPhaseTotals());
+            foldPhaseTotals(
+                globalStats(), cell.prof,
+                "prof.cell." + sanitizeMetricSegment(cell.config) + "." +
+                    sanitizeMetricSegment(cell.backend_role));
         }
     }
 
@@ -206,9 +247,11 @@ main()
             if (open)
                 std::fprintf(f, "    \"%s\": {\n",
                              cells[i].config.c_str());
-            std::fprintf(f, "      \"%s\": {\"instr_per_sec\": %.0f}%s\n",
+            std::fprintf(f,
+                         "      \"%s\": {\"instr_per_sec\": %.0f%s}%s\n",
                          cells[i].backend_role.c_str(),
                          cells[i].best_instr_per_sec,
+                         profSharesJson(cells[i].prof).c_str(),
                          close ? "" : ",");
             if (close) {
                 std::fprintf(f, "    }%s\n",

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/phase_profiler.hh"
 #include "util/logging.hh"
 
 namespace mnm
@@ -388,6 +389,7 @@ MnmUnit::applyPlacementCosts(const AccessResult &result)
 void
 MnmUnit::onPlacement(CacheId id, BlockAddr block)
 {
+    PhaseScope prof(Phase::UpdateFeed);
     PerCache &pc = per_cache_[id];
     // Level >= 2 state moved: filters and RMNM below, and in perfect
     // mode the cache contents the oracle verdicts read. L1 events leave
@@ -420,6 +422,7 @@ MnmUnit::onPlacement(CacheId id, BlockAddr block)
 void
 MnmUnit::onReplacement(CacheId id, BlockAddr block)
 {
+    PhaseScope prof(Phase::UpdateFeed);
     PerCache &pc = per_cache_[id];
     if (pc.rmnm_index >= 0)
         ++state_epoch_;
@@ -464,6 +467,7 @@ MnmUnit::consumedEnergyPj() const
 void
 MnmUnit::onFlush(CacheId id)
 {
+    PhaseScope prof(Phase::UpdateFeed);
     ++state_epoch_;
     PerCache &pc = per_cache_[id];
     for (auto &filter : pc.filters)

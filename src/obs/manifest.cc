@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "obs/json.hh"
+#include "obs/phase_profiler.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
@@ -63,11 +64,16 @@ initRunTelemetry(const std::string &run_name)
     RunInfo &info = runInfo();
     if (!info.initialized) {
         info.initialized = true;
+        // The profiling knobs resolve here too, so a malformed MNM_PROF
+        // dies at startup and every harness that records telemetry also
+        // attributes it.
+        initPhaseProfiler();
         if (const char *env = std::getenv("MNM_STATS_JSON"))
             info.stats_path = env;
         if (const char *env = std::getenv("MNM_TRACE_FILE"))
             info.trace_path = env;
-        if (!info.stats_path.empty() || !info.trace_path.empty()) {
+        if (!info.stats_path.empty() || !info.trace_path.empty() ||
+            !profFoldedPath().empty()) {
             // Force-construct the singletons the exit hook reads NOW:
             // function-local statics are destroyed in reverse
             // construction order, interleaved with atexit handlers, so
@@ -131,8 +137,10 @@ writeRunManifest(std::ostream &out)
         std::scoped_lock lock(runInfoMutex());
         info = runInfo();
     }
-    // Serialize the metrics tree first, then re-indent it by one level
-    // so it nests as the "metrics" member of the document.
+    // Fold the phase-attribution profile (if any) so the manifest is
+    // self-contained, then serialize the metrics tree and re-indent it
+    // by one level so it nests as the "metrics" member of the document.
+    foldProfGlobal(globalStats());
     std::string metrics = globalStats().toJson({}, true);
     std::string indented;
     indented.reserve(metrics.size() + metrics.size() / 8);
@@ -144,7 +152,7 @@ writeRunManifest(std::ostream &out)
 
     JsonWriter json(out, /*pretty=*/true);
     json.beginObject();
-    json.field("schema", "mnm-run-manifest-v1");
+    json.field("schema", "mnm-run-manifest-v2");
     json.key("meta");
     json.beginObject();
     json.field("git_describe", gitDescribe());
@@ -198,6 +206,7 @@ writeRunArtifacts()
             out << "\n";
         }
     }
+    writeProfFoldedFile();
 }
 
 void

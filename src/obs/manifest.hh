@@ -11,18 +11,25 @@
  * layer is inert: nothing is written and stdout is untouched, which
  * preserves the byte-identical-output guarantee.
  *
- * The manifest schema ("mnm-run-manifest-v1"):
+ * The manifest schema ("mnm-run-manifest-v2"):
  *   {
- *     "schema": "mnm-run-manifest-v1",
+ *     "schema": "mnm-run-manifest-v2",
  *     "meta":    { "git_describe": ..., "run": ... },
  *     "config":  { "instructions": ..., "jobs": ..., "csv": ...,
  *                  "apps": [...] },
  *     "metrics": { ...nested globalStats() tree... }
  *   }
- * Consumers comparing manifests across job counts must ignore "meta",
- * "config.jobs"/"config.progress" and the "metrics.runner" subtree
- * (wall-clock telemetry); tools/extract_results.py --diff does exactly
- * that.
+ * v2 adds the "metrics.prof" subtree when MNM_PROF is active: per-phase
+ * {cycles,instr,llc_miss,share,...} from obs/phase_profiler, plus
+ * per-cell attribution under "metrics.prof.cell.<label>.<app>" for
+ * sweeps. Consumers comparing manifests across job counts must ignore
+ * "meta", "config.jobs"/"config.progress" and the "metrics.runner" and
+ * "metrics.prof" subtrees (wall-clock telemetry); tools/
+ * extract_results.py --diff does exactly that.
+ *
+ * initRunTelemetry() also resolves the profiling knobs (MNM_PROF,
+ * MNM_PROF_FOLDED -- see obs/phase_profiler.hh) so a folded-stack
+ * export is written at exit even when the manifest knobs are unset.
  */
 
 #ifndef MNM_OBS_MANIFEST_HH

@@ -1,0 +1,237 @@
+#include "obs/perf_counters.hh"
+
+#include <cstring>
+#include <ctime>
+
+#include "util/logging.hh"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mnm
+{
+
+ProfMode
+parseProfMode(const char *value)
+{
+    if (!value || !*value || std::strcmp(value, "off") == 0)
+        return ProfMode::Off;
+    if (std::strcmp(value, "time") == 0)
+        return ProfMode::Time;
+    if (std::strcmp(value, "hw") == 0)
+        return ProfMode::Hw;
+    fatal("unknown MNM_PROF value '%s' (expected off, time, or hw)", value);
+}
+
+const char *
+profModeName(ProfMode mode)
+{
+    switch (mode) {
+      case ProfMode::Off:
+        return "off";
+      case ProfMode::Time:
+        return "time";
+      case ProfMode::Hw:
+        return "hw";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::uint64_t
+threadCpuNs()
+{
+#if defined(__linux__)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+    return 0;
+#endif
+}
+
+} // namespace
+
+#if defined(__linux__)
+
+namespace
+{
+
+int
+perfEventOpen(perf_event_attr *attr, int group_fd)
+{
+    // pid=0, cpu=-1: count this thread wherever it runs.
+    return static_cast<int>(
+        syscall(SYS_perf_event_open, attr, 0, -1, group_fd, 0));
+}
+
+struct EventSpec
+{
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+// Leader first; order matches PerfSample field order (task_clock_ns
+// comes from clock_gettime, not from an event).
+constexpr EventSpec event_specs[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16)},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+} // namespace
+
+PerfCounterGroup::~PerfCounterGroup() { close(); }
+
+bool
+PerfCounterGroup::open()
+{
+    close();
+
+    for (int i = 0; i < num_events; ++i) {
+        perf_event_attr attr;
+        std::memset(&attr, 0, sizeof(attr));
+        attr.size = sizeof(attr);
+        attr.type = event_specs[i].type;
+        attr.config = event_specs[i].config;
+        attr.disabled = i == 0 ? 1 : 0; // group toggles via the leader
+        attr.exclude_kernel = 1;
+        attr.exclude_hv = 1;
+        attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_ID;
+
+        const int fd = perfEventOpen(&attr, leader_fd_);
+        if (fd < 0) {
+            if (i <= 1) { // cycles and instructions are mandatory
+                close();
+                return false;
+            }
+            fds_[i] = -1; // LLC/branch refused: count as 0
+            continue;
+        }
+        fds_[i] = fd;
+        if (i == 0)
+            leader_fd_ = fd;
+        if (ioctl(fd, PERF_EVENT_IOC_ID, &ids_[i]) != 0)
+            ids_[i] = 0;
+    }
+
+    if (ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+        ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+PerfCounterGroup::read(PerfSample &out)
+{
+    out = PerfSample{};
+    if (leader_fd_ < 0)
+        return false;
+
+    // PERF_FORMAT_GROUP | PERF_FORMAT_ID layout:
+    //   { u64 nr; struct { u64 value; u64 id; } values[nr]; }
+    struct
+    {
+        std::uint64_t nr;
+        struct
+        {
+            std::uint64_t value;
+            std::uint64_t id;
+        } values[num_events];
+    } buf;
+
+    const ssize_t n = ::read(leader_fd_, &buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(sizeof(std::uint64_t)) ||
+        buf.nr > static_cast<std::uint64_t>(num_events)) {
+        close();
+        return false;
+    }
+
+    std::uint64_t *const fields[num_events] = {
+        &out.cycles, &out.instructions, &out.llc_loads, &out.llc_misses,
+        &out.branch_misses};
+    for (std::uint64_t v = 0; v < buf.nr; ++v) {
+        for (int i = 0; i < num_events; ++i) {
+            if (fds_[i] >= 0 && ids_[i] == buf.values[v].id) {
+                *fields[i] = buf.values[v].value;
+                break;
+            }
+        }
+    }
+    out.task_clock_ns = threadCpuNs();
+    return true;
+}
+
+void
+PerfCounterGroup::close()
+{
+    for (int i = num_events - 1; i >= 0; --i) {
+        if (fds_[i] >= 0)
+            ::close(fds_[i]);
+        fds_[i] = -1;
+        ids_[i] = 0;
+    }
+    leader_fd_ = -1;
+}
+
+bool
+perfCountersAvailable()
+{
+    static const bool available = [] {
+        PerfCounterGroup probe;
+        const bool ok = probe.open();
+        probe.close();
+        return ok;
+    }();
+    return available;
+}
+
+#else // !__linux__
+
+PerfCounterGroup::~PerfCounterGroup() { close(); }
+
+bool
+PerfCounterGroup::open()
+{
+    return false;
+}
+
+bool
+PerfCounterGroup::read(PerfSample &out)
+{
+    out = PerfSample{};
+    out.task_clock_ns = threadCpuNs();
+    return false;
+}
+
+void
+PerfCounterGroup::close()
+{
+    leader_fd_ = -1;
+}
+
+bool
+perfCountersAvailable()
+{
+    return false;
+}
+
+#endif // __linux__
+
+} // namespace mnm

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Hardware performance-counter access for the phase profiler.
+ *
+ * A PerfCounterGroup opens one perf_event_open(2) group per thread --
+ * cycles (leader), instructions, LLC loads, LLC load misses, branch
+ * misses -- so a single read(2) returns a consistent snapshot of all
+ * five, plus the thread's CPU clock from CLOCK_THREAD_CPUTIME_ID. The
+ * group counts user-space only (exclude_kernel), which is what
+ * unprivileged processes are allowed under the default
+ * perf_event_paranoid.
+ *
+ * Availability is never assumed: containers routinely block the syscall
+ * (seccomp returns EPERM/ENOSYS), non-Linux hosts lack it entirely, and
+ * VMs may refuse the LLC cache events while accepting the rest. The
+ * probe-and-degrade ladder:
+ *
+ *  - syscall unavailable -> perfCountersAvailable() is false; the
+ *    profiler falls back to the fast tick source (util/cpu.hh
+ *    profFastTick: rdtsc / CNTVCT / steady_clock) and MNM_PROF=hw
+ *    degrades to time mode with one warning;
+ *  - an individual sibling refused -> that counter silently reads 0
+ *    (cycles and instructions are mandatory; LLC/branch are not);
+ *  - a group that opened but cannot be read -> ok() goes false and the
+ *    caller stops asking.
+ *
+ * Profiling modes (the MNM_PROF environment knob):
+ *
+ *   off    no instrumentation at all (the default; every PhaseScope is
+ *          two predictable branches and stdout is byte-identical)
+ *   time   per-phase cycle attribution from the fast tick source
+ *   hw     time attribution plus the counter group read at every phase
+ *          transition -- a read(2) per transition, so expect a several-
+ *          fold slowdown; use small windows and read the shares
+ *
+ * Anything else is rejected loudly (the repo's env-knob convention: a
+ * typo must not silently change what a bench measured).
+ */
+
+#ifndef MNM_OBS_PERF_COUNTERS_HH
+#define MNM_OBS_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+namespace mnm
+{
+
+/** What the MNM_PROF knob selected. */
+enum class ProfMode : std::uint8_t
+{
+    Off,  //!< no phase instrumentation (default)
+    Time, //!< fast-tick cycle attribution only
+    Hw,   //!< tick attribution + hardware counter group per transition
+};
+
+/** Parse one MNM_PROF value (null/empty = Off); fatal on anything but
+ *  off, time, or hw. */
+ProfMode parseProfMode(const char *value);
+
+/** Stable lower-case name ("off", "time", "hw"). */
+const char *profModeName(ProfMode mode);
+
+/** One snapshot of the group (monotone totals, not deltas). Counters
+ *  the kernel refused stay 0. */
+struct PerfSample
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t llc_loads = 0;
+    std::uint64_t llc_misses = 0;
+    std::uint64_t branch_misses = 0;
+    std::uint64_t task_clock_ns = 0; //!< CLOCK_THREAD_CPUTIME_ID
+};
+
+/**
+ * One thread's counter group. Open it on the thread whose work it
+ * should count (the events are bound to the calling thread); read() is
+ * one syscall returning all five values atomically.
+ */
+class PerfCounterGroup
+{
+  public:
+    PerfCounterGroup() = default;
+    ~PerfCounterGroup();
+
+    PerfCounterGroup(const PerfCounterGroup &) = delete;
+    PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+    /** Open and enable the group for the calling thread. False when
+     *  the leader cannot be opened (syscall blocked, non-Linux). */
+    bool open();
+
+    /** True between a successful open() and close(). */
+    bool ok() const { return leader_fd_ >= 0; }
+
+    /** Snapshot the group into @p out. False (and ok() goes false) if
+     *  the read fails; @p out is zeroed then. */
+    bool read(PerfSample &out);
+
+    void close();
+
+  private:
+    static constexpr int num_events = 5;
+    int leader_fd_ = -1;
+    /** All event fds, leader first; -1 for refused siblings. */
+    int fds_[num_events] = {-1, -1, -1, -1, -1};
+    /** Kernel-assigned stream ids, matched against the group read. */
+    std::uint64_t ids_[num_events] = {0, 0, 0, 0, 0};
+};
+
+/** Can this process open a counter group at all? Probed once (open and
+ *  close a throwaway group on the calling thread). */
+bool perfCountersAvailable();
+
+} // namespace mnm
+
+#endif // MNM_OBS_PERF_COUNTERS_HH

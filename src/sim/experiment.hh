@@ -31,12 +31,21 @@
  *   MNM_REFERENCE_KERNEL  set to 1 to run functional cells through
  *                     the single-step virtual reference kernel (CI
  *                     byte-diffs it against the batched default)
+ *   MNM_PROF          off (default) | time | hw: per-phase attribution
+ *                     of the simulator's own cost (batch generation,
+ *                     L1-peek, verdict kernel, hierarchy walk, update
+ *                     feed), folded into the manifest and the sweep
+ *                     trace; hw reads real perf_event counters and
+ *                     degrades to time where unavailable
+ *                     (obs/phase_profiler.hh)
+ *   MNM_PROF_FOLDED   path; also write flamegraph.pl collapsed stacks
+ *                     at exit (fatal without an active MNM_PROF)
  *
  * Every knob is validated on parse: a non-numeric or out-of-range
  * value is a one-line fatal() naming the variable, not a silent
- * fallback. The telemetry and recovery knobs never touch stdout: with
- * them unset the printed tables are byte-identical to a build without
- * these layers.
+ * fallback. The telemetry, recovery, and profiling knobs never touch
+ * stdout: with them unset the printed tables are byte-identical to a
+ * build without these layers.
  */
 
 #ifndef MNM_SIM_EXPERIMENT_HH

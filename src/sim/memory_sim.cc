@@ -1,11 +1,32 @@
 #include "sim/memory_sim.hh"
 
+#include <type_traits>
+
+#include "obs/phase_profiler.hh"
 #include "util/bits.hh"
 #include "util/deadline.hh"
 #include "util/logging.hh"
 
 namespace mnm
 {
+
+namespace
+{
+
+/** The profiling-off stand-in for PhaseScope: compiles to nothing, so
+ *  the with_prof=false instantiations of the hot path below carry no
+ *  profiler code at all -- not even the profActive() load. */
+struct NoPhaseScope
+{
+    explicit NoPhaseScope(Phase) {}
+};
+
+} // anonymous namespace
+
+/** PhaseScope or nothing, selected by the hot-path template flag. */
+template <bool with_prof>
+using ProfScope =
+    std::conditional_t<with_prof, PhaseScope, NoPhaseScope>;
 
 MemorySimulator::MemorySimulator(const HierarchyParams &hierarchy_params,
                                  std::optional<MnmSpec> mnm_spec,
@@ -36,20 +57,28 @@ MemorySimulator::MemorySimulator(const HierarchyParams &hierarchy_params,
     }
 }
 
+template <bool with_prof>
 void
 MemorySimulator::request(AccessType type, Addr addr, MemSimResult &result)
 {
     BypassMask mask;
-    if (mnm_)
+    if (mnm_) {
+        ProfScope<with_prof> prof(Phase::Verdict);
         mask = mnm_->computeBypass(type, addr);
-    performAccess(type, addr, mask, result);
+    }
+    performAccess<with_prof>(type, addr, mask, result);
 }
 
+template <bool with_prof>
 void
 MemorySimulator::performAccess(AccessType type, Addr addr,
                                const BypassMask &mask,
                                MemSimResult &result)
 {
+    // Self time here is the hierarchy walk + accounting; the MnmUnit
+    // update-feed callbacks fired by fills/evictions open their own
+    // UpdateFeed scopes inside this one.
+    ProfScope<with_prof> prof(Phase::HierWalk);
     AccessResult access = hierarchy_.access(type, addr, mask);
     ++result.requests;
     if (mnm_) {
@@ -102,6 +131,7 @@ MemorySimulator::performAccess(AccessType type, Addr addr,
     }
 }
 
+template <bool with_prof>
 void
 MemorySimulator::runBatchRequests(const InstructionBatch &batch,
                                   const Cache &l1i, MemSimResult &result)
@@ -118,23 +148,26 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
     // line dedup is a pure function of the pc sequence, so hoisting it
     // off the access path changes no request and no count.
     std::size_t n = 0;
-    for (const Instruction &inst : batch) {
-        Addr line = l1i.blockAddr(inst.pc);
-        if (line != cur_fetch_line_) {
-            cur_fetch_line_ = line;
-            ++result.fetch_requests;
-            req_type_[n] =
-                static_cast<std::uint8_t>(AccessType::InstFetch);
-            req_addr_[n] = inst.pc;
-            ++n;
-        }
-        if (inst.isMem()) {
-            ++result.data_requests;
-            req_type_[n] = static_cast<std::uint8_t>(
-                inst.cls == InstClass::Load ? AccessType::Load
-                                            : AccessType::Store);
-            req_addr_[n] = inst.mem_addr;
-            ++n;
+    {
+        ProfScope<with_prof> prof(Phase::BatchGen);
+        for (const Instruction &inst : batch) {
+            Addr line = l1i.blockAddr(inst.pc);
+            if (line != cur_fetch_line_) {
+                cur_fetch_line_ = line;
+                ++result.fetch_requests;
+                req_type_[n] =
+                    static_cast<std::uint8_t>(AccessType::InstFetch);
+                req_addr_[n] = inst.pc;
+                ++n;
+            }
+            if (inst.isMem()) {
+                ++result.data_requests;
+                req_type_[n] = static_cast<std::uint8_t>(
+                    inst.cls == InstClass::Load ? AccessType::Load
+                                                : AccessType::Store);
+                req_addr_[n] = inst.mem_addr;
+                ++n;
+            }
         }
     }
 
@@ -148,6 +181,9 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
     // state exactly as the per-access path would.
     if (!mnm_->planGuarded(AccessType::InstFetch) &&
         !mnm_->planGuarded(AccessType::Load)) {
+        // L1Peek self time = the contains() peeks, prefetch hints, and
+        // loop control; Verdict and HierWalk open nested scopes.
+        ProfScope<with_prof> prof(Phase::L1Peek);
         const Cache &l1d = hierarchy_.cacheAt(1, AccessType::Load);
         constexpr std::size_t prefetch_requests = 12;
         for (std::size_t k = 0; k < n; ++k) {
@@ -171,6 +207,7 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
             }
             BypassMask mask;
             if (!l1.contains(l1.blockAddr(req_addr_[k]))) {
+                ProfScope<with_prof> prof_verdict(Phase::Verdict);
                 std::uint32_t cand;
                 mnm_->computeCandidates(type, req_addr_.data() + k,
                                         &cand, 1);
@@ -178,7 +215,7 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
             } else {
                 mnm_->noteLookup();
             }
-            performAccess(type, req_addr_[k], mask, result);
+            performAccess<with_prof>(type, req_addr_[k], mask, result);
         }
         return;
     }
@@ -191,6 +228,9 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
     // not-yet-consumed tail whenever it does, so every access sees
     // exactly the verdict the per-access path would have produced
     // against the same state.
+    // Verdict self time = the chunked SoA kernels, finishBypass, and
+    // chunk control; each access's HierWalk scope nests inside.
+    ProfScope<with_prof> prof_verdict(Phase::Verdict);
     constexpr std::size_t chunk_lanes = 8;
     const std::uint8_t fetch_tag =
         static_cast<std::uint8_t>(AccessType::InstFetch);
@@ -234,7 +274,7 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
                 static_cast<AccessType>(req_type_[k]);
             BypassMask mask =
                 mnm_->finishBypass(type, req_addr_[k], req_cand_[k]);
-            performAccess(type, req_addr_[k], mask, result);
+            performAccess<with_prof>(type, req_addr_[k], mask, result);
         }
         i = j;
     }
@@ -248,7 +288,16 @@ MemorySimulator::run(WorkloadGenerator &workload,
     result.instructions = instructions;
     event_counts_.assign(hierarchy_.numCaches(), CacheEventCounts());
 
+    // Root phase: self time is whatever the nested scopes below do not
+    // claim (reference-kernel stepping, loop overhead).
+    PhaseScope prof_run(Phase::Run);
+
     const Cache &l1i = hierarchy_.cacheAt(1, AccessType::InstFetch);
+
+    // One mode check for the whole window: the profiling-off
+    // instantiations of the step and batch paths carry zero per-access
+    // profiler code (the mode cannot change mid-process).
+    const bool with_prof = profActive();
 
     if (reference_kernel_) {
         // Single-step reference path: one virtual next() per
@@ -257,7 +306,10 @@ MemorySimulator::run(WorkloadGenerator &workload,
         for (std::uint64_t i = 0; i < instructions; ++i) {
             pollCellDeadline();
             workload.next(inst);
-            step(inst, l1i, result);
+            if (with_prof)
+                step<true>(inst, l1i, result);
+            else
+                step<false>(inst, l1i, result);
         }
     } else {
         if (!batch_)
@@ -270,13 +322,22 @@ MemorySimulator::run(WorkloadGenerator &workload,
             // most ~4096 instructions of extra latency before a cell
             // deadline is noticed, well inside the second-scale
             // timeouts MNM_CELL_TIMEOUT_S expresses.
-            pollCellDeadlineBatch();
-            workload.nextBatch(*batch_, remaining);
+            {
+                PhaseScope prof(Phase::BatchGen);
+                pollCellDeadlineBatch();
+                workload.nextBatch(*batch_, remaining);
+            }
             if (batch_verdicts) {
-                runBatchRequests(*batch_, l1i, result);
+                if (with_prof)
+                    runBatchRequests<true>(*batch_, l1i, result);
+                else
+                    runBatchRequests<false>(*batch_, l1i, result);
+            } else if (with_prof) {
+                for (const Instruction &inst : *batch_)
+                    step<true>(inst, l1i, result);
             } else {
                 for (const Instruction &inst : *batch_)
-                    step(inst, l1i, result);
+                    step<false>(inst, l1i, result);
             }
             remaining -= batch_->size;
         }
@@ -284,6 +345,7 @@ MemorySimulator::run(WorkloadGenerator &workload,
 
     // Fold the per-cache event counts into the energy breakdown, one
     // multiply per counter instead of one add per event.
+    PhaseScope prof_cold(Phase::Cold);
     for (CacheId id = 0; id < hierarchy_.numCaches(); ++id) {
         const PowerDelay &pd = cache_power_[id];
         const CacheEventCounts &ec = event_counts_[id];

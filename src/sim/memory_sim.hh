@@ -159,20 +159,35 @@ class MemorySimulator
         std::uint64_t wb_forwarded = 0; //!< writeback probed and passed
     };
 
-    /** One request through MNM + hierarchy with full accounting. */
+    /** One request through MNM + hierarchy with full accounting.
+     *  Templated on profiling like the batch path: run() selects the
+     *  instantiation once per window, so with MNM_PROF off even the
+     *  single-step stream carries zero profiler code per access. */
+    template <bool with_prof>
     void request(AccessType type, Addr addr, MemSimResult &result);
 
     /** The hierarchy walk and accounting behind request(), taking the
-     *  verdict as input (the batch path precomputes verdicts). */
+     *  verdict as input (the batch path precomputes verdicts). The
+     *  with_prof instantiation brackets the walk in a HierWalk phase
+     *  scope; the other compiles with zero profiler code -- not even
+     *  the profActive() load -- because a per-access check is what the
+     *  MNM_PROF-off <2% overhead budget cannot afford. Callers select
+     *  an instantiation once per run/batch window (the mode cannot
+     *  change mid-process). */
+    template <bool with_prof>
     void performAccess(AccessType type, Addr addr,
                        const BypassMask &mask, MemSimResult &result);
 
     /** Batch path: derive one batch's ordered request stream, verdict
-     *  it in chunks through the MNM's SoA kernels, consume in order. */
+     *  it in chunks through the MNM's SoA kernels, consume in order.
+     *  Templated like performAccess: run() picks the instantiation
+     *  once, so the off path stays scope-free per access. */
+    template <bool with_prof>
     void runBatchRequests(const InstructionBatch &batch, const Cache &l1i,
                           MemSimResult &result);
 
     /** One instruction: fetch-line dedup plus the data request. */
+    template <bool with_prof>
     void
     step(const Instruction &inst, const Cache &l1i, MemSimResult &result)
     {
@@ -180,13 +195,14 @@ class MemorySimulator
         if (line != cur_fetch_line_) {
             cur_fetch_line_ = line;
             ++result.fetch_requests;
-            request(AccessType::InstFetch, inst.pc, result);
+            request<with_prof>(AccessType::InstFetch, inst.pc, result);
         }
         if (inst.isMem()) {
             ++result.data_requests;
-            request(inst.cls == InstClass::Load ? AccessType::Load
-                                                : AccessType::Store,
-                    inst.mem_addr, result);
+            request<with_prof>(inst.cls == InstClass::Load
+                                   ? AccessType::Load
+                                   : AccessType::Store,
+                               inst.mem_addr, result);
         }
     }
 

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "obs/manifest.hh"
+#include "obs/phase_profiler.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "sim/recovery.hh"
@@ -136,6 +137,15 @@ ParallelRunner::run(std::size_t count,
             pool.emplace_back([&, t] {
                 workerSlot() = static_cast<unsigned>(t);
                 worker();
+                if (profActive()) {
+                    // Per-worker attribution, then hand the thread's
+                    // profile to the global aggregate before joining
+                    // (a worker that never flushes contributes
+                    // nothing to the manifest's prof.* totals).
+                    foldPhaseTotals(globalStats(), threadPhaseTotals(),
+                                    "prof.worker.w" + std::to_string(t));
+                    flushThreadProf();
+                }
             });
         }
     } // joins every worker; errors[] is complete past this point
@@ -219,6 +229,7 @@ void
 foldSweepTelemetry(const std::vector<SweepCell> &cells,
                    const std::vector<MemSimResult> &results,
                    const std::vector<CellTiming> &timing,
+                   const std::vector<PhaseTotals> &cell_prof,
                    std::uint64_t sweep_start_us, std::uint64_t wall_us,
                    unsigned jobs)
 {
@@ -267,6 +278,19 @@ foldSweepTelemetry(const std::vector<SweepCell> &cells,
                     static_cast<double>(t.dur_us));
         }
 
+        // Per-cell phase attribution. Lives under "prof.cell." (not the
+        // cell's "sweep." prefix) because it is wall-clock derived: the
+        // manifest diff in CI ignores the prof subtree.
+        if (!r.failed && profActive()) {
+            std::string label =
+                cell.label.empty() ? "default" : cell.label;
+            foldPhaseTotals(
+                stats, cell_prof[i],
+                "prof.cell." + sanitizeMetricSegment(label) + "." +
+                    sanitizeMetricSegment(
+                        ExperimentOptions::shortName(cell.app)));
+        }
+
         if (traceFileEnabled()) {
             std::string name = ExperimentOptions::shortName(cell.app);
             if (!cell.label.empty())
@@ -274,6 +298,32 @@ foldSweepTelemetry(const std::vector<SweepCell> &cells,
             globalTrace().addCompleteEvent(
                 name, "sweep", t.worker, t.start_us, t.dur_us,
                 {{"app", cell.app}, {"label", cell.label}});
+
+            // Phase sub-spans inside the cell's span: each phase's
+            // share of the cell's ticks scaled onto its wall clock,
+            // laid end to end. Not a timeline of when each phase ran
+            // (they interleave per request) but a to-scale breakdown
+            // in the same viewer.
+            if (!r.failed && profActive()) {
+                const std::uint64_t total =
+                    cell_prof[i].totalTicks();
+                std::uint64_t off_us = 0;
+                for (int p = 0; total && p < num_phases; ++p) {
+                    const std::uint64_t ticks =
+                        cell_prof[i].phase[p].ticks;
+                    if (!ticks)
+                        continue;
+                    const std::uint64_t dur = static_cast<std::uint64_t>(
+                        static_cast<double>(t.dur_us) *
+                        static_cast<double>(ticks) /
+                        static_cast<double>(total));
+                    globalTrace().addCompleteEvent(
+                        phaseName(static_cast<Phase>(p)), "prof",
+                        t.worker, t.start_us + off_us, dur,
+                        {{"cell", name}});
+                    off_us += dur;
+                }
+            }
         }
     }
 
@@ -304,6 +354,7 @@ runSweep(const std::vector<SweepCell> &cells,
     ParallelRunner runner(opts.jobs);
     std::vector<MemSimResult> results(cells.size());
     std::vector<CellTiming> timing(cells.size());
+    std::vector<PhaseTotals> cell_prof(cells.size());
     std::atomic<std::size_t> completed{0};
 
     // Checkpoint replay: restore finished cells, open the journal for
@@ -354,9 +405,12 @@ runSweep(const std::vector<SweepCell> &cells,
         // Bounded retry: a throwing simulation gets opts.retries more
         // attempts (exponential backoff); a watchdog timeout does not
         // retry -- a second attempt would only time out again.
+        PhaseTotals prof_before;
         for (unsigned attempt = 0;; ++attempt) {
             try {
                 t.start_us = steadyNowUs();
+                if (profActive())
+                    prof_before = threadPhaseTotals();
                 t.worker = ParallelRunner::currentWorker();
                 if (g_fault_hook)
                     g_fault_hook(cell, attempt);
@@ -386,6 +440,12 @@ runSweep(const std::vector<SweepCell> &cells,
         std::uint64_t end_us = steadyNowUs();
         t.dur_us = end_us - t.start_us;
         t.ran = true;
+        // This worker runs one cell at a time, so the thread's phase
+        // totals advanced by exactly this cell's work (the snapshot is
+        // re-taken per attempt: retries attribute the final run only).
+        if (profActive())
+            cell_prof[i] = phaseTotalsDelta(prof_before,
+                                            threadPhaseTotals());
         if (journal)
             journal->append(fingerprints[i], results[i]);
         if (opts.progress) {
@@ -434,8 +494,8 @@ runSweep(const std::vector<SweepCell> &cells,
         g_sweep_failed.store(true, std::memory_order_relaxed);
     }
 
-    foldSweepTelemetry(cells, results, timing, sweep_start_us, wall_us,
-                       runner.jobs());
+    foldSweepTelemetry(cells, results, timing, cell_prof,
+                       sweep_start_us, wall_us, runner.jobs());
     return results;
 }
 

@@ -373,7 +373,7 @@ TEST(ManifestTest, WritesSchemaConfigAndMetrics)
     std::ostringstream out;
     writeRunManifest(out);
     std::string doc = out.str();
-    EXPECT_NE(doc.find("\"schema\": \"mnm-run-manifest-v1\""),
+    EXPECT_NE(doc.find("\"schema\": \"mnm-run-manifest-v2\""),
               std::string::npos);
     EXPECT_NE(doc.find("\"run\": \"obs_test\""), std::string::npos);
     EXPECT_NE(doc.find("\"instructions\": 12345"), std::string::npos);
@@ -401,7 +401,7 @@ TEST(ManifestTest, ArtifactFilesAreWrittenOnDemand)
     ASSERT_TRUE(stats_in.good());
     std::stringstream stats_doc;
     stats_doc << stats_in.rdbuf();
-    EXPECT_NE(stats_doc.str().find("mnm-run-manifest-v1"),
+    EXPECT_NE(stats_doc.str().find("mnm-run-manifest-v2"),
               std::string::npos);
     EXPECT_NE(stats_doc.str().find("\"file\": 1"), std::string::npos);
 

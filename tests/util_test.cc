@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for src/util: bit helpers, the deterministic RNG, the
- * statistics primitives, and the table formatter.
+ * statistics primitives, the table formatter, and the profiler's fast
+ * tick source.
  */
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include <set>
 
 #include "util/bits.hh"
+#include "util/cpu.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -19,6 +21,35 @@ namespace
 {
 
 // ---------------------------------------------------------------- bits
+
+TEST(ProfTickTest, FastTickIsMonotonicNonDecreasing)
+{
+    std::uint64_t last = profFastTick();
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t now = profFastTick();
+        ASSERT_GE(now, last);
+        last = now;
+    }
+}
+
+TEST(ProfTickTest, FastTickAdvances)
+{
+    const std::uint64_t start = profFastTick();
+    std::uint64_t now = start;
+    // A bounded busy loop: any sane tick source (rdtsc, cntvct_el0, or
+    // the steady_clock fallback) advances well within this many reads.
+    for (int i = 0; i < 100000000 && now == start; ++i)
+        now = profFastTick();
+    EXPECT_GT(now, start);
+}
+
+TEST(ProfTickTest, TickRateIsPositiveAndStable)
+{
+    const double hz = profTickHz();
+    EXPECT_GT(hz, 0.0);
+    // Calibration happens once; repeated queries return the same rate.
+    EXPECT_EQ(profTickHz(), hz);
+}
 
 TEST(BitsTest, IsPowerOf2)
 {

@@ -21,6 +21,7 @@ usage: tools/extract_results.py bench_output.txt [outdir]
                                 [--require-same-cells] file...
        tools/extract_results.py --perf --baseline BENCH_kernel.json \
                                 --update-baseline [--force] new.json
+       tools/extract_results.py --prof run.json...
 
 With --stats, every extracted coverage table is cross-checked against
 the MNM_STATS_JSON run manifest: each printed percentage must match the
@@ -33,9 +34,18 @@ reported, never treated as mismatches.
 
 With --diff, two run manifests are compared for metric equality while
 ignoring the fields that legitimately differ between runs: "meta",
-"config.jobs", "config.progress", and the "metrics.runner" wall-clock
-subtree. Used by CI to prove serial and parallel sweeps fold identical
-statistics.
+"config.jobs", "config.progress", and the "metrics.runner" and
+"metrics.prof" wall-clock subtrees. Used by CI to prove serial and
+parallel sweeps fold identical statistics.
+
+With --prof, each input's phase-attribution profile (the metrics.prof
+subtree a run records under MNM_PROF=time|hw, or the per-cell "prof"
+share blocks in a kernel-bench summary) is printed as per-phase
+cycle/share tables: the process-wide totals, then each attributed cell
+(sweep cells and bench (config, backend) cells alike). Hardware
+columns (instr, llc_miss) print "-" when the run fell back to time
+mode. An input without any profile is an error -- it means the run was
+made without MNM_PROF.
 
 With --journal, an MNM_CHECKPOINT journal is summarized: schema,
 completed-cell count, total journaled instructions, and any torn or
@@ -53,7 +63,12 @@ baseline's cell set differs from the run's -- the staleness check CI
 runs so a schema or config change cannot quietly dodge the gate.
 Manifests print every per-cell metrics.runner.*.instr_per_sec gauge;
 manifests from older schema revisions simply have none, which is
-reported but never an error.
+reported but never an error. When a gated cell regresses and the run
+(and ideally the baseline) carries per-cell "prof" phase shares, the
+failure is attributed: the phase whose share of the cell's time moved
+most against the baseline is named (or, with a prof-less baseline, the
+run's top phases are listed) -- so a ratchet trip ships a pointer at
+the guilty stage, not just a ratio.
 
 With --perf --update-baseline, the ratchet: the given summary replaces
 the committed baseline file, printing every cell's delta. Lowering any
@@ -75,8 +90,10 @@ import sys
 TOLERANCE = 0.05 + 1e-9
 
 #: Manifest fields that legitimately differ between comparable runs.
+#: metrics.prof is wall-clock-derived phase attribution (obs/
+#: phase_profiler), exactly as wall-clocky as metrics.runner.
 DIFF_IGNORED = ("meta", "config.jobs", "config.progress",
-                "metrics.runner")
+                "metrics.runner", "metrics.prof")
 
 
 #: Gap marker printed by util/table.hh for failed sweep cells.
@@ -278,6 +295,148 @@ def manifest_throughput(doc):
     return rows
 
 
+def perf_prof_shares(doc):
+    """{cell: {phase: share}} from a kernel-bench summary's optional
+    per-cell "prof" blocks (written when the bench ran under MNM_PROF).
+    Cells without a block are simply absent."""
+    out = {}
+    if doc.get("schema") != "mnm-kernel-bench-v2":
+        return out
+    for name, cell in doc.get("configs", {}).items():
+        if not isinstance(cell, dict):
+            continue
+        for backend, inner in cell.items():
+            prof = (inner.get("prof")
+                    if isinstance(inner, dict) else None)
+            if isinstance(prof, dict) and prof:
+                out[f"{name}[{backend}]"] = {
+                    p: float(s) for p, s in prof.items()
+                    if isinstance(s, (int, float))}
+    return out
+
+
+def attribute_regression(name, run_prof_shares, base_prof_shares):
+    """Attribution lines for one regressed cell: the phase whose share
+    moved most vs the baseline, or the run's top phases when the
+    baseline has no profile. Empty when the run has none either."""
+    shares = run_prof_shares.get(name)
+    if not shares:
+        return []
+    base = base_prof_shares.get(name)
+    if base:
+        moved = max(set(shares) | set(base),
+                    key=lambda p: abs(shares.get(p, 0.0)
+                                      - base.get(p, 0.0)))
+        before = base.get(moved, 0.0)
+        after = shares.get(moved, 0.0)
+        return [f"    prof: '{moved}' share moved most: "
+                f"{before:.1%} -> {after:.1%} ({after - before:+.1%})"]
+    top = sorted(shares.items(), key=lambda kv: -kv[1])[:3]
+    listed = ", ".join(f"{p} {s:.1%}" for p, s in top)
+    return [f"    prof: no baseline shares; this run's top phases: "
+            f"{listed}"]
+
+
+#: Phase order matching obs/phase_profiler.hh's Phase enum; unknown
+#: phases sort after these, alphabetically.
+PROF_PHASE_ORDER = ("run", "batch_gen", "l1_peek", "verdict",
+                    "hier_walk", "update_feed", "cold_account")
+
+
+def prof_phase_rows(node):
+    """[(phase, counters-dict)] for one attributed entity: the dict
+    children of @p node that look like phase leaves (have a numeric
+    "cycles"), in enum order."""
+    rows = []
+    for name, child in node.items():
+        if (isinstance(child, dict)
+                and isinstance(child.get("cycles"), (int, float))):
+            rows.append((name, child))
+    order = {p: i for i, p in enumerate(PROF_PHASE_ORDER)}
+    rows.sort(key=lambda kv: (order.get(kv[0], len(order)), kv[0]))
+    return rows
+
+
+def print_prof_table(title, rows, hw):
+    """One per-phase attribution table. @p hw switches the hardware
+    columns (instr, llc_miss) from "-" placeholders to numbers."""
+    print(f"  {title}")
+    print(f"    {'phase':<14} {'cycles':>16} {'share':>7} "
+          f"{'instr':>16} {'llc_miss':>12}")
+    for phase, c in rows:
+        share = c.get("share", 0.0)
+        instr = f"{c['instr']:16.0f}" if hw and "instr" in c else (
+            f"{'-':>16}")
+        llc = f"{c['llc_miss']:12.0f}" if hw and "llc_miss" in c else (
+            f"{'-':>12}")
+        print(f"    {phase:<14} {c.get('cycles', 0):16.0f} "
+              f"{share:7.1%} {instr} {llc}")
+
+
+def run_prof(paths) -> int:
+    """Print per-phase attribution tables for each input (run manifest
+    or kernel-bench summary). An input without a profile fails: asking
+    for attribution a run never collected deserves a loud answer."""
+    status = 0
+    for path in paths:
+        doc = load_json(path, "prof input")
+        if doc is None:
+            return 1
+        if doc.get("schema") in KERNEL_BENCH_SCHEMAS:
+            cells = perf_prof_shares(doc)
+            if not cells:
+                print(f"{path}: kernel-bench summary carries no prof "
+                      f"blocks (re-run bench_kernel_throughput under "
+                      f"MNM_PROF=time or hw)", file=sys.stderr)
+                status = 1
+                continue
+            print(f"{path}: kernel bench, per-cell phase shares")
+            for name in sorted(cells):
+                listed = "  ".join(
+                    f"{p} {s:7.1%}" for p, s in sorted(
+                        cells[name].items(), key=lambda kv: -kv[1]))
+                print(f"  {name:<28} {listed}")
+            continue
+        prof = doc.get("metrics", {}).get("prof")
+        if not isinstance(prof, dict) or not prof:
+            print(f"{path}: no metrics.prof subtree (was the run made "
+                  f"with MNM_PROF=time or hw?)", file=sys.stderr)
+            status = 1
+            continue
+        hw = prof.get("mode") == 2
+        mode = {1: "time", 2: "hw"}.get(prof.get("mode"), "?")
+        line = f"{path}: phase attribution, MNM_PROF={mode}"
+        if prof.get("hw_fallback"):
+            line += " (hw requested, fell back to time)"
+        if isinstance(prof.get("tick_hz"), (int, float)):
+            line += f", tick {prof['tick_hz'] / 1e9:.2f} GHz"
+        print(line)
+        totals = prof_phase_rows(prof)
+        if totals:
+            print_prof_table("process totals", totals, hw)
+        for group in ("cell", "worker"):
+            tree = prof.get(group)
+            if not isinstance(tree, dict):
+                continue
+            # cell nests label.app; worker nests w<k> directly.
+            for label in sorted(tree):
+                node = tree[label]
+                rows = prof_phase_rows(node)
+                if rows:
+                    print_prof_table(f"{group} {label}", rows, hw)
+                    continue
+                for app in sorted(node):
+                    rows = prof_phase_rows(node[app])
+                    if rows:
+                        print_prof_table(f"{group} {label}.{app}",
+                                         rows, hw)
+        if not totals:
+            print(f"{path}: metrics.prof holds no phase leaves",
+                  file=sys.stderr)
+            status = 1
+    return status
+
+
 def update_baseline(baseline_path, new_path, force) -> int:
     """The perf ratchet: install @p new_path as the committed baseline
     at @p baseline_path. Prints the per-cell delta. Refuses to LOWER any
@@ -339,11 +498,13 @@ def run_perf(baseline_path, paths, require_same_cells=False) -> int:
     under --require-same-cells -- a baseline whose cell set no longer
     matches what the bench produces (a stale committed baseline)."""
     baseline = None
+    baseline_prof = {}
     if baseline_path is not None:
         doc = load_json(baseline_path, "baseline")
         if doc is None:
             return 1
         baseline = perf_configs(doc)
+        baseline_prof = perf_prof_shares(doc)
         if not baseline:
             print(f"baseline {baseline_path} holds no usable configs",
                   file=sys.stderr)
@@ -356,19 +517,25 @@ def run_perf(baseline_path, paths, require_same_cells=False) -> int:
             return 1
         if doc.get("schema") in KERNEL_BENCH_SCHEMAS:
             configs = perf_configs(doc)
+            run_prof_shares = perf_prof_shares(doc)
             print(f"{path}: kernel bench, app {doc.get('app', '?')}, "
                   f"{doc.get('instructions', '?')} instructions/config")
             for name, ips in configs.items():
                 line = f"  {name:<28} {ips:14.0f} instr/sec"
+                extra = []
                 if baseline is not None and name in baseline:
                     ratio = ips / baseline[name]
                     line += f"  ({ratio:.2f}x of baseline)"
                     if ratio < 1.0 - PERF_REGRESSION_LIMIT:
                         line += "  REGRESSION"
                         status = 1
+                        extra = attribute_regression(
+                            name, run_prof_shares, baseline_prof)
                 elif baseline is not None:
                     line += "  (no baseline entry)"
                 print(line)
+                for attribution in extra:
+                    print(attribution)
             if baseline is not None and require_same_cells and \
                     set(baseline) != set(configs):
                 print(f"STALE baseline {baseline_path}: cells "
@@ -474,6 +641,11 @@ def main() -> int:
             print(__doc__, file=sys.stderr)
             return 1
         return run_journal(args[1])
+    if args[:1] == ["--prof"]:
+        if len(args) < 2:
+            print(__doc__, file=sys.stderr)
+            return 1
+        return run_prof(args[1:])
     if args[:1] == ["--perf"]:
         args = args[1:]
         baseline = None
