@@ -1,9 +1,93 @@
 #include "core/fault_inject.hh"
 
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
 #include "util/logging.hh"
 
 namespace mnm
 {
+
+CellFaultSpec
+parseCellFaultSpec(const char *env)
+{
+    CellFaultSpec spec;
+    std::string value(env);
+    std::size_t colon = value.find(':');
+    spec.match = value.substr(0, colon);
+    if (spec.match.empty())
+        fatal("MNM_FAIL_CELL='%s' has an empty cell substring", env);
+    if (colon == std::string::npos)
+        return spec;
+
+    std::string mode = value.substr(colon + 1);
+    if (mode == "throw") {
+        spec.mode = CellFaultMode::Throw;
+    } else if (mode == "segv") {
+        spec.mode = CellFaultMode::Segv;
+    } else if (mode == "abort") {
+        spec.mode = CellFaultMode::Abort;
+    } else if (mode == "hang") {
+        spec.mode = CellFaultMode::Hang;
+    } else if (mode.rfind("exit:", 0) == 0) {
+        const std::string code = mode.substr(5);
+        char *end = nullptr;
+        errno = 0;
+        unsigned long v = std::strtoul(code.c_str(), &end, 10);
+        if (code.empty() || *end != '\0' || errno != 0 || v > 255 ||
+            code[0] == '-') {
+            fatal("MNM_FAIL_CELL='%s': exit code '%s' must be an "
+                  "integer in [0, 255]",
+                  env, code.c_str());
+        }
+        spec.mode = CellFaultMode::Exit;
+        spec.exit_code = static_cast<int>(v);
+    } else {
+        fatal("MNM_FAIL_CELL='%s': unknown mode '%s' (expected throw, "
+              "segv, abort, exit:<code>, or hang)",
+              env, mode.c_str());
+    }
+    return spec;
+}
+
+void
+triggerCellFault(const CellFaultSpec &spec,
+                 const std::string &display_name)
+{
+    switch (spec.mode) {
+      case CellFaultMode::Throw:
+        throw std::runtime_error("injected failure (MNM_FAIL_CELL=" +
+                                 spec.match + ")");
+      case CellFaultMode::Segv:
+        // The signal must be real (default disposition), not an
+        // exception dressed up as one: the point is to die the way a
+        // wild pointer would, containable only by process isolation.
+        ::signal(SIGSEGV, SIG_DFL);
+        ::raise(SIGSEGV);
+        break;
+      case CellFaultMode::Abort:
+        ::signal(SIGABRT, SIG_DFL);
+        std::abort();
+      case CellFaultMode::Exit:
+        // _Exit, not exit(): no atexit hooks, no stream flushes -- the
+        // sudden-death shape of an OOM kill or a stray exit() deep in
+        // a library.
+        std::_Exit(spec.exit_code);
+      case CellFaultMode::Hang:
+        // Deliberately never polls pollCellDeadline(): the cooperative
+        // watchdog cannot end this. Only a supervisor-side SIGKILL
+        // (MNM_WORKERS + MNM_CELL_TIMEOUT_S) can.
+        for (;;) {
+            std::this_thread::sleep_for(std::chrono::seconds(3600));
+        }
+    }
+    panic("triggerCellFault(%s): fault did not take",
+          display_name.c_str());
+}
 
 /** @p visit(name, bits, flip_fn) is called once per surface. */
 template <typename Visit>

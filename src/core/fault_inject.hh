@@ -32,6 +32,61 @@
 namespace mnm
 {
 
+/**
+ * How an MNM_FAIL_CELL-matched sweep cell dies. Beyond the original
+ * in-band exception ("throw", the default), the knob can now raise the
+ * process-fatal failures a worker *process* must contain and a worker
+ * *thread* cannot: a real SIGSEGV/SIGABRT, a plain exit, and a
+ * non-cooperative hang (a loop that never polls the watchdog, so only
+ * a supervisor-side SIGKILL deadline ends it).
+ */
+enum class CellFaultMode
+{
+    Throw, //!< throw std::runtime_error (contained by the thread pool)
+    Segv,  //!< raise(SIGSEGV): kills the executing process
+    Abort, //!< std::abort(): kills the executing process
+    Exit,  //!< _Exit(code): silent process exit, no unwinding
+    Hang,  //!< sleep forever without polling any cooperative deadline
+};
+
+/** Parsed MNM_FAIL_CELL value: which cells to kill, and how. */
+struct CellFaultSpec
+{
+    /** Substring of the cell's "app · label" display name; empty =
+     *  injection disabled. */
+    std::string match;
+    CellFaultMode mode = CellFaultMode::Throw;
+    /** Exit status for CellFaultMode::Exit. */
+    int exit_code = 0;
+
+    bool enabled() const { return !match.empty(); }
+
+    /** True when @p display_name names a cell this spec kills. */
+    bool matches(const std::string &display_name) const
+    {
+        return enabled() &&
+               display_name.find(match) != std::string::npos;
+    }
+};
+
+/**
+ * Parse an MNM_FAIL_CELL value: "<substring>" (throw, the original
+ * behavior) or "<substring>:<mode>" with mode one of throw, segv,
+ * abort, exit:<code> (0..255), hang. The split is at the first ':'
+ * (no cell display name contains one), and anything after it that is
+ * not a recognized mode is a fatal(), like every other malformed
+ * MNM_* knob.
+ */
+CellFaultSpec parseCellFaultSpec(const char *env);
+
+/**
+ * Kill the current cell the way @p spec says. Throw returns control by
+ * throwing; every other mode never returns (signal, exit, or hang).
+ * @p display_name is quoted in the thrown message.
+ */
+void triggerCellFault(const CellFaultSpec &spec,
+                      const std::string &display_name);
+
 /** One injectable structure inside an MnmUnit. */
 struct FaultSurface
 {

@@ -93,6 +93,18 @@ ExperimentOptions::fromEnv()
         opts.trace_file = env;
     if (const char *env = std::getenv("MNM_CHECKPOINT"))
         opts.checkpoint = env;
+    if (const char *env = std::getenv("MNM_WORKERS")) {
+        opts.workers = static_cast<unsigned>(
+            parseEnvU64("MNM_WORKERS", env, 0, 1024));
+    }
+    if (const char *env = std::getenv("MNM_POISON_LIMIT")) {
+        opts.poison_limit = static_cast<unsigned>(
+            parseEnvU64("MNM_POISON_LIMIT", env, 1, 1000));
+    }
+    if (const char *env = std::getenv("MNM_WORKER_BACKOFF_MS")) {
+        opts.worker_backoff_ms = static_cast<unsigned>(
+            parseEnvU64("MNM_WORKER_BACKOFF_MS", env, 0, 60000));
+    }
     if (const char *env = std::getenv("MNM_RETRIES")) {
         opts.retries = static_cast<unsigned>(
             parseEnvU64("MNM_RETRIES", env, 0, 100));
@@ -110,11 +122,12 @@ ExperimentOptions::fromEnv()
         opts.cell_timeout_s = v;
     }
     if (const char *env = std::getenv("MNM_FAIL_CELL"))
-        opts.fail_cell = env;
+        opts.fail_cell = parseCellFaultSpec(env);
     // Arm the exit-time manifest/trace writers and echo the resolved
     // configuration into the manifest. Inert when both knobs are unset.
     initRunTelemetry();
-    setRunConfig(opts.instructions, opts.apps, opts.jobs, opts.csv);
+    setRunConfig(opts.instructions, opts.apps, opts.jobs, opts.workers,
+                 opts.csv);
     return opts;
 }
 

@@ -12,6 +12,19 @@
  *   MNM_CSV           set to 1 to also emit CSV after each table
  *   MNM_JOBS          sweep worker threads (default: all hardware
  *                     threads; 1 = legacy serial path)
+ *   MNM_WORKERS       sweep worker *processes* (default 0 = stay in
+ *                     process). N >= 1 makes runSweep a supervisor
+ *                     forking N crash-contained workers (sim/
+ *                     proc_pool): SIGSEGV/SIGKILL/hangs cost one cell,
+ *                     never the sweep, and output stays byte-identical
+ *                     to MNM_JOBS threading and to serial
+ *   MNM_POISON_LIMIT  consecutive worker deaths one cell may cause
+ *                     before it is declared poison and rendered
+ *                     <failed> instead of crash-looping the pool
+ *                     (default 3)
+ *   MNM_WORKER_BACKOFF_MS  base delay before respawning a dead worker
+ *                     process; doubles per consecutive death
+ *                     (default 100)
  *   MNM_PROGRESS      set to 1 to report per-cell completion (with an
  *                     ETA projection) on stderr
  *   MNM_STATS_JSON    path; write the machine-readable run manifest
@@ -23,11 +36,16 @@
  *   MNM_RETRIES       extra attempts for a cell whose simulation
  *                     throws (default 1; watchdog timeouts never
  *                     retry)
- *   MNM_CELL_TIMEOUT_S  cooperative per-cell watchdog in seconds;
- *                     a cell over budget fails without killing the
- *                     pool (default: no timeout)
- *   MNM_FAIL_CELL     testing: any cell whose "app · label" contains
- *                     this substring throws on every attempt
+ *   MNM_CELL_TIMEOUT_S  per-cell watchdog in seconds (default: no
+ *                     timeout). Cooperative under MNM_JOBS (the cell
+ *                     must poll); a real supervisor-enforced SIGKILL
+ *                     deadline under MNM_WORKERS
+ *   MNM_FAIL_CELL     testing: kill any cell whose "app · label"
+ *                     contains the substring. "<substr>" throws (the
+ *                     thread-containable failure); "<substr>:<mode>"
+ *                     with segv, abort, exit:<code>, or hang raises
+ *                     the process-fatal failures only MNM_WORKERS
+ *                     contains (core/fault_inject.hh)
  *   MNM_REFERENCE_KERNEL  set to 1 to run functional cells through
  *                     the single-step virtual reference kernel (CI
  *                     byte-diffs it against the batched default)
@@ -55,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault_inject.hh"
 #include "core/mnm_unit.hh"
 #include "sim/memory_sim.hh"
 
@@ -69,6 +88,15 @@ struct ExperimentOptions
     bool csv = false;
     /** Sweep worker threads (sim/runner.hh); 1 = serial. */
     unsigned jobs = 1;
+    /** Sweep worker processes (MNM_WORKERS, sim/proc_pool.hh);
+     *  0 = in-process execution via the thread pool. */
+    unsigned workers = 0;
+    /** Consecutive worker deaths one cell may cause before it is
+     *  declared poison (MNM_POISON_LIMIT). */
+    unsigned poison_limit = 3;
+    /** Base worker-respawn backoff in ms (MNM_WORKER_BACKOFF_MS);
+     *  doubles per consecutive death. */
+    unsigned worker_backoff_ms = 100;
     /** Report per-cell sweep completion via progress(). */
     bool progress = false;
     /** Run-manifest path (MNM_STATS_JSON); empty = disabled. */
@@ -82,8 +110,8 @@ struct ExperimentOptions
     /** Per-cell watchdog budget in seconds (MNM_CELL_TIMEOUT_S);
      *  0 = no watchdog. */
     double cell_timeout_s = 0.0;
-    /** Fault-injection substring (MNM_FAIL_CELL); empty = disabled. */
-    std::string fail_cell;
+    /** Cell fault injection (MNM_FAIL_CELL); match empty = disabled. */
+    CellFaultSpec fail_cell;
 
     /** Parse and validate every MNM_* knob listed in the file comment;
      *  also arms the obs layer's exit-time manifest/trace writers. */

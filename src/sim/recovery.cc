@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace mnm
@@ -151,6 +152,50 @@ need(const JsonValue &object, const std::string &key, double &out)
     if (!v)
         return false;
     out = *v;
+    return true;
+}
+
+// ------------------------------------------------- CRC record envelope
+
+/** 8 lower-case hex digits of @p crc. */
+std::string
+crcHex(std::uint32_t crc)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(8, '0');
+    for (int i = 0; i < 8; ++i)
+        out[i] = digits[(crc >> (28 - 4 * i)) & 0xf];
+    return out;
+}
+
+/** The byte prefix every enveloped record line starts with. */
+constexpr std::string_view envelope_prefix = "{\"crc\":\"";
+/** ...followed by 8 hex digits, then this, then the rec text, then
+ *  the closing '}'. */
+constexpr std::string_view envelope_mid = "\",\"rec\":";
+
+/**
+ * Split an enveloped line into its CRC field and the exact rec text
+ * the CRC was computed over. Returns false for any line that is not
+ * shaped like an envelope (torn, foreign, or pre-v2).
+ */
+bool
+splitEnvelope(std::string_view line, std::string_view &crc_out,
+              std::string_view &rec_out)
+{
+    const std::size_t fixed = envelope_prefix.size() + 8 +
+                              envelope_mid.size() + 1;
+    if (line.size() <= fixed ||
+        line.substr(0, envelope_prefix.size()) != envelope_prefix ||
+        line.substr(envelope_prefix.size() + 8, envelope_mid.size()) !=
+            envelope_mid ||
+        line.back() != '}') {
+        return false;
+    }
+    crc_out = line.substr(envelope_prefix.size(), 8);
+    const std::size_t rec_begin =
+        envelope_prefix.size() + 8 + envelope_mid.size();
+    rec_out = line.substr(rec_begin, line.size() - rec_begin - 1);
     return true;
 }
 
@@ -396,11 +441,11 @@ CheckpointJournal::load(const std::string &path)
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
-        std::optional<JsonValue> value = parseJson(line);
         if (first) {
             first = false;
             // Header line. A wrong or unreadable schema tag means the
             // journal is from an incompatible writer: replay nothing.
+            std::optional<JsonValue> value = parseJson(line);
             if (!value || !value->isObject() ||
                 value->getString("schema") != std::optional<std::string>(
                                                   schema)) {
@@ -411,19 +456,55 @@ CheckpointJournal::load(const std::string &path)
             }
             continue;
         }
-        if (!value || !value->isObject()) {
+
+        // Envelope check first: the CRC is computed over the exact
+        // rec bytes as written, so it must be verified on the raw
+        // text, before any JSON round trip.
+        std::string_view crc_text, rec_text;
+        if (!splitEnvelope(line, crc_text, rec_text)) {
             ++replay.skipped; // torn tail / partial write
             continue;
         }
-        std::optional<std::string> fp = value->getString("fp");
-        const JsonValue *payload = value->find("result");
-        std::optional<MemSimResult> result =
-            payload ? readMemSimResult(*payload) : std::nullopt;
-        if (!fp || !result) {
+        if (crcHex(crc32(rec_text)) != crc_text) {
+            ++replay.corrupt; // parses fine, but the bytes changed
+            continue;
+        }
+        std::optional<JsonValue> rec = parseJson(rec_text);
+        if (!rec || !rec->isObject()) {
             ++replay.skipped;
             continue;
         }
-        replay.entries.insert_or_assign(*fp, std::move(*result));
+
+        std::optional<std::string> type = rec->getString("type");
+        std::optional<std::string> fp = rec->getString("fp");
+        if (type == std::optional<std::string>("result")) {
+            const JsonValue *payload = rec->find("result");
+            std::optional<MemSimResult> result =
+                payload ? readMemSimResult(*payload) : std::nullopt;
+            if (!fp || !result) {
+                ++replay.skipped;
+                continue;
+            }
+            replay.entries.insert_or_assign(*fp, std::move(*result));
+        } else if (type == std::optional<std::string>("lease")) {
+            if (!fp) {
+                ++replay.skipped;
+                continue;
+            }
+            ++replay.leases[*fp];
+        } else if (type == std::optional<std::string>("respawn")) {
+            ++replay.respawns;
+        } else if (type == std::optional<std::string>("poison")) {
+            if (!fp) {
+                ++replay.skipped;
+                continue;
+            }
+            unsigned crashes = static_cast<unsigned>(
+                rec->getU64("crashes").value_or(0));
+            replay.poisoned.insert_or_assign(*fp, crashes);
+        } else {
+            ++replay.skipped; // record type from a future writer
+        }
     }
     return replay;
 }
@@ -462,12 +543,53 @@ void
 CheckpointJournal::append(const std::string &fingerprint,
                           const MemSimResult &result)
 {
-    std::string line = "{\"fp\":" + JsonWriter::quoted(fingerprint) +
-                       ",\"result\":" + writeMemSimResult(result) + "}\n";
+    appendRecord("{\"type\":\"result\",\"fp\":" +
+                 JsonWriter::quoted(fingerprint) +
+                 ",\"result\":" + writeMemSimResult(result) + "}");
+}
+
+void
+CheckpointJournal::appendLease(const std::string &fingerprint,
+                               unsigned worker, unsigned seq)
+{
+    appendRecord("{\"type\":\"lease\",\"fp\":" +
+                 JsonWriter::quoted(fingerprint) +
+                 ",\"worker\":" + std::to_string(worker) +
+                 ",\"seq\":" + std::to_string(seq) + "}");
+}
+
+void
+CheckpointJournal::appendRespawn(unsigned worker, unsigned spawns)
+{
+    appendRecord("{\"type\":\"respawn\",\"worker\":" +
+                 std::to_string(worker) +
+                 ",\"spawns\":" + std::to_string(spawns) + "}");
+}
+
+void
+CheckpointJournal::appendPoison(const std::string &fingerprint,
+                                unsigned crashes)
+{
+    appendRecord("{\"type\":\"poison\",\"fp\":" +
+                 JsonWriter::quoted(fingerprint) +
+                 ",\"crashes\":" + std::to_string(crashes) + "}");
+}
+
+void
+CheckpointJournal::appendRecord(const std::string &rec_text)
+{
+    std::string line;
+    line.reserve(rec_text.size() + envelope_prefix.size() +
+                 envelope_mid.size() + 10);
+    line += envelope_prefix;
+    line += crcHex(crc32(rec_text));
+    line += envelope_mid;
+    line += rec_text;
+    line += "}\n";
     std::lock_guard<std::mutex> lock(mutex_);
     if (fd_ < 0 || write_failed_)
         return;
-    // One write per entry: O_APPEND makes the line land atomically at
+    // One write per record: O_APPEND makes the line land atomically at
     // the tail even with a concurrent writer, and a crash mid-write
     // leaves at most one torn line for load() to skip.
     std::size_t done = 0;

@@ -20,10 +20,26 @@
  * line as "not yet written" and skips it, so that cell simply re-runs.
  * Failed cells are never journaled -- a rerun retries them.
  *
+ * Against *in-place* corruption (a bit flip in the middle of an old
+ * record still parses as JSON), every v2 record is wrapped as
+ * {"crc":"<8 hex>","rec":{...}} with an IEEE CRC-32 over the exact
+ * serialized rec text; a mismatching line is counted in
+ * Replay::corrupt and skipped -- it re-runs instead of poisoning the
+ * resume with silently wrong numbers.
+ *
+ * Beyond completed results, the journal is the process pool's work-
+ * distribution substrate (sim/proc_pool.hh): the supervisor appends a
+ * "lease" record when it issues a cell to a worker process and the
+ * fsync'd "result" record only after the worker's reply arrived, so a
+ * killed run can be audited cell by cell (leased-but-uncommitted =
+ * was in flight, will re-run) and tools/extract_results.py --journal
+ * can summarize leases, re-issues, worker respawns, and poisoned
+ * cells.
+ *
  * The fingerprint is intentionally independent of execution knobs that
- * do not change results (jobs, progress, retries, timeouts), so a
- * journal written by a parallel run resumes a serial run and vice
- * versa.
+ * do not change results (jobs, workers, progress, retries, timeouts),
+ * so a journal written by a parallel or process-pool run resumes a
+ * serial run and vice versa.
  */
 
 #ifndef MNM_SIM_RECOVERY_HH
@@ -76,6 +92,17 @@ class CheckpointJournal
         std::map<std::string, MemSimResult> entries;
         /** Unparsable lines skipped (torn tail, partial writes). */
         std::size_t skipped = 0;
+        /** Parsable lines whose CRC-32 did not match (bit rot,
+         *  mid-file corruption); skipped like torn ones. */
+        std::size_t corrupt = 0;
+        /** fingerprint -> times leased to a worker process. A lease
+         *  without a matching entries[] result was in flight when the
+         *  run died; the cell simply re-runs. */
+        std::map<std::string, unsigned> leases;
+        /** Worker-process respawn records seen. */
+        std::size_t respawns = 0;
+        /** Cells the previous run declared poison. */
+        std::map<std::string, unsigned> poisoned;
     };
 
     /**
@@ -105,12 +132,32 @@ class CheckpointJournal
     void append(const std::string &fingerprint,
                 const MemSimResult &result);
 
+    /** Record that @p fingerprint was issued to worker @p worker;
+     *  @p seq counts issues of this cell (1 = first, >1 = re-issue
+     *  after a crash). Same durability as append(). */
+    void appendLease(const std::string &fingerprint, unsigned worker,
+                     unsigned seq);
+
+    /** Record that dead worker slot @p worker was respawned (its
+     *  @p spawns-th process). */
+    void appendRespawn(unsigned worker, unsigned spawns);
+
+    /** Record that @p fingerprint killed @p crashes successive worker
+     *  processes and was declared poison. */
+    void appendPoison(const std::string &fingerprint, unsigned crashes);
+
     const std::string &path() const { return path_; }
 
-    /** Journal schema tag, first line of every journal file. */
-    static constexpr const char *schema = "mnm-checkpoint-v1";
+    /** Journal schema tag, first line of every journal file. v2 wraps
+     *  every record in a CRC-32 envelope and adds the lease/respawn/
+     *  poison record types; v1 journals are ignored wholesale (their
+     *  cells re-run) rather than replayed unverified. */
+    static constexpr const char *schema = "mnm-checkpoint-v2";
 
   private:
+    /** Wrap @p rec_text in the CRC envelope, write, fsync. */
+    void appendRecord(const std::string &rec_text);
+
     std::string path_;
     std::mutex mutex_;
     int fd_ = -1;

@@ -7,10 +7,12 @@
 #include <memory>
 #include <thread>
 
+#include "core/fault_inject.hh"
 #include "obs/manifest.hh"
 #include "obs/phase_profiler.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "sim/proc_pool.hh"
 #include "sim/recovery.hh"
 #include "util/deadline.hh"
 #include "util/logging.hh"
@@ -183,26 +185,30 @@ ParallelRunner::currentWorker()
     return workerSlot();
 }
 
-namespace
-{
-
-/** Wall-clock record of one sweep cell, filled in by its worker. */
-struct CellTiming
-{
-    std::uint64_t start_us = 0; //!< steady-clock start
-    std::uint64_t dur_us = 0;
-    unsigned worker = 0;
-    /** False for cells replayed from a checkpoint or failed before
-     *  completing: their wall-clock numbers are meaningless. */
-    bool ran = false;
-};
-
-/** "app · label" (or just app) for progress/error messages. */
 std::string
-cellDisplayName(const SweepCell &cell)
+sweepCellDisplayName(const SweepCell &cell)
 {
     return cell.label.empty() ? cell.app : cell.app + " · " + cell.label;
 }
+
+const char *
+sweepFailCauseName(SweepFailCause cause)
+{
+    switch (cause) {
+    case SweepFailCause::Crash:
+        return "crash";
+    case SweepFailCause::Timeout:
+        return "timeout";
+    case SweepFailCause::RetryExhausted:
+        return "retry_exhausted";
+    case SweepFailCause::Poison:
+        return "poison";
+    }
+    return "unknown";
+}
+
+namespace
+{
 
 /** Process-wide "some sweep cell failed" flag behind sweepExitCode(). */
 std::atomic<bool> g_sweep_failed{false};
@@ -228,7 +234,7 @@ cellMetricPrefix(const SweepCell &cell)
 void
 foldSweepTelemetry(const std::vector<SweepCell> &cells,
                    const std::vector<MemSimResult> &results,
-                   const std::vector<CellTiming> &timing,
+                   const std::vector<SweepCellTiming> &timing,
                    const std::vector<PhaseTotals> &cell_prof,
                    std::uint64_t sweep_start_us, std::uint64_t wall_us,
                    unsigned jobs)
@@ -255,7 +261,7 @@ foldSweepTelemetry(const std::vector<SweepCell> &cells,
         }
 
         // Replayed and failed cells have no meaningful wall clock.
-        const CellTiming &t = timing[i];
+        const SweepCellTiming &t = timing[i];
         if (!t.ran)
             continue;
         busy_us += t.dur_us;
@@ -347,13 +353,39 @@ foldSweepTelemetry(const std::vector<SweepCell> &cells,
 
 } // anonymous namespace
 
+void
+recordSweepCellFailure(const SweepCell &cell, std::size_t index,
+                       SweepFailCause cause, const std::string &reason,
+                       MemSimResult &result)
+{
+    result = MemSimResult{};
+    result.failed = true;
+    result.fail_reason = reason;
+    warn("sweep cell %zu (%s) failed [%s]: %s", index,
+         sweepCellDisplayName(cell).c_str(), sweepFailCauseName(cause),
+         reason.c_str());
+    StatsRegistry &stats = globalStats();
+    stats.addCounter("runner.failures.total", 1);
+    stats.addCounter(std::string("runner.failures.by_cause.") +
+                         sweepFailCauseName(cause),
+                     1);
+    stats.addCounter(
+        "runner.failures." +
+            sanitizeMetricSegment(cell.label.empty() ? "default"
+                                                     : cell.label) +
+            "." +
+            sanitizeMetricSegment(ExperimentOptions::shortName(cell.app)),
+        1);
+    g_sweep_failed.store(true, std::memory_order_relaxed);
+}
+
 std::vector<MemSimResult>
 runSweep(const std::vector<SweepCell> &cells,
          const ExperimentOptions &opts)
 {
     ParallelRunner runner(opts.jobs);
     std::vector<MemSimResult> results(cells.size());
-    std::vector<CellTiming> timing(cells.size());
+    std::vector<SweepCellTiming> timing(cells.size());
     std::vector<PhaseTotals> cell_prof(cells.size());
     std::atomic<std::size_t> completed{0};
 
@@ -396,11 +428,30 @@ runSweep(const std::vector<SweepCell> &cells,
 
     const std::uint64_t sweep_start_us = steadyNowUs();
 
+    // Process-pool mode: MNM_WORKERS >= 1 hands the non-replayed cells
+    // to forked worker processes. runSweep is still single-threaded at
+    // this point (the thread pool only exists inside runner.run), so
+    // the fork in the supervisor is safe. Leases are keyed by cell
+    // fingerprint, so compute them even without a journal.
+    if (opts.workers > 0) {
+        if (fingerprints.empty()) {
+            fingerprints.resize(cells.size());
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                fingerprints[i] = cellFingerprint(cells[i]);
+        }
+        runSweepProcPool(cells, opts, fingerprints, replayed,
+                         journal.get(), results, timing);
+        const std::uint64_t pool_wall_us = steadyNowUs() - sweep_start_us;
+        foldSweepTelemetry(cells, results, timing, cell_prof,
+                           sweep_start_us, pool_wall_us, opts.workers);
+        return results;
+    }
+
     auto errors = runner.run(cells.size(), [&](std::size_t i) {
         if (replayed[i])
             return;
         const SweepCell &cell = cells[i];
-        CellTiming &t = timing[i];
+        SweepCellTiming &t = timing[i];
 
         // Bounded retry: a throwing simulation gets opts.retries more
         // attempts (exponential backoff); a watchdog timeout does not
@@ -414,12 +465,9 @@ runSweep(const std::vector<SweepCell> &cells,
                 t.worker = ParallelRunner::currentWorker();
                 if (g_fault_hook)
                     g_fault_hook(cell, attempt);
-                if (!opts.fail_cell.empty() &&
-                    cellDisplayName(cell).find(opts.fail_cell) !=
-                        std::string::npos) {
-                    throw std::runtime_error(
-                        "injected failure (MNM_FAIL_CELL=" +
-                        opts.fail_cell + ")");
+                if (opts.fail_cell.matches(sweepCellDisplayName(cell))) {
+                    triggerCellFault(opts.fail_cell,
+                                     sweepCellDisplayName(cell));
                 }
                 if (opts.cell_timeout_s > 0.0)
                     armCellDeadline(opts.cell_timeout_s);
@@ -457,7 +505,7 @@ runSweep(const std::vector<SweepCell> &cells,
             double eta_s = elapsed_s / static_cast<double>(done) *
                            static_cast<double>(cells.size() - done);
             progress("[%zu/%zu] %s (eta %.1fs)", done, cells.size(),
-                     cellDisplayName(cell).c_str(), eta_s);
+                     sweepCellDisplayName(cell).c_str(), eta_s);
         }
     });
     const std::uint64_t wall_us = steadyNowUs() - sweep_start_us;
@@ -465,33 +513,22 @@ runSweep(const std::vector<SweepCell> &cells,
     // Graceful degradation: a failed cell is marked, warned about, and
     // counted; the sweep's other cells stand. Benches print "<failed>"
     // gaps for the marked cells and exit via sweepExitCode().
-    StatsRegistry &stats = globalStats();
     for (std::size_t i = 0; i < errors.size(); ++i) {
         if (!errors[i])
             continue;
-        const SweepCell &cell = cells[i];
-        results[i] = MemSimResult{};
-        results[i].failed = true;
+        SweepFailCause cause = SweepFailCause::RetryExhausted;
+        std::string reason;
         try {
             std::rethrow_exception(errors[i]);
+        } catch (const CellTimeoutError &e) {
+            cause = SweepFailCause::Timeout;
+            reason = e.what();
         } catch (const std::exception &e) {
-            results[i].fail_reason = e.what();
+            reason = e.what();
         } catch (...) {
-            results[i].fail_reason = "non-standard exception";
+            reason = "non-standard exception";
         }
-        warn("sweep cell %zu (%s) failed: %s", i,
-             cellDisplayName(cell).c_str(),
-             results[i].fail_reason.c_str());
-        stats.addCounter("runner.failures.total", 1);
-        stats.addCounter(
-            "runner.failures." +
-                sanitizeMetricSegment(cell.label.empty() ? "default"
-                                                         : cell.label) +
-                "." +
-                sanitizeMetricSegment(
-                    ExperimentOptions::shortName(cell.app)),
-            1);
-        g_sweep_failed.store(true, std::memory_order_relaxed);
+        recordSweepCellFailure(cells[i], i, cause, reason, results[i]);
     }
 
     foldSweepTelemetry(cells, results, timing, cell_prof,
@@ -510,6 +547,12 @@ setSweepFaultHookForTest(
     std::function<void(const SweepCell &, unsigned)> hook)
 {
     g_fault_hook = std::move(hook);
+}
+
+const std::function<void(const SweepCell &, unsigned)> &
+sweepFaultHook()
+{
+    return g_fault_hook;
 }
 
 } // namespace mnm

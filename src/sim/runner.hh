@@ -71,6 +71,52 @@ makeGridCells(const std::vector<std::string> &apps,
 /** MNM_JOBS, or hardware_concurrency when unset (always >= 1). */
 unsigned jobsFromEnv();
 
+/** "app · label" (or just app) for progress/error messages. */
+std::string sweepCellDisplayName(const SweepCell &cell);
+
+/**
+ * Why a sweep cell was marked failed. Split out so operators can tell
+ * "my cell crashed the worker" from "my cell is slow" from "my cell
+ * throws deterministically" straight from the manifest
+ * (runner.failures.by_cause.*) without re-running anything.
+ */
+enum class SweepFailCause
+{
+    Crash,          //!< worker process died (signal or nonzero exit)
+    Timeout,        //!< MNM_CELL_TIMEOUT_S expired
+    RetryExhausted, //!< threw on every attempt (MNM_RETRIES + 1)
+    Poison,         //!< killed MNM_POISON_LIMIT successive workers
+};
+
+/** Metric-segment / log name for @p cause ("crash", "timeout",
+ *  "retry_exhausted", "poison"). */
+const char *sweepFailCauseName(SweepFailCause cause);
+
+/**
+ * Mark @p result as cells[index]'s failure: reset it with failed set
+ * and @p reason as fail_reason, warn with the cell's display name and
+ * cause, bump "runner.failures.total", "runner.failures.by_cause.
+ * <cause>" and the per-cell "runner.failures.<label>.<app>" counter,
+ * and latch sweepExitCode() nonzero. Shared by the in-process retry
+ * path and the process-pool supervisor so both report identically.
+ */
+void recordSweepCellFailure(const SweepCell &cell, std::size_t index,
+                            SweepFailCause cause,
+                            const std::string &reason,
+                            MemSimResult &result);
+
+/** Wall-clock record of one sweep cell, filled in by whichever
+ *  execution path ran it (worker thread or pool supervisor). */
+struct SweepCellTiming
+{
+    std::uint64_t start_us = 0; //!< steady-clock start
+    std::uint64_t dur_us = 0;
+    unsigned worker = 0;
+    /** False for cells replayed from a checkpoint or failed before
+     *  completing: their wall-clock numbers are meaningless. */
+    bool ran = false;
+};
+
 /**
  * Aggregate failure of a parallel task set: carries every failed
  * index's label and message, not just the first, so one run of a
@@ -167,6 +213,16 @@ class ParallelRunner
  * projected from cells done over elapsed time) is reported via
  * progress() when @p opts.progress (MNM_PROGRESS=1).
  *
+ * Execution modes: with @p opts.workers == 0 (the default) cells run
+ * on an in-process thread pool. With MNM_WORKERS=N >= 1 the call
+ * becomes a supervisor over N forked worker *processes*
+ * (sim/proc_pool.hh): a cell that segfaults, aborts, exits, or hangs
+ * takes down only its worker -- the supervisor re-issues the cell to a
+ * respawned worker and the sweep completes. Either way results land in
+ * the same cell-indexed vector, so stdout and the manifest's "sweep.*"
+ * subtree are byte-identical across serial, threaded, and
+ * process-pool runs.
+ *
  * Fault containment: a cell whose simulation throws is retried up to
  * @p opts.retries times (exponential backoff; watchdog timeouts from
  * MNM_CELL_TIMEOUT_S are not retried -- a second attempt would just
@@ -220,6 +276,11 @@ sweepCell(const MemSimResult &r, double value)
  */
 void setSweepFaultHookForTest(
     std::function<void(const SweepCell &, unsigned)> hook);
+
+/** The installed test fault hook (null when unset). Internal: lets the
+ *  process-pool worker (which inherits the hook across fork) run it
+ *  exactly like the thread path does. */
+const std::function<void(const SweepCell &, unsigned)> &sweepFaultHook();
 
 } // namespace mnm
 

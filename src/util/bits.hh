@@ -6,8 +6,10 @@
 #ifndef MNM_UTIL_BITS_HH
 #define MNM_UTIL_BITS_HH
 
+#include <array>
 #include <bit>
 #include <cstdint>
+#include <string_view>
 
 #include "util/logging.hh"
 #include "util/types.hh"
@@ -68,6 +70,46 @@ constexpr std::uint64_t
 roundUp(std::uint64_t v, std::uint64_t align)
 {
     return (v + align - 1) & ~(align - 1);
+}
+
+namespace detail
+{
+
+/** IEEE 802.3 CRC-32 table (reflected polynomial 0xedb88320). */
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c >> 1) ^ ((c & 1) ? 0xedb88320u : 0u);
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> crc32_table =
+    makeCrc32Table();
+
+} // namespace detail
+
+/**
+ * IEEE CRC-32 (zlib-compatible) of @p data. Guards checkpoint-journal
+ * records against in-place corruption: a torn tail fails to parse, but
+ * a bit-flipped byte in the middle of an old record still parses as
+ * JSON -- only the checksum catches it.
+ */
+constexpr std::uint32_t
+crc32(std::string_view data)
+{
+    std::uint32_t crc = 0xffffffffu;
+    for (char ch : data) {
+        crc = (crc >> 8) ^
+              detail::crc32_table[(crc ^ static_cast<unsigned char>(ch)) &
+                                  0xffu];
+    }
+    return crc ^ 0xffffffffu;
 }
 
 } // namespace mnm

@@ -368,7 +368,7 @@ TEST(ManifestTest, WritesSchemaConfigAndMetrics)
     globalStats().clear();
     globalStats().addCounter("demo.value", 7);
     setRunName("obs_test");
-    setRunConfig(12345, {"164.gzip"}, 3, false);
+    setRunConfig(12345, {"164.gzip"}, 3, 0, false);
 
     std::ostringstream out;
     writeRunManifest(out);

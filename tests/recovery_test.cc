@@ -7,8 +7,10 @@
  * an uninterrupted run exactly.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -201,6 +203,98 @@ TEST(JournalTest, LoadSkipsTornTail)
     EXPECT_EQ(replay.entries.size(), 1u);
     EXPECT_EQ(replay.skipped, 1u);
     EXPECT_TRUE(replay.entries.count("cell-a"));
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, CrcCatchesMidFileBitFlip)
+{
+    std::string path = tempJournalPath("bitflip");
+    std::remove(path.c_str());
+
+    ExperimentOptions opts;
+    opts.jobs = 1;
+    std::vector<MemSimResult> results = runSweep(smallGrid(), opts);
+    {
+        CheckpointJournal journal(path);
+        journal.append("cell-a", results[0]);
+        journal.append("cell-b", results[1]);
+    }
+
+    // Flip one digit inside the FIRST record (not the tail): the line
+    // still parses as JSON, so only the CRC envelope can catch it.
+    std::string text;
+    {
+        std::ifstream in(path);
+        std::stringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    std::size_t pos = text.find("\"requests\":");
+    ASSERT_NE(pos, std::string::npos);
+    pos += std::string("\"requests\":").size();
+    ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(text[pos])));
+    text[pos] = text[pos] == '9' ? '1' : '9';
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << text;
+    }
+
+    CheckpointJournal::Replay replay = CheckpointJournal::load(path);
+    // The flipped record is quarantined (so its cell re-runs instead
+    // of resuming with silently wrong numbers); the other survives.
+    EXPECT_EQ(replay.corrupt, 1u);
+    EXPECT_EQ(replay.skipped, 0u);
+    ASSERT_EQ(replay.entries.size(), 1u);
+    EXPECT_TRUE(replay.entries.count("cell-b"));
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, LeaseRespawnPoisonRoundTrip)
+{
+    std::string path = tempJournalPath("lease");
+    std::remove(path.c_str());
+
+    ExperimentOptions opts;
+    opts.jobs = 1;
+    std::vector<SweepCell> grid = smallGrid();
+    std::vector<SweepCell> cells(grid.begin(), grid.begin() + 1);
+    MemSimResult result = runSweep(cells, opts).front();
+    {
+        CheckpointJournal journal(path);
+        journal.appendLease("cell-a", 0, 1);
+        journal.append("cell-a", result);
+        journal.appendLease("cell-b", 1, 1);
+        journal.appendRespawn(1, 2);
+        journal.appendLease("cell-b", 0, 2);
+        journal.appendPoison("cell-b", 3);
+    }
+    CheckpointJournal::Replay replay = CheckpointJournal::load(path);
+    EXPECT_EQ(replay.skipped, 0u);
+    EXPECT_EQ(replay.corrupt, 0u);
+    // cell-a committed; cell-b was leased twice but never committed --
+    // exactly the in-flight-when-killed signature a resume re-runs.
+    ASSERT_EQ(replay.entries.size(), 1u);
+    EXPECT_TRUE(replay.entries.count("cell-a"));
+    EXPECT_EQ(replay.leases.at("cell-a"), 1u);
+    EXPECT_EQ(replay.leases.at("cell-b"), 2u);
+    EXPECT_EQ(replay.respawns, 1u);
+    ASSERT_EQ(replay.poisoned.size(), 1u);
+    EXPECT_EQ(replay.poisoned.at("cell-b"), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, V1JournalIsIgnoredWholesale)
+{
+    // A v1 journal carries no CRCs, so its records cannot be verified;
+    // the loader must re-run everything rather than replay unchecked.
+    std::string path = tempJournalPath("v1");
+    {
+        std::ofstream out(path);
+        out << "{\"schema\":\"mnm-checkpoint-v1\"}\n";
+        out << "{\"fp\":\"cell-a\",\"result\":{}}\n";
+    }
+    CheckpointJournal::Replay replay = CheckpointJournal::load(path);
+    EXPECT_TRUE(replay.entries.empty());
     std::remove(path.c_str());
 }
 

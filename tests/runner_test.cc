@@ -278,7 +278,7 @@ TEST(RunnerTest, FailedCellDegradesGracefully)
     ExperimentOptions opts;
     opts.jobs = 4;
     opts.retries = 0;
-    opts.fail_cell = "181.mcf · RMNM";
+    opts.fail_cell.match = "181.mcf · RMNM";
     std::vector<MemSimResult> results = runSweep(cells, opts);
 
     // Exactly one cell is marked failed; every other cell completed

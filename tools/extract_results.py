@@ -34,9 +34,10 @@ reported, never treated as mismatches.
 
 With --diff, two run manifests are compared for metric equality while
 ignoring the fields that legitimately differ between runs: "meta",
-"config.jobs", "config.progress", and the "metrics.runner" and
-"metrics.prof" wall-clock subtrees. Used by CI to prove serial and
-parallel sweeps fold identical statistics.
+"config.jobs", "config.workers", "config.progress", and the
+"metrics.runner" and "metrics.prof" wall-clock subtrees. Used by CI to
+prove serial, threaded (MNM_JOBS), and process-pool (MNM_WORKERS)
+sweeps fold identical statistics.
 
 With --prof, each input's phase-attribution profile (the metrics.prof
 subtree a run records under MNM_PROF=time|hw, or the per-cell "prof"
@@ -50,7 +51,12 @@ made without MNM_PROF.
 With --journal, an MNM_CHECKPOINT journal is summarized: schema,
 completed-cell count, total journaled instructions, and any torn or
 foreign lines (reported, never fatal -- a truncated tail is exactly
-what the journal is designed to survive).
+what the journal is designed to survive). v2 journals additionally
+carry per-record CRC-32 envelopes and the process-pool's operational
+records; for those the tool verifies every CRC and summarizes leases
+issued, re-issued cells, leased-but-uncommitted cells (the ones a
+resuming run re-executes), worker respawns, poisoned cells, and any
+corrupt (bit-flipped) records.
 
 With --perf, each input is either a kernel-bench summary (schema
 mnm-kernel-bench-v1 or -v2, written by bench_kernel_throughput under
@@ -84,6 +90,7 @@ import json
 import os
 import re
 import sys
+import zlib
 
 #: Printed tables round to 1 decimal; allow half a ULP of that plus
 #: float noise.
@@ -92,8 +99,8 @@ TOLERANCE = 0.05 + 1e-9
 #: Manifest fields that legitimately differ between comparable runs.
 #: metrics.prof is wall-clock-derived phase attribution (obs/
 #: phase_profiler), exactly as wall-clocky as metrics.runner.
-DIFF_IGNORED = ("meta", "config.jobs", "config.progress",
-                "metrics.runner", "metrics.prof")
+DIFF_IGNORED = ("meta", "config.jobs", "config.workers",
+                "config.progress", "metrics.runner", "metrics.prof")
 
 
 #: Gap marker printed by util/table.hh for failed sweep cells.
@@ -572,13 +579,96 @@ def run_perf(baseline_path, paths, require_same_cells=False) -> int:
     return status
 
 
-#: Schema tag written by sim/recovery.cc (CheckpointJournal::schema).
-JOURNAL_SCHEMA = "mnm-checkpoint-v1"
+#: Schema tags written by sim/recovery.cc (CheckpointJournal::schema).
+#: v1 wrote bare result records; v2 wraps every record in a CRC-32
+#: envelope and adds the process-pool's lease/respawn/poison records.
+JOURNAL_SCHEMA_V1 = "mnm-checkpoint-v1"
+JOURNAL_SCHEMA_V2 = "mnm-checkpoint-v2"
+
+#: The v2 record envelope: {"crc":"<8hex>","rec":{...}}. Group 2 is
+#: the exact text the CRC was computed over.
+ENVELOPE_RE = re.compile(r'^\{"crc":"([0-9a-f]{8})","rec":(.*)\}$')
+
+
+def summarize_v1(lines):
+    """(entries, counters) from a v1 journal body: bare result records,
+    anything else counts as torn."""
+    entries = {}
+    torn = 0
+    for line in lines:
+        try:
+            record = json.loads(line)
+            fingerprint = record["fp"]
+            result = record["result"]
+            result["instructions"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            torn += 1
+            continue
+        entries[fingerprint] = result
+    return entries, {"torn": torn}
+
+
+def summarize_v2(lines):
+    """(entries, counters) from a v2 journal body. Every line must be a
+    CRC envelope; the CRC is re-verified over the exact rec text, so a
+    single flipped bit lands in "corrupt" rather than replaying a
+    damaged result. Operational records (lease/respawn/poison) are
+    folded into the counters."""
+    entries = {}
+    leases = {}
+    counters = {"torn": 0, "corrupt": 0, "respawns": 0}
+    poisoned = {}
+    for line in lines:
+        match = ENVELOPE_RE.match(line)
+        if not match:
+            counters["torn"] += 1
+            continue
+        crc_text, rec_text = match.groups()
+        if f"{zlib.crc32(rec_text.encode('utf-8')) & 0xffffffff:08x}" \
+                != crc_text:
+            counters["corrupt"] += 1
+            continue
+        try:
+            record = json.loads(rec_text)
+            kind = record["type"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            counters["torn"] += 1
+            continue
+        if kind == "result":
+            try:
+                fingerprint = record["fp"]
+                result = record["result"]
+                result["instructions"]
+            except (KeyError, TypeError):
+                counters["torn"] += 1
+                continue
+            entries[fingerprint] = result
+        elif kind == "lease":
+            fp = record.get("fp")
+            if fp is not None:
+                leases[fp] = leases.get(fp, 0) + 1
+        elif kind == "respawn":
+            counters["respawns"] += 1
+        elif kind == "poison":
+            fp = record.get("fp")
+            if fp is not None:
+                poisoned[fp] = record.get("crashes", 0)
+        else:
+            counters["torn"] += 1
+    counters["leases"] = sum(leases.values())
+    counters["leased_cells"] = len(leases)
+    counters["reissues"] = sum(n - 1 for n in leases.values() if n > 1)
+    counters["uncommitted"] = sum(
+        1 for fp in leases
+        if fp not in entries and fp not in poisoned)
+    counters["poisoned"] = len(poisoned)
+    return entries, counters
 
 
 def run_journal(path) -> int:
     """Summarize an MNM_CHECKPOINT journal: completed cells, journaled
-    instructions, torn lines. Mirrors CheckpointJournal::load's
+    instructions, torn lines -- and, for v2, the lease/respawn/poison
+    story of a process-pool run. Mirrors CheckpointJournal::load's
     tolerance -- a torn tail is reported, not fatal."""
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
@@ -596,25 +686,17 @@ def run_journal(path) -> int:
     except json.JSONDecodeError:
         header = None
     schema = header.get("schema") if isinstance(header, dict) else None
-    if schema != JOURNAL_SCHEMA:
+    if schema not in (JOURNAL_SCHEMA_V1, JOURNAL_SCHEMA_V2):
         print(f"{path}: unrecognized header schema {schema!r} "
-              f"(expected {JOURNAL_SCHEMA!r}); a resuming run would "
-              f"ignore this journal and start fresh", file=sys.stderr)
+              f"(expected {JOURNAL_SCHEMA_V1!r} or "
+              f"{JOURNAL_SCHEMA_V2!r}); a resuming run would ignore "
+              f"this journal and start fresh", file=sys.stderr)
         return 1
 
-    entries = {}
-    torn = 0
-    for line in lines[1:]:
-        try:
-            record = json.loads(line)
-            fingerprint = record["fp"]
-            result = record["result"]
-            instructions = result["instructions"]
-        except (json.JSONDecodeError, KeyError, TypeError):
-            torn += 1
-            continue
-        entries[fingerprint] = result
-        _ = instructions
+    if schema == JOURNAL_SCHEMA_V1:
+        entries, counters = summarize_v1(lines[1:])
+    else:
+        entries, counters = summarize_v2(lines[1:])
     total_instructions = sum(r.get("instructions", 0)
                              for r in entries.values())
     violations = sum(1 for r in entries.values()
@@ -623,8 +705,25 @@ def run_journal(path) -> int:
           f"{total_instructions} instructions journaled")
     if violations:
         print(f"  {violations} cells recorded soundness violations")
-    if torn:
-        print(f"  {torn} torn/foreign lines skipped "
+    if schema == JOURNAL_SCHEMA_V2:
+        print(f"  {counters['leases']} leases issued over "
+              f"{counters['leased_cells']} cells; "
+              f"{counters['reissues']} re-issues after worker deaths")
+        if counters["uncommitted"]:
+            print(f"  {counters['uncommitted']} leased-but-uncommitted "
+                  f"cells (a resuming run re-executes exactly these)")
+        if counters["respawns"]:
+            print(f"  {counters['respawns']} worker respawns")
+        if counters["poisoned"]:
+            print(f"  {counters['poisoned']} poisoned cells (rendered "
+                  f"as {FAILED_CELL}; re-runs skip nothing -- poison "
+                  f"records are advisory, the cells simply fail again)")
+        if counters["corrupt"]:
+            print(f"  {counters['corrupt']} corrupt records (CRC "
+                  f"mismatch -- bit rot or a torn write mid-record); "
+                  f"a resuming run re-runs those cells")
+    if counters["torn"]:
+        print(f"  {counters['torn']} torn/foreign lines skipped "
               f"(a resuming run skips them too and re-runs those cells)")
     return 0
 
