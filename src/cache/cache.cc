@@ -1,5 +1,7 @@
 #include "cache/cache.hh"
 
+#include <cassert>
+
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -34,7 +36,10 @@ Cache::Cache(const CacheParams &params, std::uint64_t seed)
         fatal("cache '%s': set count %u not a power of two",
               params_.name.c_str(), num_sets_);
     block_bits_ = exactLog2(params_.block_bytes);
-    lines_.resize(static_cast<std::size_t>(num_sets_) * num_ways_);
+    std::size_t num_lines = static_cast<std::size_t>(num_sets_) * num_ways_;
+    tags_.resize(num_lines);
+    stamps_.resize(num_lines);
+    state_.resize(num_lines);
     if (params_.policy == ReplPolicy::TreePlru) {
         if (!isPowerOf2(num_ways_))
             fatal("cache '%s': tree-PLRU needs power-of-two ways",
@@ -44,6 +49,23 @@ Cache::Cache(const CacheParams &params, std::uint64_t seed)
                   params_.name.c_str());
         plru_bits_.assign(num_sets_, 0);
     }
+    if (params_.policy == ReplPolicy::Lru)
+        mru_way_.assign(num_sets_, no_mru);
+}
+
+void
+Cache::recomputeMru(std::uint32_t set)
+{
+    std::size_t base = static_cast<std::size_t>(set) * num_ways_;
+    std::uint32_t mru = no_mru;
+    std::uint64_t best = 0;
+    for (std::uint32_t w = 0; w < num_ways_; ++w) {
+        if ((state_[base + w] & line_valid) && stamps_[base + w] > best) {
+            best = stamps_[base + w];
+            mru = w;
+        }
+    }
+    mru_way_[set] = mru;
 }
 
 void
@@ -90,50 +112,13 @@ Cache::plruVictim(std::uint32_t set) const
     return way;
 }
 
-bool
-Cache::probe(BlockAddr block, bool is_write)
-{
-    ++stats_.accesses;
-    Line *line = findLine(block);
-    if (!line) {
-        ++stats_.misses;
-        return false;
-    }
-    ++stats_.hits;
-    if (params_.policy == ReplPolicy::Lru) {
-        // MRU-way bookkeeping for the way-prediction comparison: did
-        // the hit land in the most recently touched way of its set?
-        std::uint32_t set = setIndex(block);
-        const Line *base =
-            &lines_[static_cast<std::size_t>(set) * num_ways_];
-        bool is_mru = true;
-        for (std::uint32_t w = 0; w < num_ways_; ++w) {
-            if (base[w].valid && base[w].stamp > line->stamp) {
-                is_mru = false;
-                break;
-            }
-        }
-        if (is_mru)
-            ++stats_.mru_hits;
-        line->stamp = ++tick_;
-    } else if (params_.policy == ReplPolicy::TreePlru) {
-        std::uint32_t set = setIndex(block);
-        std::uint32_t way = static_cast<std::uint32_t>(
-            line - &lines_[static_cast<std::size_t>(set) * num_ways_]);
-        plruTouch(set, way);
-    }
-    if (is_write)
-        line->dirty = true;
-    return true;
-}
-
 std::uint32_t
 Cache::victimWay(std::uint32_t set)
 {
-    Line *base = &lines_[static_cast<std::size_t>(set) * num_ways_];
+    std::size_t base = static_cast<std::size_t>(set) * num_ways_;
     // Invalid ways first.
     for (std::uint32_t w = 0; w < num_ways_; ++w) {
-        if (!base[w].valid)
+        if (!(state_[base + w] & line_valid))
             return w;
     }
     switch (params_.policy) {
@@ -143,9 +128,10 @@ Cache::victimWay(std::uint32_t set)
         return plruVictim(set);
       case ReplPolicy::Lru:
       case ReplPolicy::Fifo: {
+        const std::uint64_t *stamps = stamps_.data() + base;
         std::uint32_t victim = 0;
         for (std::uint32_t w = 1; w < num_ways_; ++w) {
-            if (base[w].stamp < base[victim].stamp)
+            if (stamps[w] < stamps[victim])
                 victim = w;
         }
         return victim;
@@ -155,42 +141,51 @@ Cache::victimWay(std::uint32_t set)
 }
 
 Cache::FillOutcome
-Cache::fill(BlockAddr block, bool dirty)
+Cache::fill(BlockAddr block, bool dirty, bool known_absent)
 {
     std::uint32_t set = setIndex(block);
-    // Refilling a resident block must not duplicate it; treat as a touch.
-    if (Line *line = findLine(block)) {
-        line->stamp = ++tick_;
-        if (params_.policy == ReplPolicy::TreePlru) {
+    // Refilling a resident block must not duplicate it; treat as a
+    // touch. Callers that just probed-and-missed assert absence and
+    // skip the re-scan.
+    assert(!known_absent || findWay(block) == no_way);
+    if (!known_absent) {
+        std::size_t idx = findWay(block);
+        if (idx != no_way) {
+            stamps_[idx] = ++tick_;
             std::uint32_t way = static_cast<std::uint32_t>(
-                line -
-                &lines_[static_cast<std::size_t>(set) * num_ways_]);
-            plruTouch(set, way);
+                idx - static_cast<std::size_t>(set) * num_ways_);
+            if (params_.policy == ReplPolicy::Lru)
+                mruTouch(set, way);
+            else if (params_.policy == ReplPolicy::TreePlru)
+                plruTouch(set, way);
+            if (dirty)
+                state_[idx] |= line_dirty;
+            return {};
         }
-        line->dirty = line->dirty || dirty;
-        return {};
     }
 
     ++stats_.fills;
     std::uint32_t way = victimWay(set);
-    Line &line = lines_[static_cast<std::size_t>(set) * num_ways_ + way];
+    std::size_t idx = static_cast<std::size_t>(set) * num_ways_ + way;
     FillOutcome outcome;
     outcome.inserted = true;
-    if (line.valid) {
+    if (state_[idx] & line_valid) {
         ++stats_.evictions;
-        if (line.dirty) {
+        if (state_[idx] & line_dirty) {
             ++stats_.writebacks;
             outcome.evicted_dirty = true;
         }
-        outcome.evicted = line.tag;
+        outcome.evicted = tags_[idx];
     } else {
         ++resident_;
     }
-    line.valid = true;
-    line.tag = block;
-    line.dirty = dirty;
-    line.stamp = ++tick_;
-    if (params_.policy == ReplPolicy::TreePlru)
+    tags_[idx] = block;
+    state_[idx] = static_cast<std::uint8_t>(
+        line_valid | (dirty ? line_dirty : 0));
+    stamps_[idx] = ++tick_;
+    if (params_.policy == ReplPolicy::Lru)
+        mruTouch(set, way);
+    else if (params_.policy == ReplPolicy::TreePlru)
         plruTouch(set, way);
     return outcome;
 }
@@ -199,10 +194,10 @@ bool
 Cache::absorbWriteback(BlockAddr block)
 {
     ++stats_.writeback_probes;
-    Line *line = findLine(block);
-    if (!line)
+    std::size_t idx = findWay(block);
+    if (idx == no_way)
         return false;
-    line->dirty = true;
+    state_[idx] |= line_dirty;
     ++stats_.writeback_absorbs;
     return true;
 }
@@ -211,14 +206,24 @@ Cache::InvalidateOutcome
 Cache::invalidate(BlockAddr block)
 {
     InvalidateOutcome outcome;
-    Line *line = findLine(block);
-    if (!line)
+    std::size_t idx = findWay(block);
+    if (idx == no_way)
         return outcome;
     outcome.was_present = true;
-    outcome.was_dirty = line->dirty;
-    line->valid = false;
-    line->dirty = false;
+    outcome.was_dirty = (state_[idx] & line_dirty) != 0;
+    state_[idx] = 0;
     --resident_;
+    if (params_.policy == ReplPolicy::Lru) {
+        std::uint32_t set = setIndex(block);
+        std::uint32_t way = static_cast<std::uint32_t>(
+            idx - static_cast<std::size_t>(set) * num_ways_);
+        if (mru_way_[set] == way) {
+            // The MRU line just left: the runner-up (next-highest
+            // stamp) inherits the title, exactly as the old stamp
+            // scan would have concluded.
+            recomputeMru(set);
+        }
+    }
     return outcome;
 }
 
@@ -226,14 +231,14 @@ std::uint64_t
 Cache::flush()
 {
     std::uint64_t dropped = 0;
-    for (auto &line : lines_) {
-        if (line.valid) {
+    for (auto &state : state_) {
+        if (state & line_valid)
             ++dropped;
-            line.valid = false;
-            line.dirty = false;
-        }
+        state = 0;
     }
     resident_ = 0;
+    if (params_.policy == ReplPolicy::Lru)
+        mru_way_.assign(num_sets_, no_mru);
     return dropped;
 }
 
@@ -242,9 +247,9 @@ Cache::residentBlocks() const
 {
     std::vector<BlockAddr> blocks;
     blocks.reserve(resident_);
-    for (const auto &line : lines_) {
-        if (line.valid)
-            blocks.push_back(line.tag);
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+        if (state_[i] & line_valid)
+            blocks.push_back(tags_[i]);
     }
     return blocks;
 }

@@ -119,7 +119,42 @@ class Cache
      *
      * @return true on hit.
      */
-    bool probe(BlockAddr block, bool is_write = false);
+    bool
+    probe(BlockAddr block, bool is_write = false)
+    {
+        // Header-inline: the simulators call this once per request and
+        // the build has no cross-TU inlining, so an out-of-line body
+        // would put a call boundary on the single hottest path.
+        ++stats_.accesses;
+        std::size_t idx = findWay(block);
+        if (idx == no_way) {
+            ++stats_.misses;
+            return false;
+        }
+        ++stats_.hits;
+        if (params_.policy == ReplPolicy::Lru) {
+            // MRU-way bookkeeping for the way-prediction comparison:
+            // did the hit land in the most recently touched way of its
+            // set? mru_way_ tracks the max-stamp valid way exactly, so
+            // this is one compare instead of an O(ways) stamp scan per
+            // hit.
+            std::uint32_t set = setIndex(block);
+            std::uint32_t way = static_cast<std::uint32_t>(
+                idx - static_cast<std::size_t>(set) * num_ways_);
+            if (mru_way_[set] == way)
+                ++stats_.mru_hits;
+            stamps_[idx] = ++tick_;
+            mruTouch(set, way);
+        } else if (params_.policy == ReplPolicy::TreePlru) {
+            std::uint32_t set = setIndex(block);
+            std::uint32_t way = static_cast<std::uint32_t>(
+                idx - static_cast<std::size_t>(set) * num_ways_);
+            plruTouch(set, way);
+        }
+        if (is_write)
+            state_[idx] |= line_dirty;
+        return true;
+    }
 
     /** Outcome of a fill attempt. */
     struct FillOutcome
@@ -136,15 +171,35 @@ class Cache
      * Allocate @p block, evicting a victim if the set is full. Filling
      * an already-resident block is a replacement-state touch, not an
      * insertion (inserted == false, no eviction).
+     *
+     * @p known_absent skips the residency re-check when the caller has
+     * just probed this cache and missed (the hierarchy's fill path):
+     * the walk proved absence, so re-scanning the set is pure waste.
+     * Only pass true when absence is certain -- a wrong claim
+     * duplicates the block.
      */
-    FillOutcome fill(BlockAddr block, bool dirty = false);
+    FillOutcome fill(BlockAddr block, bool dirty = false,
+                     bool known_absent = false);
 
     /** Presence test with no side effects (for oracles and checkers).
      *  Inline: the perfect-MNM oracle and the oracle soundness guard
      *  call this once per planned level per request. */
     bool contains(BlockAddr block) const
     {
-        return findLine(block) != nullptr;
+        return findWay(block) != no_way;
+    }
+
+    /** Hint the tag row a coming probe/contains for @p block will
+     *  scan. Costs two prefetch instructions and no tag comparison;
+     *  the batch path issues it a fixed request distance ahead of the
+     *  probe so the SoA tag stream is resident by then. */
+    void
+    prefetchSet(BlockAddr block) const
+    {
+        std::size_t base =
+            static_cast<std::size_t>(setIndex(block)) * num_ways_;
+        __builtin_prefetch(tags_.data() + base, 0, 1);
+        __builtin_prefetch(state_.data() + base, 0, 1);
     }
 
     /**
@@ -184,34 +239,53 @@ class Cache
     std::uint64_t blocksResident() const { return resident_; }
 
   private:
-    struct Line
-    {
-        BlockAddr tag = 0;
-        std::uint64_t stamp = 0; //!< LRU: last touch; FIFO: fill time
-        bool valid = false;
-        bool dirty = false;
-    };
+    /** state_ bits. */
+    static constexpr std::uint8_t line_valid = 1;
+    static constexpr std::uint8_t line_dirty = 2;
+
+    /** findWay(): no way holds the block. */
+    static constexpr std::size_t no_way = ~std::size_t{0};
 
     std::uint32_t setIndex(BlockAddr block) const
     {
         return static_cast<std::uint32_t>(block & (num_sets_ - 1));
     }
 
-    Line *findLine(BlockAddr block)
+    /**
+     * Flat line index of @p block, or no_way. The line arrays are
+     * structure-of-arrays (tags/stamps/state split) so this scan
+     * streams 8 bytes per way instead of a whole record; the state
+     * byte is consulted only on a tag match, which keeps the common
+     * miss scan single-stream. A stale tag on an invalidated way can
+     * match first -- its state check fails and the scan continues to
+     * the live copy.
+     */
+    std::size_t findWay(BlockAddr block) const
     {
         std::uint32_t set = setIndex(block);
-        Line *base = &lines_[static_cast<std::size_t>(set) * num_ways_];
+        std::size_t base = static_cast<std::size_t>(set) * num_ways_;
+        const BlockAddr *tags = tags_.data() + base;
+        const std::uint8_t *state = state_.data() + base;
         for (std::uint32_t w = 0; w < num_ways_; ++w) {
-            if (base[w].valid && base[w].tag == block)
-                return &base[w];
+            if (tags[w] == block && (state[w] & line_valid))
+                return base + w;
         }
-        return nullptr;
-    }
-    const Line *findLine(BlockAddr block) const
-    {
-        return const_cast<Cache *>(this)->findLine(block);
+        return no_way;
     }
     std::uint32_t victimWay(std::uint32_t set);
+
+    /** Sentinel for mru_way_: the set has no valid lines. */
+    static constexpr std::uint32_t no_mru = ~std::uint32_t{0};
+
+    /** LRU only: stamp @p way as the set's most recently used. */
+    void
+    mruTouch(std::uint32_t set, std::uint32_t way)
+    {
+        mru_way_[set] = way;
+    }
+
+    /** LRU only: re-derive the MRU way after invalidating it. */
+    void recomputeMru(std::uint32_t set);
 
     /** Tree-PLRU helpers (valid when policy == TreePlru). */
     void plruTouch(std::uint32_t set, std::uint32_t way);
@@ -221,9 +295,19 @@ class Cache
     std::uint32_t num_sets_;
     std::uint32_t num_ways_;
     unsigned block_bits_;
-    std::vector<Line> lines_; //!< num_sets_ x num_ways_, row-major
+    /** Line storage, num_sets_ x num_ways_ row-major, split SoA so the
+     *  tag scan, the LRU stamp scan, and the flush walk each touch
+     *  only the bytes they need. */
+    std::vector<BlockAddr> tags_;
+    std::vector<std::uint64_t> stamps_; //!< LRU: last touch; FIFO: fill
+    std::vector<std::uint8_t> state_;   //!< line_valid | line_dirty
     /** Tree-PLRU direction bits, one word per set (node i's bit). */
     std::vector<std::uint64_t> plru_bits_;
+    /** LRU policy only: most-recently-touched valid way per set (or
+     *  no_mru), kept exact at every stamp write so the mru_hits stat
+     *  is O(1) per hit instead of an O(ways) stamp scan. Stamps are
+     *  unique and monotone, so "last touched" == "max stamp". */
+    std::vector<std::uint32_t> mru_way_;
     std::uint64_t tick_ = 0;  //!< replacement timestamp source
     std::uint64_t resident_ = 0;
     CacheStats stats_;

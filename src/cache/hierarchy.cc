@@ -43,6 +43,36 @@ CacheHierarchy::CacheHierarchy(const HierarchyParams &params,
     }
     if (caches_.size() > 32)
         fatal("more than 32 cache structures unsupported by BypassMask");
+
+    compileWalkPlans();
+}
+
+void
+CacheHierarchy::compileWalkPlans()
+{
+    // Flatten each path into a contiguous descent plan: the hot walk
+    // then touches one POD step per level instead of re-deriving ids,
+    // latencies and shift constants through three indirections.
+    auto compile = [this](const std::vector<CacheId> &route,
+                          std::vector<WalkStep> &plan) {
+        plan.clear();
+        plan.reserve(route.size());
+        for (std::size_t i = 0; i < route.size(); ++i) {
+            CacheId id = route[i];
+            Cache &c = *caches_[id];
+            WalkStep st;
+            st.cache = &c;
+            st.bit = 1u << id;
+            st.id = id;
+            st.level = static_cast<std::uint8_t>(i + 1);
+            st.block_bits = c.blockBits();
+            st.hit_latency = c.params().hit_latency;
+            st.miss_latency = c.params().missLatency();
+            plan.push_back(st);
+        }
+    };
+    compile(instr_path_, instr_plan_);
+    compile(data_path_, data_plan_);
 }
 
 Cache &
@@ -62,86 +92,134 @@ CacheHierarchy::cacheAt(std::uint32_t level, AccessType type) const
 AccessResult
 CacheHierarchy::access(AccessType type, Addr addr, const BypassMask &bypass)
 {
-    const std::vector<CacheId> &route =
-        type == AccessType::InstFetch ? instr_path_ : data_path_;
+    return walk(type, addr, bypass, false);
+}
+
+AccessResult
+CacheHierarchy::accessBelowL1(AccessType type, Addr addr,
+                              const BypassMask &bypass)
+{
+    return walk(type, addr, bypass, true);
+}
+
+AccessResult
+CacheHierarchy::walk(AccessType type, Addr addr, const BypassMask &bypass,
+                     bool l1_missed)
+{
+    const bool is_instr = type == AccessType::InstFetch;
+    const std::vector<WalkStep> &plan =
+        is_instr ? instr_plan_ : data_plan_;
+    const WalkStep *steps = plan.data();
+    const std::size_t n_levels = plan.size();
     const bool is_write = type == AccessType::Store;
+    const std::uint32_t skip = bypass.raw();
 
     AccessResult result;
-    std::uint32_t n_levels = levels();
-    std::uint32_t hit_level = 0;
+    std::size_t hit_idx = n_levels;
+    std::size_t start = 0;
 
-    for (std::uint32_t level = 1; level <= n_levels; ++level) {
-        CacheId id = route[level - 1];
-        Cache &c = *caches_[id];
+    if (l1_missed) {
+        // The caller performed (and counted) the level-1 probe itself;
+        // record its miss here so every downstream consumer sees the
+        // exact record stream access() would have produced.
+        const WalkStep &st = steps[0];
+        MNM_ASSERT((skip & st.bit) == 0,
+                   "accessBelowL1 with a bypassed level-1 cache");
         ProbeRecord rec;
-        rec.cache = id;
-        rec.level = static_cast<std::uint8_t>(level);
+        rec.cache = st.id;
+        rec.level = st.level;
         rec.bypassed = false;
         rec.hit = false;
-        if (bypass.test(id)) {
+        result.addProbe(rec);
+        result.latency += st.miss_latency;
+        start = 1;
+    }
+
+    for (std::size_t i = start; i < n_levels; ++i) {
+        const WalkStep &st = steps[i];
+        ProbeRecord rec;
+        rec.cache = st.id;
+        rec.level = st.level;
+        if (skip & st.bit) {
             // MNM said "miss": skip the structure entirely. The verdict
             // machinery guarantees the block is absent (soundness), so
             // this never skips a would-be hit.
             rec.bypassed = true;
-            c.noteBypass();
+            rec.hit = false;
+            st.cache->noteBypass();
             result.addProbe(rec);
             continue;
         }
-        bool hit = c.probe(c.blockAddr(addr), is_write);
+        rec.bypassed = false;
+        bool hit = st.cache->probe(addr >> st.block_bits, is_write);
         rec.hit = hit;
         result.addProbe(rec);
-        result.latency +=
-            hit ? c.params().hit_latency : c.params().missLatency();
+        result.latency += hit ? st.hit_latency : st.miss_latency;
         if (hit) {
-            hit_level = level;
+            hit_idx = i;
             break;
         }
     }
 
-    if (hit_level == 0) {
+    if (hit_idx == n_levels) {
         result.from_memory = true;
         result.supply_level = static_cast<std::uint8_t>(n_levels + 1);
         result.latency += params_.memory_latency;
+        result.supply_latency = params_.memory_latency;
         ++memory_accesses_;
-        hit_level = n_levels + 1;
     } else {
-        result.supply_level = static_cast<std::uint8_t>(hit_level);
+        result.supply_level = steps[hit_idx].level;
+        result.supply_latency = steps[hit_idx].hit_latency;
     }
 
-    // Fill path: allocate into every level above the supplier. Stores
-    // mark the L1 copy dirty (write-allocate, write-back).
-    for (std::uint32_t level = hit_level - 1; level >= 1; --level) {
-        CacheId id = route[level - 1];
-        Cache &c = *caches_[id];
-        BlockAddr block = c.blockAddr(addr);
-        bool dirty = is_write && level == 1;
-        Cache::FillOutcome outcome = c.fill(block, dirty);
+    // Fill path: allocate into every level above the supplier from the
+    // same plan. Stores mark the L1 copy dirty (write-allocate,
+    // write-back).
+    const std::vector<CacheId> &route = is_instr ? instr_path_ : data_path_;
+    for (std::size_t i = hit_idx; i-- > 0;) {
+        const WalkStep &st = steps[i];
+        Cache &c = *st.cache;
+        BlockAddr block = addr >> st.block_bits;
+        bool dirty = is_write && st.level == 1;
+        // A cache the walk probed (not bypassed) just reported a miss,
+        // and nothing on the fill path inserts into a yet-unfilled
+        // level, so its fill can skip the residency re-check. Bypassed
+        // caches keep it: an unsound ablation may still hold the block.
+        bool known_absent = (skip & st.bit) == 0;
+        Cache::FillOutcome outcome = c.fill(block, dirty, known_absent);
         if (listener_ && outcome.inserted) {
             // Replacement first, then placement: matches the paper's
             // RMNM scenario ordering (Table 1) where the outgoing block
             // is reported before the incoming one lands.
-            if (outcome.evicted)
-                listener_->onReplacement(id, *outcome.evicted);
-            listener_->onPlacement(id, block);
+            if (batched_feed_) {
+                if (outcome.evicted)
+                    emitEvent(st.id, *outcome.evicted,
+                              CacheEventKind::Replacement);
+                emitEvent(st.id, block, CacheEventKind::Placement);
+            } else {
+                if (outcome.evicted)
+                    listener_->onReplacement(st.id, *outcome.evicted);
+                listener_->onPlacement(st.id, block);
+            }
         }
         bool victim_dirty = outcome.evicted_dirty;
         if (outcome.evicted &&
             params_.inclusion == InclusionPolicy::Inclusive &&
-            level >= 2) {
+            st.level >= 2) {
             // Strict inclusion: every upper-level copy of the victim
             // must go too; dirty upper data folds into the writeback.
-            victim_dirty |= backInvalidate(level,
+            victim_dirty |= backInvalidate(st.level,
                                            c.byteAddr(*outcome.evicted),
                                            c.params().block_bytes);
         }
         if (params_.model_writebacks && outcome.evicted &&
             victim_dirty) {
-            writeback(route, level, c.byteAddr(*outcome.evicted),
+            writeback(route, st.level, c.byteAddr(*outcome.evicted),
                       result);
         }
-        if (level == 1)
-            break;
     }
+
+    drainEvents();
 
     return result;
 }
@@ -162,8 +240,12 @@ CacheHierarchy::backInvalidate(std::uint32_t below_level, Addr victim,
             if (!inv.was_present)
                 continue;
             any_dirty |= inv.was_dirty;
-            if (listener_)
-                listener_->onReplacement(id, b);
+            if (listener_) {
+                if (batched_feed_)
+                    emitEvent(id, b, CacheEventKind::Replacement);
+                else
+                    listener_->onReplacement(id, b);
+            }
         }
     }
     return any_dirty;

@@ -15,6 +15,16 @@
  * block is allocated into every level 1..n-1 on the fill path
  * (allocate-on-fill), and each placement/replacement is reported to the
  * registered listener -- exactly the bookkeeping feed the MNM requires.
+ *
+ * The descent itself is compiled at construction: each access-type path
+ * (I-stream vs D-stream) is flattened into a contiguous array of POD
+ * WalkSteps carrying the per-cache probe constants, so the hot walk is
+ * a tight loop over steps with the BypassMask applied as a raw skip
+ * mask rather than a per-level test() call, and the fill path allocates
+ * from the same plan. Placement/replacement notifications are batched
+ * into a small per-access event ring drained through one
+ * onEventBatch() call (see setBatchedFeed); the per-event virtual path
+ * survives as the equivalence reference (MNM_REFERENCE_FEED=1).
  */
 
 #ifndef MNM_CACHE_HIERARCHY_HH
@@ -26,6 +36,7 @@
 #include <vector>
 
 #include "cache/cache.hh"
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace mnm
@@ -82,6 +93,22 @@ struct HierarchyParams
 /** Identifier of one cache structure inside a hierarchy. */
 using CacheId = std::uint32_t;
 
+/** Kind of one batched cache bookkeeping event. */
+enum class CacheEventKind : std::uint8_t
+{
+    Placement,
+    Replacement,
+};
+
+/** One fill/eviction record in the batched update feed. @c block is at
+ *  the granularity of cache @c cache's block size. */
+struct CacheEvent
+{
+    BlockAddr block;
+    CacheId cache;
+    CacheEventKind kind;
+};
+
 /** Receives placement/replacement notifications (the MNM feed). */
 class CacheEventListener
 {
@@ -92,6 +119,24 @@ class CacheEventListener
     virtual void onPlacement(CacheId id, BlockAddr block) = 0;
     virtual void onReplacement(CacheId id, BlockAddr block) = 0;
     virtual void onFlush(CacheId id) { (void)id; }
+
+    /**
+     * Batched feed: one call delivers every event of an access burst in
+     * walk order (replacement before the placement that caused it, as
+     * the paper's Table 1 scenarios require). The default unbatches
+     * into the per-event virtuals so listeners that never opted in
+     * observe identical behaviour.
+     */
+    virtual void
+    onEventBatch(const CacheEvent *events, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (events[i].kind == CacheEventKind::Placement)
+                onPlacement(events[i].cache, events[i].block);
+            else
+                onReplacement(events[i].cache, events[i].block);
+        }
+    }
 };
 
 /** Per-cache bypass verdicts for one access (bit set => skip probe). */
@@ -140,17 +185,23 @@ struct AccessResult
     // sized for the 32-structure BypassMask ceiling so hierarchy depth
     // is bounded by the mask, not by this record.
     static constexpr std::size_t max_probes = 34;
-    static constexpr std::size_t max_writebacks = 34;
+    // Every filled level can evict a dirty victim whose writeback
+    // drains one hop per lower level, so one access produces at most
+    // sum_{L=1}^{n}(n-L) = n(n-1)/2 hops; n <= 32 gives 496.
+    static constexpr std::size_t max_writebacks = 496;
 
     /** 1-based level that supplied the data; levels()+1 means memory. */
     std::uint8_t supply_level = 0;
     bool from_memory = false;
     /** Data access time for this request (paper Section 1.1). */
     Cycles latency = 0;
+    /** Hit latency of the supplying structure (memory latency when
+     *  from_memory); saves the caller a cacheAt() walk per request. */
+    Cycles supply_latency = 0;
     std::uint8_t num_probes = 0;
     ProbeRecord probes[max_probes];
     /** Writeback hops this access triggered (off the critical path). */
-    std::uint8_t num_writebacks = 0;
+    std::uint16_t num_writebacks = 0;
     WritebackRecord writebacks[max_writebacks];
     /** Dirty blocks that drained all the way to memory. */
     std::uint8_t memory_writebacks = 0;
@@ -158,15 +209,21 @@ struct AccessResult
     void
     addProbe(const ProbeRecord &rec)
     {
-        if (num_probes < max_probes)
-            probes[num_probes++] = rec;
+        // Depth is bounded by the BypassMask ceiling at construction,
+        // so running out of probe slots is a logic bug, not a
+        // configuration problem. Never drop records silently: every
+        // probe feeds energy/event accounting.
+        MNM_ASSERT(num_probes < max_probes,
+                   "AccessResult probe record overflow");
+        probes[num_probes++] = rec;
     }
 
     void
     addWriteback(const WritebackRecord &rec)
     {
-        if (num_writebacks < max_writebacks)
-            writebacks[num_writebacks++] = rec;
+        MNM_ASSERT(num_writebacks < max_writebacks,
+                   "AccessResult writeback record overflow");
+        writebacks[num_writebacks++] = rec;
     }
 };
 
@@ -219,6 +276,15 @@ class CacheHierarchy
     }
 
     /**
+     * Deliver placement/replacement events through the per-access ring
+     * and one onEventBatch() call instead of per-event virtuals. Off by
+     * default; MnmUnit switches it on (and MNM_REFERENCE_FEED=1
+     * switches it back off for the byte-diff reference).
+     */
+    void setBatchedFeed(bool on) { batched_feed_ = on; }
+    bool batchedFeed() const { return batched_feed_; }
+
+    /**
      * Perform one access.
      *
      * @param type   request stream (selects the I- or D-path)
@@ -227,6 +293,17 @@ class CacheHierarchy
      */
     AccessResult access(AccessType type, Addr addr,
                         const BypassMask &bypass = BypassMask());
+
+    /**
+     * Continue an access whose level-1 probe the caller already
+     * performed and saw miss (the batch path's L1-probe fast path).
+     * Seeds the level-1 miss record and its latency, then descends
+     * from level 2 exactly as access() would have -- including the
+     * level-1 fill on the way back. @p bypass must not cover level 1
+     * (the caller probed it for real).
+     */
+    AccessResult accessBelowL1(AccessType type, Addr addr,
+                               const BypassMask &bypass);
 
     /** Flush every cache (notifies the listener per cache). */
     void flushAll();
@@ -244,14 +321,63 @@ class CacheHierarchy
     std::string describe() const;
 
   private:
+    /** One compiled descent step: everything the hot walk needs about a
+     *  cache, laid out contiguously in descent order. */
+    struct WalkStep
+    {
+        Cache *cache;
+        std::uint32_t bit; //!< 1u << id, for raw skip-mask tests
+        CacheId id;
+        std::uint8_t level;       //!< 1-based
+        unsigned block_bits;      //!< addr >> block_bits = block
+        Cycles hit_latency;
+        Cycles miss_latency;      //!< resolved missLatency()
+    };
+
     HierarchyParams params_;
     std::vector<std::unique_ptr<Cache>> caches_;
     std::vector<std::uint32_t> level_of_;
     std::vector<CacheId> instr_path_; //!< cache id per level, I-stream
     std::vector<CacheId> data_path_;  //!< cache id per level, D-stream
+    std::vector<WalkStep> instr_plan_; //!< compiled I-stream descent
+    std::vector<WalkStep> data_plan_;  //!< compiled D-stream descent
     CacheEventListener *listener_ = nullptr;
+    bool batched_feed_ = false;
     std::uint64_t memory_accesses_ = 0;
     std::uint64_t memory_writebacks_ = 0;
+
+    /** Per-access event ring: drained into onEventBatch() before
+     *  access() returns (and mid-access if it ever fills), so the
+     *  listener observes every event of the burst in walk order. */
+    static constexpr std::size_t event_ring_capacity = 64;
+    CacheEvent event_ring_[event_ring_capacity];
+    std::size_t num_events_ = 0;
+
+    /** Compile instr_plan_/data_plan_ from the constructed paths. */
+    void compileWalkPlans();
+
+    /** The shared descent/fill engine behind access() and
+     *  accessBelowL1(): @p l1_missed preseeds the level-1 miss record
+     *  and starts the descent at level 2. */
+    AccessResult walk(AccessType type, Addr addr,
+                      const BypassMask &bypass, bool l1_missed);
+
+    void
+    emitEvent(CacheId id, BlockAddr block, CacheEventKind kind)
+    {
+        if (num_events_ == event_ring_capacity)
+            drainEvents();
+        event_ring_[num_events_++] = CacheEvent{block, id, kind};
+    }
+
+    void
+    drainEvents()
+    {
+        if (num_events_ == 0)
+            return;
+        listener_->onEventBatch(event_ring_, num_events_);
+        num_events_ = 0;
+    }
 
     /** Drain one dirty victim from @p from_level towards memory. */
     void writeback(const std::vector<CacheId> &route,

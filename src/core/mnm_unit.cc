@@ -86,6 +86,9 @@ MnmUnit::MnmUnit(const MnmSpec &spec, CacheHierarchy &hierarchy)
     compilePlans();
     backend_ = simdBackendFromEnv();
     hierarchy_.setListener(this);
+    // Batched feed by default; setReferenceFeed(true) restores the
+    // per-event virtual path (MNM_REFERENCE_FEED=1).
+    hierarchy_.setBatchedFeed(true);
 }
 
 void
@@ -120,6 +123,22 @@ MnmUnit::compilePlans()
     };
     compile(AccessType::InstFetch, instr_plan_);
     compile(AccessType::Load, data_plan_);
+
+    // The update-side mirror: one step per cache id so the event-ring
+    // drain indexes straight from CacheEvent::cache. Pointers into
+    // kernels_ and per_cache_ are stable from here on (no reallocation
+    // after construction).
+    update_plan_.clear();
+    update_plan_.reserve(per_cache_.size());
+    for (PerCache &pc : per_cache_) {
+        UpdateStep st;
+        st.kernels = kernels_.data() + pc.kernel_first;
+        st.kernel_count = pc.kernel_count;
+        st.update_events = &pc.update_events;
+        st.rmnm_index = pc.rmnm_index;
+        st.block_bits = pc.block_bits;
+        update_plan_.push_back(st);
+    }
 
     // Lower each walk into its SoA program.
     lowerPlan(instr_plan_, soa_instr_);
@@ -445,6 +464,51 @@ MnmUnit::onReplacement(CacheId id, BlockAddr block)
         if (!rmnm_burst_charged_) {
             ++rmnm_burst_events_;
             rmnm_burst_charged_ = true;
+        }
+    }
+}
+
+void
+MnmUnit::onEventBatch(const CacheEvent *events, std::size_t n)
+{
+    if (reference_dispatch_) {
+        // MNM_REFERENCE_KERNEL routes every update through the virtual
+        // MissFilter interface; unbatch into the per-event listeners so
+        // that contract holds for the ring too.
+        CacheEventListener::onEventBatch(events, n);
+        return;
+    }
+    PhaseScope prof(Phase::FeedDrain);
+    const UpdateStep *steps = update_plan_.data();
+    Rmnm *rmnm = rmnm_.get();
+    if (spec_.perfect) {
+        // The oracle keeps no filter state; only the verdict epoch
+        // moves (cache contents it reads changed at level >= 2).
+        for (std::size_t i = 0; i < n; ++i) {
+            if (steps[events[i].cache].rmnm_index >= 0)
+                ++state_epoch_;
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const CacheEvent &ev = events[i];
+        const UpdateStep &st = steps[ev.cache];
+        if (st.rmnm_index >= 0)
+            ++state_epoch_;
+        updateStepApply(st, ev.kind, ev.block);
+        if (rmnm && st.rmnm_index >= 0) {
+            const Addr byte_addr = static_cast<Addr>(ev.block)
+                                   << st.block_bits;
+            const auto tracked =
+                static_cast<std::uint32_t>(st.rmnm_index);
+            if (ev.kind == CacheEventKind::Placement)
+                rmnm->onPlacement(tracked, byte_addr, st.block_bits);
+            else
+                rmnm->onReplacement(tracked, byte_addr, st.block_bits);
+            if (!rmnm_burst_charged_) {
+                ++rmnm_burst_events_;
+                rmnm_burst_charged_ = true;
+            }
         }
     }
 }

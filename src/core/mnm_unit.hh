@@ -32,6 +32,7 @@
 #include "core/miss_filter.hh"
 #include "core/rmnm.hh"
 #include "core/soa_state.hh"
+#include "core/update_plan.hh"
 #include "core/verdict_plan.hh"
 #include "util/cpu.hh"
 #include "util/types.hh"
@@ -189,10 +190,14 @@ class MnmUnit : public CacheEventListener
      */
     Cycles applyPlacementCosts(const AccessResult &result);
 
-    /** CacheEventListener interface (the bookkeeping feed). */
+    /** CacheEventListener interface (the bookkeeping feed). The
+     *  per-event virtuals are the reference path; the hierarchy's
+     *  batched event ring lands in onEventBatch, which drains through
+     *  the compiled per-cache update plan (core/update_plan.hh). */
     void onPlacement(CacheId id, BlockAddr block) override;
     void onReplacement(CacheId id, BlockAddr block) override;
     void onFlush(CacheId id) override;
+    void onEventBatch(const CacheEvent *events, std::size_t n) override;
 
     /** Per-probe energy of all structures together, pJ. */
     PicoJoules lookupEnergyPerAccess() const { return lookup_energy_pj_; }
@@ -246,6 +251,20 @@ class MnmUnit : public CacheEventListener
      */
     void setReferenceDispatch(bool on) { reference_dispatch_ = on; }
     bool referenceDispatch() const { return reference_dispatch_; }
+
+    /**
+     * Route the event feed through the per-event virtual listener path
+     * instead of the hierarchy's batched event ring (the
+     * MNM_REFERENCE_FEED=1 knob). Slow; exists so the batched update
+     * kernels can be byte-diffed against the original feed.
+     */
+    void
+    setReferenceFeed(bool on)
+    {
+        reference_feed_ = on;
+        hierarchy_.setBatchedFeed(!on);
+    }
+    bool referenceFeed() const { return reference_feed_; }
 
     /** Number of verdict computations performed. */
     std::uint64_t lookups() const { return lookups_; }
@@ -334,7 +353,11 @@ class MnmUnit : public CacheEventListener
     /** Per-path walk plans (level >= 2 caches in path order). */
     std::vector<VerdictStep> instr_plan_;
     std::vector<VerdictStep> data_plan_;
+    /** The update-side mirror: one compiled step per cache id, driven
+     *  by the drained event ring (core/update_plan.hh). */
+    std::vector<UpdateStep> update_plan_;
     bool reference_dispatch_ = false;
+    bool reference_feed_ = false;
 
     /** SoA lowerings of the walk plans (batch/SIMD verdict path). */
     SoaProgram soa_instr_;

@@ -28,73 +28,6 @@ Rmnm::Rmnm(const RmnmSpec &spec, std::uint32_t num_tracked,
     entries_.resize(spec_.entries);
 }
 
-std::uint64_t
-Rmnm::spanOf(unsigned block_bits) const
-{
-    MNM_ASSERT(block_bits >= granule_bits_,
-               "tracked cache block smaller than the RMNM granule");
-    return std::uint64_t{1} << (block_bits - granule_bits_);
-}
-
-void
-Rmnm::onPlacement(std::uint32_t tracked, Addr addr, unsigned block_bits)
-{
-    std::uint64_t first = granuleOf(addr) & ~(spanOf(block_bits) - 1);
-    for (std::uint64_t g = first; g < first + spanOf(block_bits); ++g) {
-        Entry *entry = find(g);
-        if (!entry)
-            continue;
-        entry->miss_bits &= ~(1u << tracked);
-        if (entry->miss_bits == 0) {
-            // An all-clear entry carries no information; free the slot.
-            entry->stamp = 0;
-            --in_use_;
-        }
-    }
-}
-
-void
-Rmnm::onReplacement(std::uint32_t tracked, Addr addr, unsigned block_bits)
-{
-    std::uint64_t first = granuleOf(addr) & ~(spanOf(block_bits) - 1);
-    for (std::uint64_t g = first; g < first + spanOf(block_bits); ++g) {
-        if (Entry *entry = find(g)) {
-            entry->miss_bits |= 1u << tracked;
-            entry->stamp = ++tick_;
-            continue;
-        }
-        // Allocate: invalid way first, else LRU victim (losing whatever
-        // miss information the victim held -- safe, just less coverage).
-        // A tag that does not fit the 32-bit field could alias another
-        // granule and emit an unsound verdict; no workload's address
-        // space comes near 2^(32 + set + granule bits), so fail loudly
-        // rather than widen the entry.
-        MNM_ASSERT(tagOf(g) <= 0xffffffffull,
-                   "RMNM granule tag exceeds 32 bits");
-        std::uint32_t set = setOf(g);
-        Entry *base =
-            &entries_[static_cast<std::size_t>(set) * num_ways_];
-        Entry *slot = nullptr;
-        for (std::uint32_t w = 0; w < num_ways_; ++w) {
-            if (base[w].stamp == 0) {
-                slot = &base[w];
-                ++in_use_;
-                break;
-            }
-        }
-        if (!slot) {
-            slot = base;
-            for (std::uint32_t w = 1; w < num_ways_; ++w) {
-                if (base[w].stamp < slot->stamp)
-                    slot = &base[w];
-            }
-        }
-        slot->tag = static_cast<std::uint32_t>(tagOf(g));
-        slot->miss_bits = 1u << tracked;
-        slot->stamp = ++tick_;
-    }
-}
-
 void
 Rmnm::reset()
 {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "power/sram_model.hh"
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace mnm
@@ -69,18 +70,81 @@ class Rmnm
 
     /**
      * A block of 2^@p block_bits bytes was placed into cache @p tracked.
-     * Clears the miss bit in every covered entry.
+     * Clears the miss bit in every covered entry. Header-inline like
+     * onReplacement(): both sit on the update-feed drain path, called
+     * once per tracked-cache fill/eviction from another TU.
      */
-    void onPlacement(std::uint32_t tracked, Addr addr,
-                     unsigned block_bits);
+    void
+    onPlacement(std::uint32_t tracked, Addr addr, unsigned block_bits)
+    {
+        std::uint64_t span = spanOf(block_bits);
+        std::uint64_t first = granuleOf(addr) & ~(span - 1);
+        for (std::uint64_t g = first; g < first + span; ++g) {
+            Entry *entry = find(g);
+            if (!entry)
+                continue;
+            entry->miss_bits &= ~(1u << tracked);
+            if (entry->miss_bits == 0) {
+                // An all-clear entry carries no information; free the
+                // slot.
+                entry->stamp = 0;
+                --in_use_;
+            }
+        }
+    }
 
     /**
      * A block was replaced from cache @p tracked. Sets the miss bit in
      * every covered entry, allocating entries (and evicting victims) as
      * needed.
      */
-    void onReplacement(std::uint32_t tracked, Addr addr,
-                       unsigned block_bits);
+    void
+    onReplacement(std::uint32_t tracked, Addr addr, unsigned block_bits)
+    {
+        std::uint64_t span = spanOf(block_bits);
+        std::uint64_t first = granuleOf(addr) & ~(span - 1);
+        for (std::uint64_t g = first; g < first + span; ++g) {
+            // One fused pass over the set finds a live match and tracks
+            // the allocation slot at once. The slot choice is identical
+            // to an invalid-first-then-LRU pair of scans: an invalid
+            // entry's stamp is 0, below every live stamp (ticks start
+            // at 1), and the strict < keeps the first minimum, so
+            // "first invalid way, else LRU victim" falls out of a
+            // single min-stamp scan.
+            const std::uint64_t tag = tagOf(g);
+            std::uint32_t set = setOf(g);
+            Entry *base =
+                &entries_[static_cast<std::size_t>(set) * num_ways_];
+            Entry *match = nullptr;
+            Entry *slot = base;
+            for (std::uint32_t w = 0; w < num_ways_; ++w) {
+                if (base[w].stamp != 0 && base[w].tag == tag) {
+                    match = &base[w];
+                    break;
+                }
+                if (base[w].stamp < slot->stamp)
+                    slot = &base[w];
+            }
+            if (match) {
+                match->miss_bits |= 1u << tracked;
+                match->stamp = ++tick_;
+                continue;
+            }
+            // Allocate: the victim loses whatever miss information it
+            // held -- safe, just less coverage. A tag that does not fit
+            // the 32-bit field could alias another granule and emit an
+            // unsound verdict; no workload's address space comes near
+            // 2^(32 + set + granule bits), so fail loudly rather than
+            // widen the entry.
+            MNM_ASSERT(tag <= 0xffffffffull,
+                       "RMNM granule tag exceeds 32 bits");
+            if (slot->stamp == 0)
+                ++in_use_;
+            slot->tag = static_cast<std::uint32_t>(tag);
+            slot->miss_bits = 1u << tracked;
+            slot->stamp = ++tick_;
+        }
+    }
 
     /** Drop all entries. */
     void reset();
@@ -172,7 +236,13 @@ class Rmnm
     }
 
     /** Granule span covered by a block of 2^@p block_bits bytes. */
-    std::uint64_t spanOf(unsigned block_bits) const;
+    std::uint64_t
+    spanOf(unsigned block_bits) const
+    {
+        MNM_ASSERT(block_bits >= granule_bits_,
+                   "tracked cache block smaller than the RMNM granule");
+        return std::uint64_t{1} << (block_bits - granule_bits_);
+    }
 
     RmnmSpec spec_;
     std::uint32_t num_tracked_;

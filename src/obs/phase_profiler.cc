@@ -178,6 +178,8 @@ phaseName(Phase phase)
         return "update_feed";
       case Phase::Cold:
         return "cold_account";
+      case Phase::FeedDrain:
+        return "feed_drain";
     }
     return "?";
 }

@@ -63,9 +63,10 @@ enum class Phase : std::uint8_t
     HierWalk,   //!< cache hierarchy walk per access (performAccess)
     UpdateFeed, //!< MnmUnit on{Placement,Replacement,Flush} walks
     Cold,       //!< post-run cold accounting (energy fold, drains)
+    FeedDrain,  //!< batched event-ring drain through update kernels
 };
 
-inline constexpr int num_phases = 7;
+inline constexpr int num_phases = 8;
 
 /** Stable manifest segment for @p phase ("verdict", "update_feed", ...). */
 const char *phaseName(Phase phase);

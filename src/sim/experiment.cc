@@ -153,6 +153,15 @@ runFunctional(const HierarchyParams &hierarchy,
     }();
     if (reference_kernel)
         sim.setReferenceKernel(true);
+    // Same escape hatch for the update side: drive the MNM feed through
+    // the per-event virtual listeners instead of the batched event ring
+    // so stdout can be byte-diffed against the update-kernel path.
+    static const bool reference_feed = [] {
+        const char *env = std::getenv("MNM_REFERENCE_FEED");
+        return env && *env && *env != '0';
+    }();
+    if (reference_feed)
+        sim.setReferenceFeed(true);
     auto workload = makeSpecWorkload(app);
     std::uint64_t warmup = instructions / 10;
     if (warmup)

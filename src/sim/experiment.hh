@@ -49,6 +49,10 @@
  *   MNM_REFERENCE_KERNEL  set to 1 to run functional cells through
  *                     the single-step virtual reference kernel (CI
  *                     byte-diffs it against the batched default)
+ *   MNM_REFERENCE_FEED  set to 1 to drive the MNM update feed through
+ *                     the per-event virtual listeners instead of the
+ *                     batched event ring + update kernels (CI
+ *                     byte-diffs it against the batched default)
  *   MNM_PROF          off (default) | time | hw: per-phase attribution
  *                     of the simulator's own cost (batch generation,
  *                     L1-peek, verdict kernel, hierarchy walk, update
@@ -129,6 +133,8 @@ struct ExperimentOptions
  * MNM_REFERENCE_KERNEL=1 forces the single-step virtual reference
  * kernel instead of the batched verdict-plan one -- CI byte-diffs a
  * bench's stdout across the two to prove the hot path changes nothing.
+ * MNM_REFERENCE_FEED=1 does the same for the update side: per-event
+ * virtual listeners instead of the batched event ring.
  */
 MemSimResult runFunctional(const HierarchyParams &hierarchy,
                            const std::optional<MnmSpec> &mnm,

@@ -69,17 +69,20 @@ MemorySimulator::request(AccessType type, Addr addr, MemSimResult &result)
     performAccess<with_prof>(type, addr, mask, result);
 }
 
-template <bool with_prof>
+template <bool with_prof, bool below_l1>
 void
 MemorySimulator::performAccess(AccessType type, Addr addr,
                                const BypassMask &mask,
                                MemSimResult &result)
 {
     // Self time here is the hierarchy walk + accounting; the MnmUnit
-    // update-feed callbacks fired by fills/evictions open their own
-    // UpdateFeed scopes inside this one.
+    // event-ring drain fired at the end of the walk opens its own
+    // FeedDrain scope inside this one (UpdateFeed on the per-event
+    // reference path).
     ProfScope<with_prof> prof(Phase::HierWalk);
-    AccessResult access = hierarchy_.access(type, addr, mask);
+    AccessResult access =
+        below_l1 ? hierarchy_.accessBelowL1(type, addr, mask)
+                 : hierarchy_.access(type, addr, mask);
     ++result.requests;
     if (mnm_) {
         result.coverage.record(access);
@@ -87,15 +90,11 @@ MemorySimulator::performAccess(AccessType type, Addr addr,
     }
 
     Cycles latency = access.latency;
-    Cycles supply_cost;
-    if (access.from_memory) {
+    if (access.from_memory)
         ++result.memory_accesses;
-        supply_cost = hierarchy_.memoryLatency();
-    } else {
-        const Cache &supplier =
-            hierarchy_.cacheAt(access.supply_level, type);
-        supply_cost = supplier.params().hit_latency;
-    }
+    // The walk plan recorded the supplier's hit latency (memory latency
+    // when from_memory), so no cacheAt() re-walk per request.
+    const Cycles supply_cost = access.supply_latency;
 
     if (mnm_)
         latency += mnm_->applyPlacementCosts(access);
@@ -119,7 +118,7 @@ MemorySimulator::performAccess(AccessType type, Addr addr,
         if (probe.level < access.supply_level)
             ++ec.fill;
     }
-    for (std::uint8_t i = 0; i < access.num_writebacks; ++i) {
+    for (std::uint16_t i = 0; i < access.num_writebacks; ++i) {
         const WritebackRecord &wb = access.writebacks[i];
         // Absorbing dirties a resident copy (a write); passing through
         // still paid a tag probe (charged as a read).
@@ -175,27 +174,50 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
     // hits its level-1 cache never consults the bypass mask -- the
     // walk stops before the first planned level -- and a guard-free
     // verdict carries no per-verdict statistics, so the verdict is
-    // provably dead data. Peek L1 (contains() is side-effect free;
-    // the real access still performs the stamping probe) and compute
-    // verdicts only for the L1-missing minority, each against live
-    // state exactly as the per-access path would.
+    // provably dead data. Probe L1 directly (the verdict reads only
+    // filter state, never level-1 replacement state, so probing first
+    // changes no verdict): a hit completes the whole access right
+    // here -- the L1-hit accounting below is performAccess() on an
+    // L1 hit, term for term -- and only the L1-missing minority pays
+    // a verdict and the below-L1 walk.
     if (!mnm_->planGuarded(AccessType::InstFetch) &&
         !mnm_->planGuarded(AccessType::Load)) {
-        // L1Peek self time = the contains() peeks, prefetch hints, and
+        // L1Peek self time = the lookahead peeks, prefetch hints, and
         // loop control; Verdict and HierWalk open nested scopes.
         ProfScope<with_prof> prof(Phase::L1Peek);
         const Cache &l1d = hierarchy_.cacheAt(1, AccessType::Load);
+        Cache &l1i_mut = hierarchy_.cacheAt(1, AccessType::InstFetch);
+        Cache &l1d_mut = hierarchy_.cacheAt(1, AccessType::Load);
+        const CacheId l1i_id = hierarchy_.path(AccessType::InstFetch)[0];
+        const CacheId l1d_id = hierarchy_.path(AccessType::Load)[0];
+        const Cycles l1i_hit_latency = l1i.params().hit_latency;
+        const Cycles l1d_hit_latency = l1d.params().hit_latency;
+        // applyPlacementCosts() on an L1 hit: Parallel charges its
+        // always-on lookup, Serial and Distributed add nothing.
+        const bool charge_parallel =
+            !mnm_->spec().perfect &&
+            mnm_->spec().placement == MnmPlacement::Parallel;
         constexpr std::size_t prefetch_requests = 12;
         for (std::size_t k = 0; k < n; ++k) {
             const AccessType type =
                 static_cast<AccessType>(req_type_[k]);
-            const Cache &l1 =
-                type == AccessType::InstFetch ? l1i : l1d;
-            // Hint the filter tables a fixed distance ahead, gated on
-            // the same peek: hints for L1-hitting requests would be
+            const bool is_instr = type == AccessType::InstFetch;
+            // Two-tier lookahead. Far tier: hint the L1 tag row so
+            // both the near tier's peek and the eventual probe scan
+            // resident lines. Near tier: hint the filter tables, gated
+            // on an L1 peek -- hints for L1-hitting requests would be
             // dead weight. The peek against current state is only a
-            // heuristic for future state -- a wrong guess costs a
-            // missed hint, never correctness.
+            // heuristic for future state; a wrong guess costs a missed
+            // hint, never correctness.
+            if (k + 2 * prefetch_requests < n) {
+                const std::size_t f = k + 2 * prefetch_requests;
+                const Cache &fl1 =
+                    static_cast<AccessType>(req_type_[f]) ==
+                            AccessType::InstFetch
+                        ? l1i
+                        : l1d;
+                fl1.prefetchSet(fl1.blockAddr(req_addr_[f]));
+            }
             if (k + prefetch_requests < n) {
                 const std::size_t f = k + prefetch_requests;
                 const AccessType ftype =
@@ -205,17 +227,36 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
                 if (!fl1.contains(fl1.blockAddr(req_addr_[f])))
                     mnm_->prefetchCandidates(ftype, req_addr_[f]);
             }
+            bool hit;
+            {
+                ProfScope<with_prof> prof_walk(Phase::HierWalk);
+                Cache &l1 = is_instr ? l1i_mut : l1d_mut;
+                hit = l1.probe(l1.blockAddr(req_addr_[k]),
+                               type == AccessType::Store);
+                if (hit) {
+                    ++result.requests;
+                    result.total_access_cycles +=
+                        is_instr ? l1i_hit_latency : l1d_hit_latency;
+                    ++event_counts_[is_instr ? l1i_id : l1d_id]
+                          .probe_hit;
+                }
+            }
+            if (hit) {
+                mnm_->noteLookup();
+                if (charge_parallel)
+                    mnm_->chargeLookup();
+                continue;
+            }
             BypassMask mask;
-            if (!l1.contains(l1.blockAddr(req_addr_[k]))) {
+            {
                 ProfScope<with_prof> prof_verdict(Phase::Verdict);
                 std::uint32_t cand;
                 mnm_->computeCandidates(type, req_addr_.data() + k,
                                         &cand, 1);
                 mask = mnm_->finishBypass(type, req_addr_[k], cand);
-            } else {
-                mnm_->noteLookup();
             }
-            performAccess<with_prof>(type, req_addr_[k], mask, result);
+            performAccess<with_prof, true>(type, req_addr_[k], mask,
+                                           result);
         }
         return;
     }
@@ -395,6 +436,13 @@ MemorySimulator::setReferenceKernel(bool on)
     reference_kernel_ = on;
     if (mnm_)
         mnm_->setReferenceDispatch(on);
+}
+
+void
+MemorySimulator::setReferenceFeed(bool on)
+{
+    if (mnm_)
+        mnm_->setReferenceFeed(on);
 }
 
 } // namespace mnm

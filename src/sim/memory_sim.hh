@@ -144,6 +144,16 @@ class MemorySimulator
     void setReferenceKernel(bool on);
     bool referenceKernel() const { return reference_kernel_; }
 
+    /**
+     * Route the MNM's update feed through the per-event virtual
+     * listener path instead of the batched event ring + update kernels
+     * (the MNM_REFERENCE_FEED=1 knob). Slow; exists so
+     * kernel_equivalence_test and the CI byte-diff can prove both feeds
+     * produce bit-identical results. No-op without an MNM.
+     */
+    void setReferenceFeed(bool on);
+    bool referenceFeed() const { return mnm_ && mnm_->referenceFeed(); }
+
     CacheHierarchy &hierarchy() { return hierarchy_; }
     MnmUnit *mnm() { return mnm_ ? mnm_.get() : nullptr; }
 
@@ -173,8 +183,10 @@ class MemorySimulator
      *  the profActive() load -- because a per-access check is what the
      *  MNM_PROF-off <2% overhead budget cannot afford. Callers select
      *  an instantiation once per run/batch window (the mode cannot
-     *  change mid-process). */
-    template <bool with_prof>
+     *  change mid-process). With below_l1 the caller already probed
+     *  level 1 itself and saw a miss (the batch path's L1 fast path),
+     *  so the walk resumes below it via accessBelowL1(). */
+    template <bool with_prof, bool below_l1 = false>
     void performAccess(AccessType type, Addr addr,
                        const BypassMask &mask, MemSimResult &result);
 

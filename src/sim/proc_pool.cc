@@ -62,6 +62,97 @@ storeLe32(unsigned char *p, std::uint32_t v)
  *  is a protocol breach and the worker is treated as crashed. */
 constexpr std::uint32_t max_frame_bytes = 64u * 1024 * 1024;
 
+// -------------------------------------------- prof wire format
+//
+// With MNM_PROF active each worker measures its own per-phase profile
+// (the profiler state is per-process; the supervisor cannot see it) and
+// ships the per-cell delta home inside the response frame, so per-cell
+// and per-worker attribution work identically to the thread pool.
+// Format: a JSON array of num_phases arrays of the 8 PhaseCounters
+// fields in declaration order -- positional, because phase values and
+// counter fields are both append-only by contract.
+
+std::string
+writePhaseTotals(const PhaseTotals &totals)
+{
+    std::string out = "[";
+    for (int p = 0; p < num_phases; ++p) {
+        const PhaseCounters &c = totals.phase[p];
+        if (p)
+            out += ',';
+        out += '[';
+        out += std::to_string(c.ticks);
+        out += ',';
+        out += std::to_string(c.transitions);
+        out += ',';
+        out += std::to_string(c.cycles);
+        out += ',';
+        out += std::to_string(c.instructions);
+        out += ',';
+        out += std::to_string(c.llc_loads);
+        out += ',';
+        out += std::to_string(c.llc_misses);
+        out += ',';
+        out += std::to_string(c.branch_misses);
+        out += ',';
+        out += std::to_string(c.task_clock_ns);
+        out += ']';
+    }
+    out += ']';
+    return out;
+}
+
+std::optional<PhaseTotals>
+readPhaseTotals(const JsonValue &value)
+{
+    if (!value.isArray())
+        return std::nullopt;
+    const JsonValue::Array &phases = value.asArray();
+    if (phases.size() != static_cast<std::size_t>(num_phases))
+        return std::nullopt;
+    PhaseTotals totals;
+    for (int p = 0; p < num_phases; ++p) {
+        if (!phases[p].isArray())
+            return std::nullopt;
+        const JsonValue::Array &fields = phases[p].asArray();
+        if (fields.size() != 8)
+            return std::nullopt;
+        std::uint64_t v[8];
+        for (int f = 0; f < 8; ++f) {
+            if (!fields[f].isInteger())
+                return std::nullopt;
+            v[f] = fields[f].asU64();
+        }
+        PhaseCounters &c = totals.phase[p];
+        c.ticks = v[0];
+        c.transitions = v[1];
+        c.cycles = v[2];
+        c.instructions = v[3];
+        c.llc_loads = v[4];
+        c.llc_misses = v[5];
+        c.branch_misses = v[6];
+        c.task_clock_ns = v[7];
+    }
+    return totals;
+}
+
+void
+addPhaseTotals(PhaseTotals &into, const PhaseTotals &from)
+{
+    for (int p = 0; p < num_phases; ++p) {
+        PhaseCounters &d = into.phase[p];
+        const PhaseCounters &s = from.phase[p];
+        d.ticks += s.ticks;
+        d.transitions += s.transitions;
+        d.cycles += s.cycles;
+        d.instructions += s.instructions;
+        d.llc_loads += s.llc_loads;
+        d.llc_misses += s.llc_misses;
+        d.branch_misses += s.branch_misses;
+        d.task_clock_ns += s.task_clock_ns;
+    }
+}
+
 bool
 writeFully(int fd, const void *data, std::size_t size)
 {
@@ -149,13 +240,27 @@ workerChildLoop(const std::vector<SweepCell> &cells,
             // No cooperative watchdog here: under MNM_WORKERS the
             // supervisor enforces MNM_CELL_TIMEOUT_S with a real
             // SIGKILL, which also catches cells that never poll.
+            const bool prof = profActive();
+            PhaseTotals prof_before;
+            if (prof)
+                prof_before = threadPhaseTotals();
             const std::uint64_t start_us = steadyNowUs();
             MemSimResult result = runFunctional(
                 cell.hierarchy, cell.mnm, cell.app, cell.instructions);
             const std::uint64_t dur_us = steadyNowUs() - start_us;
             response = "{\"index\":" + std::to_string(index) +
-                       ",\"dur_us\":" + std::to_string(dur_us) +
-                       ",\"result\":" + writeMemSimResult(result) + "}";
+                       ",\"dur_us\":" + std::to_string(dur_us);
+            if (prof) {
+                // This worker runs one cell at a time on one thread, so
+                // the thread totals advanced by exactly this cell's
+                // work -- the same snapshot-delta contract as the
+                // thread pool, shipped home over the pipe because the
+                // profiler state dies with this process.
+                response += ",\"prof\":" +
+                            writePhaseTotals(phaseTotalsDelta(
+                                prof_before, threadPhaseTotals()));
+            }
+            response += ",\"result\":" + writeMemSimResult(result) + "}";
         } catch (const std::exception &e) {
             response = "{\"index\":" + std::to_string(index) +
                        ",\"error\":" + JsonWriter::quoted(e.what()) + "}";
@@ -218,10 +323,12 @@ class ProcPoolSupervisor
                        const std::vector<std::string> &fingerprints,
                        CheckpointJournal *journal,
                        std::vector<MemSimResult> &results,
-                       std::vector<SweepCellTiming> &timing)
+                       std::vector<SweepCellTiming> &timing,
+                       std::vector<PhaseTotals> &cell_prof)
         : cells_(cells), opts_(opts), fingerprints_(fingerprints),
           journal_(journal), results_(results), timing_(timing),
-          crashes_(cells.size(), 0), lease_seq_(cells.size(), 0)
+          cell_prof_(cell_prof), crashes_(cells.size(), 0),
+          lease_seq_(cells.size(), 0)
     {
     }
 
@@ -237,12 +344,6 @@ class ProcPoolSupervisor
         if (outstanding_ == 0)
             return;
 
-        if (profActive()) {
-            warn("MNM_PROF attribution is per-process and is not "
-                 "collected from MNM_WORKERS worker processes; prof.* "
-                 "covers only supervisor-side work");
-        }
-
         // A worker can die between poll() and our next command write;
         // that write must come back as EPIPE, not kill the supervisor.
         struct sigaction ignore_pipe = {};
@@ -253,6 +354,7 @@ class ProcPoolSupervisor
         const std::size_t nworkers = std::min<std::size_t>(
             opts_.workers, std::max<std::size_t>(outstanding_, 1));
         workers_.resize(nworkers);
+        slot_prof_.resize(nworkers);
         globalStats().setGauge("runner.proc.workers",
                                static_cast<double>(nworkers));
         start_us_ = steadyNowUs();
@@ -264,6 +366,18 @@ class ProcPoolSupervisor
 
         shutdown();
         ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+        // Per-worker-process attribution, mirroring the thread pool's
+        // "prof.worker.w<t>" fold: slot totals are the sum of every
+        // cell delta delivered by that slot (across respawns).
+        if (profActive()) {
+            for (std::size_t slot = 0; slot < slot_prof_.size(); ++slot) {
+                if (slot_prof_[slot].totalTicks() == 0)
+                    continue; // slot never delivered a profiled cell
+                foldPhaseTotals(globalStats(), slot_prof_[slot],
+                                "prof.worker.w" + std::to_string(slot));
+            }
+        }
     }
 
   private:
@@ -510,6 +624,17 @@ class ProcPoolSupervisor
             return;
         }
         results_[cell_index] = std::move(*result);
+        if (const JsonValue *prof_json = value->find("prof")) {
+            std::optional<PhaseTotals> prof = readPhaseTotals(*prof_json);
+            if (!prof) {
+                warn("MNM_WORKERS: worker %zu sent an unreadable prof "
+                     "block for cell %zu; dropping its attribution",
+                     slot, cell_index);
+            } else {
+                cell_prof_[cell_index] = *prof;
+                addPhaseTotals(slot_prof_[slot], *prof);
+            }
+        }
         SweepCellTiming &t = timing_[cell_index];
         t.start_us = w.issue_us;
         t.dur_us = value->getU64("dur_us").value_or(0);
@@ -635,8 +760,11 @@ class ProcPoolSupervisor
     CheckpointJournal *journal_;
     std::vector<MemSimResult> &results_;
     std::vector<SweepCellTiming> &timing_;
+    std::vector<PhaseTotals> &cell_prof_;
 
     std::vector<WorkerProc> workers_;
+    /** Per-slot sum of delivered cell profiles (prof.worker.w<k>). */
+    std::vector<PhaseTotals> slot_prof_;
     /** (cell index, attempt) queue awaiting a worker; index order. */
     std::deque<std::pair<std::uint32_t, unsigned>> pending_;
     std::vector<unsigned> crashes_;
@@ -655,10 +783,11 @@ runSweepProcPool(const std::vector<SweepCell> &cells,
                  const std::vector<char> &replayed,
                  CheckpointJournal *journal,
                  std::vector<MemSimResult> &results,
-                 std::vector<SweepCellTiming> &timing)
+                 std::vector<SweepCellTiming> &timing,
+                 std::vector<PhaseTotals> &cell_prof)
 {
     ProcPoolSupervisor supervisor(cells, opts, fingerprints, journal,
-                                  results, timing);
+                                  results, timing, cell_prof);
     supervisor.run(replayed);
 }
 

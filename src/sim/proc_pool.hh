@@ -22,7 +22,13 @@
  *     {"index":N,"dur_us":D,"result":{...}} (the exact
  *     sim/recovery.hh writeMemSimResult encoding, so replayed and
  *     pipe-delivered results are bit-identical) or
- *     {"index":N,"error":"what()"} for a contained exception.
+ *     {"index":N,"error":"what()"} for a contained exception. With
+ *     MNM_PROF active the success response also carries a
+ *     "prof":[[...8 counters...] x num_phases] block -- the cell's
+ *     per-phase attribution delta, measured in the worker (profiler
+ *     state is per-process) and folded by the supervisor into the
+ *     same prof.cell.* / prof.worker.w<k>.* metrics the thread pool
+ *     produces.
  *
  * Determinism: the supervisor writes each result into results[index]
  * of the same pre-sized vector the thread path uses, and the simulator
@@ -61,6 +67,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/phase_profiler.hh"
 #include "sim/runner.hh"
 
 namespace mnm
@@ -73,7 +80,9 @@ class CheckpointJournal;
  * every cell with replayed[i] == 0 on a pool of opts.workers forked
  * worker processes. Fills results[i] (delivered result, or a failed
  * MemSimResult recorded via recordSweepCellFailure()) and timing[i]
- * for every executed cell. @p fingerprints must hold one
+ * for every executed cell; with MNM_PROF active, cell_prof[i] receives
+ * the worker-measured per-phase attribution delta shipped in the
+ * response frame. @p fingerprints must hold one
  * cellFingerprint() per cell (lease keying); @p journal may be null
  * (no checkpointing — leases are not recorded but execution is
  * identical).
@@ -88,7 +97,8 @@ void runSweepProcPool(const std::vector<SweepCell> &cells,
                       const std::vector<char> &replayed,
                       CheckpointJournal *journal,
                       std::vector<MemSimResult> &results,
-                      std::vector<SweepCellTiming> &timing);
+                      std::vector<SweepCellTiming> &timing,
+                      std::vector<PhaseTotals> &cell_prof);
 
 } // namespace mnm
 

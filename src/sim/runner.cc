@@ -440,7 +440,7 @@ runSweep(const std::vector<SweepCell> &cells,
                 fingerprints[i] = cellFingerprint(cells[i]);
         }
         runSweepProcPool(cells, opts, fingerprints, replayed,
-                         journal.get(), results, timing);
+                         journal.get(), results, timing, cell_prof);
         const std::uint64_t pool_wall_us = steadyNowUs() - sweep_start_us;
         foldSweepTelemetry(cells, results, timing, cell_prof,
                            sweep_start_us, pool_wall_us, opts.workers);

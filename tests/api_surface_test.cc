@@ -31,20 +31,25 @@ TEST(BypassMaskTest, SetTestClearRaw)
     EXPECT_EQ(mask.raw(), 0u);
 }
 
-TEST(AccessResultTest, ProbeCapacityClamps)
+TEST(AccessResultTest, ProbeOverflowIsALogicBugNotASilentDrop)
 {
     AccessResult r;
-    for (std::uint8_t i = 0; i < AccessResult::max_probes + 5; ++i)
-        r.addProbe({i, static_cast<std::uint8_t>(i + 1), false, false});
+    for (std::size_t i = 0; i < AccessResult::max_probes; ++i) {
+        r.addProbe({static_cast<CacheId>(i),
+                    static_cast<std::uint8_t>(i + 1), false, false});
+    }
     EXPECT_EQ(r.num_probes, AccessResult::max_probes);
+    EXPECT_DEATH(r.addProbe({0, 1, false, false}),
+                 "probe record overflow");
 }
 
-TEST(AccessResultTest, WritebackCapacityClamps)
+TEST(AccessResultTest, WritebackOverflowIsALogicBugNotASilentDrop)
 {
     AccessResult r;
-    for (std::uint8_t i = 0; i < AccessResult::max_writebacks + 5; ++i)
-        r.addWriteback({i, false});
+    for (std::size_t i = 0; i < AccessResult::max_writebacks; ++i)
+        r.addWriteback({static_cast<CacheId>(i), false});
     EXPECT_EQ(r.num_writebacks, AccessResult::max_writebacks);
+    EXPECT_DEATH(r.addWriteback({0, false}), "writeback record overflow");
 }
 
 TEST(LoggingTest, VformatFormats)

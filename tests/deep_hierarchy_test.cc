@@ -163,6 +163,49 @@ towerHierarchy(std::uint32_t levels)
     return params;
 }
 
+TEST(DeepHierarchyTest, DeepDirtyTowerRecordsEveryWritebackHop)
+{
+    // AccessResult::addWriteback used to clamp at 34 records and
+    // silently drop the rest, so a deep access's energy fold
+    // undercounted the drain traffic. Overflow is now a loud MNM_ASSERT
+    // (api_surface_test covers the abort) and the bound covers the real
+    // worst case (n(n-1)/2 hops); prove a single access can
+    // legitimately need more hops than the old cap and that every one
+    // is recorded. The tower's per-level geometries differ so contents
+    // diverge: lower levels absorb upper writebacks (accumulating
+    // dirty lines), then one miss's fill path evicts dirty victims at
+    // many levels at once, each draining its own hop chain.
+    constexpr std::uint32_t depth = 32; // BypassMask width: the max
+    HierarchyParams params;
+    params.memory_latency = 400;
+    for (std::uint32_t l = 1; l <= depth; ++l) {
+        LevelParams lvl;
+        lvl.data.name = "u" + std::to_string(l);
+        lvl.data.associativity = 1u << (l % 3u);
+        lvl.data.capacity_bytes = 1024u * lvl.data.associativity;
+        lvl.data.block_bytes = 32;
+        lvl.data.hit_latency = static_cast<Cycles>(l);
+        params.levels.push_back(lvl);
+    }
+    CacheHierarchy h(params);
+    // A pseudo-random store stream over a working set far beyond the
+    // tower's total capacity keeps every set full of dirty victims.
+    std::uint64_t lcg = 1;
+    auto next_addr = [&lcg] {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<Addr>((lcg >> 16) & 0x3fffe0);
+    };
+    for (int i = 0; i < 200000; ++i)
+        h.access(AccessType::Store, next_addr());
+    std::uint32_t deepest = 0;
+    for (int i = 0; i < 50000; ++i) {
+        AccessResult r = h.access(AccessType::Store, next_addr());
+        ASSERT_LE(r.num_writebacks, AccessResult::max_writebacks);
+        deepest = std::max<std::uint32_t>(deepest, r.num_writebacks);
+    }
+    EXPECT_GT(deepest, 34u);
+}
+
 TEST(DeepHierarchyTest, ViolationCountersReachPastOldSixteenLevelCap)
 {
     // violations_at_ used to be a fixed 16-slot array, so a violation

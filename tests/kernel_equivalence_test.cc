@@ -8,7 +8,10 @@
  * -- every counter, the coverage and confusion breakdowns, and the
  * energy doubles -- across the preset grid: the five techniques plus
  * the perfect MNM and the bare hierarchy, under all three placements,
- * and with faults injected mid-run through every kernel.
+ * and with faults injected mid-run through every kernel. The update
+ * side gets the same treatment: the batched event ring drained through
+ * devirtualized update kernels against the per-event virtual listener
+ * feed (setReferenceFeed), faulted runs included.
  */
 
 #include <cstdint>
@@ -174,6 +177,31 @@ TEST_P(KernelEquivalenceTest, BatchedMatchesReferenceOnPresetMachine)
     }
 }
 
+TEST_P(KernelEquivalenceTest, BatchedFeedMatchesVirtualFeedOnPresetMachine)
+{
+    // The update-side axis: the batched event ring drained through the
+    // devirtualized update kernels (default) against the per-event
+    // virtual listener feed (MNM_REFERENCE_FEED=1). Both sides run the
+    // batched verdict kernel, so any divergence is the feed's fault.
+    const KernelCase &c = GetParam();
+    auto run_case = [&](bool reference_feed, SimdBackend backend) {
+        MemorySimulator sim(paperHierarchy(5), c.spec);
+        if (reference_feed)
+            sim.setReferenceFeed(true);
+        if (c.spec)
+            sim.mnm()->setSimdBackend(backend);
+        auto workload = makeSpecWorkload(workload_name);
+        sim.run(*workload, run_instructions / 2);
+        return sim.run(*workload, run_instructions / 2);
+    };
+    MemSimResult reference = run_case(true, SimdBackend::Off);
+    for (SimdBackend backend : verdictBackends()) {
+        SCOPED_TRACE(simdBackendName(backend));
+        MemSimResult batched = run_case(false, backend);
+        expectIdenticalResults(batched, reference);
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     PresetGrid, KernelEquivalenceTest,
     ::testing::ValuesIn(presetGrid()), [](const auto &info) {
@@ -202,6 +230,44 @@ TEST(KernelEquivalenceTest, FaultedFiltersMatchReferenceExactly)
             sim.setReferenceKernel(reference);
             if (!reference)
                 sim.mnm()->setSimdBackend(backend);
+            auto workload = makeSpecWorkload(workload_name);
+            sim.run(*workload, run_instructions / 2);
+            auto surfaces = FaultInjector::faultSurfaces(*sim.mnm());
+            EXPECT_FALSE(surfaces.empty());
+            for (std::size_t s = 0; s < surfaces.size(); ++s) {
+                for (std::uint64_t bit :
+                     {std::uint64_t{0}, surfaces[s].bits / 2,
+                      surfaces[s].bits - 1}) {
+                    FaultInjector::flip(*sim.mnm(), s, bit);
+                }
+            }
+            return sim.run(*workload, run_instructions / 2);
+        };
+        MemSimResult reference = run_case(true, SimdBackend::Off);
+        for (SimdBackend backend : verdictBackends()) {
+            SCOPED_TRACE(simdBackendName(backend));
+            MemSimResult batched = run_case(false, backend);
+            expectIdenticalResults(batched, reference);
+        }
+    }
+}
+
+TEST(KernelEquivalenceTest, FaultedFiltersMatchVirtualFeedExactly)
+{
+    // The feed axis under corrupted filter state: deterministic bit
+    // flips land between two windows, and the ring-drained update
+    // kernels must rebuild exactly the state the virtual per-event
+    // feed rebuilds -- oracle-checked violations included.
+    for (const char *name : {"RMNM_512_2", "SMNM_13x2", "TMNM_12x3",
+                             "CMNM_8_10", "HMNM4"}) {
+        SCOPED_TRACE(name);
+        MnmSpec spec = mnmSpecByName(name);
+        spec.oracle_check = true;
+        auto run_case = [&](bool reference_feed, SimdBackend backend) {
+            MemorySimulator sim(paperHierarchy(5), spec);
+            if (reference_feed)
+                sim.setReferenceFeed(true);
+            sim.mnm()->setSimdBackend(backend);
             auto workload = makeSpecWorkload(workload_name);
             sim.run(*workload, run_instructions / 2);
             auto surfaces = FaultInjector::faultSurfaces(*sim.mnm());

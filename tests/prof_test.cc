@@ -280,13 +280,46 @@ TEST(ProfTest, SweepAttributesPerCellAndNothingOnStdout)
 
     StatsRegistry &stats = globalStats();
     EXPECT_TRUE(stats.has("prof.cell.HMNM2.gzip.verdict.cycles"));
-    EXPECT_TRUE(stats.has("prof.cell.HMNM2.gzip.update_feed.share"));
+    // Batched feed: the update side drains under feed_drain (the
+    // per-event update_feed phase only runs on the reference paths).
+    EXPECT_TRUE(stats.has("prof.cell.HMNM2.gzip.feed_drain.share"));
     EXPECT_TRUE(stats.has("prof.cell.HMNM2.gzip.hier_walk.ticks"));
     // The pool flushed its worker profile into the global aggregate.
     const PhaseTotals global = globalPhaseTotals();
     EXPECT_GT(global.phase[phaseIdx(Phase::Run)].transitions, 0u);
     EXPECT_GT(global.phase[phaseIdx(Phase::Verdict)].ticks, 0u);
-    EXPECT_GT(global.phase[phaseIdx(Phase::UpdateFeed)].ticks, 0u);
+    EXPECT_GT(global.phase[phaseIdx(Phase::FeedDrain)].ticks, 0u);
+    globalStats().clear();
+}
+
+TEST(ProfTest, WorkerProcessesShipAttributionOverTheResultPipe)
+{
+    ProfReset guard;
+    setProfModeForTest(ProfMode::Time);
+    globalStats().clear();
+
+    std::vector<SweepVariant> variants = {
+        {"HMNM2", paperHierarchy(5), makeHmnmSpec(2)},
+    };
+    std::vector<SweepCell> cells =
+        makeGridCells({"164.gzip", "181.mcf"}, variants, 30000);
+    ExperimentOptions opts;
+    opts.workers = 2; // process pool: prof crosses a fork boundary
+
+    ::testing::internal::CaptureStdout();
+    runSweep(cells, opts);
+    EXPECT_EQ(::testing::internal::GetCapturedStdout(), "");
+
+    // The workers measured each cell in their own process and shipped
+    // the delta home in the response frame; the supervisor folded it
+    // into the same prof.cell.* / prof.worker.w<k>.* metrics the
+    // thread pool produces.
+    StatsRegistry &stats = globalStats();
+    EXPECT_TRUE(stats.has("prof.cell.HMNM2.gzip.verdict.cycles"));
+    EXPECT_TRUE(stats.has("prof.cell.HMNM2.gzip.feed_drain.share"));
+    EXPECT_TRUE(stats.has("prof.cell.HMNM2.mcf.hier_walk.ticks"));
+    EXPECT_TRUE(stats.has("prof.worker.w0.run.ticks") ||
+                stats.has("prof.worker.w1.run.ticks"));
     globalStats().clear();
 }
 

@@ -156,6 +156,77 @@ TEST(SoaStateTest, MirrorCoherenceOnSeventeenLevelTower)
     runMirrorCoherence(sim, probeStream("181.mcf", 1500));
 }
 
+/** Two simulators under identical traffic, one on the batched event
+ *  ring + devirtualized update kernels, one on the per-event virtual
+ *  feed: after every churn/flush stage the borrowed tables must hold
+ *  bit-identical state, proven by verdict equality over the probe
+ *  stream on every backend. */
+void
+runFeedCoherence(const HierarchyParams &hier, const MnmSpec &spec,
+                 const char *app, std::uint64_t probe_instructions)
+{
+    auto probes = probeStream(app, probe_instructions);
+    MemorySimulator batched(hier, spec);
+    MemorySimulator reference(hier, spec);
+    reference.setReferenceFeed(true);
+    ASSERT_FALSE(batched.referenceFeed());
+    ASSERT_TRUE(reference.referenceFeed());
+
+    auto expect_same_state = [&](const char *when) {
+        MnmUnit &b = *batched.mnm();
+        MnmUnit &r = *reference.mnm();
+        for (const auto &[type, addr] : probes) {
+            for (SimdBackend backend : verdictBackends()) {
+                b.setSimdBackend(backend);
+                r.setSimdBackend(backend);
+                ASSERT_EQ(b.computeBypass(type, addr).raw(),
+                          r.computeBypass(type, addr).raw())
+                    << when << ": backend " << simdBackendName(backend)
+                    << " addr 0x" << std::hex << addr;
+            }
+        }
+    };
+
+    auto wb = makeSpecWorkload(app);
+    auto wr = makeSpecWorkload(app);
+    batched.run(*wb, 30000);
+    reference.run(*wr, 30000);
+    expect_same_state("warm");
+
+    batched.run(*wb, 10000);
+    reference.run(*wr, 10000);
+    expect_same_state("churned");
+
+    // Flush stays a per-event virtual walk on both sides (the ring is
+    // always empty between accesses); the rebuilt state must agree.
+    batched.hierarchy().flushAll();
+    reference.hierarchy().flushAll();
+    expect_same_state("flushed");
+
+    batched.run(*wb, 10000);
+    reference.run(*wr, 10000);
+    expect_same_state("re-warmed");
+}
+
+TEST(SoaStateTest, DrainedEventRingKeepsMirrorsCoherent)
+{
+    // The headline hybrid: placements and replacements for every
+    // filter kind flow through the ring's update kernels.
+    runFeedCoherence(paperHierarchy(5), mnmSpecByName("HMNM4"),
+                     "164.gzip", 2000);
+}
+
+TEST(SoaStateTest, DrainedEventRingCoherentOnSeventeenLevelTower)
+{
+    // 16 filtered levels: one access can fill every level and
+    // back-invalidate below it, overflowing the 64-entry ring so the
+    // mid-access drain-if-full path runs -- order must still match the
+    // virtual feed exactly.
+    runFeedCoherence(towerHierarchy(17),
+                     makeUniformSpec(TmnmSpec{10, 2, 3}), "181.mcf",
+                     1500);
+}
+
 TEST(SoaStateTest, CmnmBorrowedTablesAreStableAndLive)
 {
     // The SoA program captures Cmnm's register-file and counter-table

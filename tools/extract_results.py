@@ -347,7 +347,8 @@ def attribute_regression(name, run_prof_shares, base_prof_shares):
 #: Phase order matching obs/phase_profiler.hh's Phase enum; unknown
 #: phases sort after these, alphabetically.
 PROF_PHASE_ORDER = ("run", "batch_gen", "l1_peek", "verdict",
-                    "hier_walk", "update_feed", "cold_account")
+                    "hier_walk", "update_feed", "cold_account",
+                    "feed_drain")
 
 
 def prof_phase_rows(node):
@@ -490,10 +491,16 @@ def update_baseline(baseline_path, new_path, force) -> int:
               f"regression deliberately)", file=sys.stderr)
         return 1
 
-    with open(new_path, encoding="utf-8") as f:
-        text = f.read()
+    # The committed baseline carries a "reference" block (recording
+    # conditions, provenance) that bench runs do not emit; carry it
+    # forward so a ratchet never silently drops the methodology note.
+    if "reference" not in new_doc and old_cells:
+        reference = old_doc.get("reference")
+        if reference is not None:
+            new_doc["reference"] = reference
     with open(baseline_path, "w", encoding="utf-8") as f:
-        f.write(text)
+        json.dump(new_doc, f, indent=2)
+        f.write("\n")
     print(f"baseline {baseline_path} updated from {new_path}"
           + (" (--force)" if lowered else ""))
     return 0
