@@ -202,6 +202,19 @@ class Cache
         __builtin_prefetch(state_.data() + base, 0, 1);
     }
 
+    /** prefetchSet plus the replacement-stamp row: the hint for a set
+     *  the caller expects to probe *and then fill on a miss* (the lane
+     *  queue's L2+ descent), where the victim scan reads stamps_. */
+    void
+    prefetchSetFill(BlockAddr block) const
+    {
+        std::size_t base =
+            static_cast<std::size_t>(setIndex(block)) * num_ways_;
+        __builtin_prefetch(tags_.data() + base, 0, 1);
+        __builtin_prefetch(state_.data() + base, 0, 1);
+        __builtin_prefetch(stamps_.data() + base, 0, 1);
+    }
+
     /**
      * An upper level wrote back @p block. If resident here the copy is
      * dirtied (absorbed); otherwise the writeback must travel further
@@ -231,6 +244,13 @@ class Cache
     /** All resident block addresses (test/diagnostic aid; slow). */
     std::vector<BlockAddr> residentBlocks() const;
 
+    /** Set index of @p block (public so the lane queue's pending-set
+     *  conflict bitmap can mirror exactly the set a probe will scan). */
+    std::uint32_t setIndex(BlockAddr block) const
+    {
+        return static_cast<std::uint32_t>(block & (num_sets_ - 1));
+    }
+
     const CacheParams &params() const { return params_; }
     const CacheStats &stats() const { return stats_; }
     std::uint32_t numSets() const { return num_sets_; }
@@ -245,11 +265,6 @@ class Cache
 
     /** findWay(): no way holds the block. */
     static constexpr std::size_t no_way = ~std::size_t{0};
-
-    std::uint32_t setIndex(BlockAddr block) const
-    {
-        return static_cast<std::uint32_t>(block & (num_sets_ - 1));
-    }
 
     /**
      * Flat line index of @p block, or no_way. The line arrays are

@@ -64,9 +64,11 @@ enum class Phase : std::uint8_t
     UpdateFeed, //!< MnmUnit on{Placement,Replacement,Flush} walks
     Cold,       //!< post-run cold accounting (energy fold, drains)
     FeedDrain,  //!< batched event-ring drain through update kernels
+    GenOverlap, //!< MNM_OVERLAP: wait/handoff for producer-built batches
+    LaneDescent, //!< stage-2a queued-lane L2+ descent (walk + accounting)
 };
 
-inline constexpr int num_phases = 8;
+inline constexpr int num_phases = 10;
 
 /** Stable manifest segment for @p phase ("verdict", "update_feed", ...). */
 const char *phaseName(Phase phase);

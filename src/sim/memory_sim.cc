@@ -3,6 +3,7 @@
 #include <type_traits>
 
 #include "obs/phase_profiler.hh"
+#include "trace/batch_pipeline.hh"
 #include "util/bits.hh"
 #include "util/deadline.hh"
 #include "util/logging.hh"
@@ -31,7 +32,7 @@ using ProfScope =
 MemorySimulator::MemorySimulator(const HierarchyParams &hierarchy_params,
                                  std::optional<MnmSpec> mnm_spec,
                                  std::uint64_t seed)
-    : hierarchy_(hierarchy_params, seed)
+    : hierarchy_(hierarchy_params, seed), overlap_(overlapFromEnv())
 {
     if (mnm_spec)
         mnm_ = std::make_unique<MnmUnit>(*mnm_spec, hierarchy_);
@@ -83,6 +84,13 @@ MemorySimulator::performAccess(AccessType type, Addr addr,
     AccessResult access =
         below_l1 ? hierarchy_.accessBelowL1(type, addr, mask)
                  : hierarchy_.access(type, addr, mask);
+    accountAccess(access, result);
+}
+
+inline void
+MemorySimulator::accountAccess(const AccessResult &access,
+                               MemSimResult &result)
+{
     ++result.requests;
     if (mnm_) {
         result.coverage.record(access);
@@ -132,43 +140,19 @@ MemorySimulator::performAccess(AccessType type, Addr addr,
 
 template <bool with_prof>
 void
-MemorySimulator::runBatchRequests(const InstructionBatch &batch,
+MemorySimulator::runBatchRequests(const RequestBatch &batch,
                                   const Cache &l1i, MemSimResult &result)
 {
-    if (req_addr_.empty()) {
-        constexpr std::size_t max_requests =
-            2 * InstructionBatch::capacity;
-        req_addr_.reset(max_requests);
-        req_type_.reset(max_requests);
-        req_cand_.reset(max_requests);
-    }
-
-    // Stage 1: derive the batch's ordered request stream. The fetch-
-    // line dedup is a pure function of the pc sequence, so hoisting it
-    // off the access path changes no request and no count.
-    std::size_t n = 0;
-    {
-        ProfScope<with_prof> prof(Phase::BatchGen);
-        for (const Instruction &inst : batch) {
-            Addr line = l1i.blockAddr(inst.pc);
-            if (line != cur_fetch_line_) {
-                cur_fetch_line_ = line;
-                ++result.fetch_requests;
-                req_type_[n] =
-                    static_cast<std::uint8_t>(AccessType::InstFetch);
-                req_addr_[n] = inst.pc;
-                ++n;
-            }
-            if (inst.isMem()) {
-                ++result.data_requests;
-                req_type_[n] = static_cast<std::uint8_t>(
-                    inst.cls == InstClass::Load ? AccessType::Load
-                                                : AccessType::Store);
-                req_addr_[n] = inst.mem_addr;
-                ++n;
-            }
-        }
-    }
+    // The request stream arrives already derived (generation and
+    // stage-1 derivation are fused in nextRequests(), possibly on the
+    // overlap producer thread); only the per-window counts fold in
+    // here. Same stream, same counts as deriving on the spot -- the
+    // dedup state threads through the producer unchanged.
+    const std::size_t n = batch.size;
+    const Addr *const req_addr = batch.addr;
+    const std::uint8_t *const req_type = batch.kind;
+    result.fetch_requests += batch.fetch_requests;
+    result.data_requests += batch.data_requests;
 
     // Stage 2a, guard-free plans (every sound config): a request that
     // hits its level-1 cache never consults the bypass mask -- the
@@ -183,7 +167,8 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
     if (!mnm_->planGuarded(AccessType::InstFetch) &&
         !mnm_->planGuarded(AccessType::Load)) {
         // L1Peek self time = the lookahead peeks, prefetch hints, and
-        // loop control; Verdict and HierWalk open nested scopes.
+        // loop control; Verdict, HierWalk, and LaneDescent open nested
+        // scopes.
         ProfScope<with_prof> prof(Phase::L1Peek);
         const Cache &l1d = hierarchy_.cacheAt(1, AccessType::Load);
         Cache &l1i_mut = hierarchy_.cacheAt(1, AccessType::InstFetch);
@@ -197,10 +182,72 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
         const bool charge_parallel =
             !mnm_->spec().perfect &&
             mnm_->spec().placement == MnmPlacement::Parallel;
+
+        // Lane queue: an L1 miss is *queued* instead of walked on the
+        // spot, and queued lanes descend together in descendLanes().
+        // This is exactly the sequential semantics as long as nothing
+        // reads state a queued lane's deferred walk would have written:
+        //  - An L1 miss probe has no replacement side effects, and the
+        //    deferred walk's only L1 mutation is the fill of the lane's
+        //    own set -- so a pending-set bitmap per L1 structure guards
+        //    every L1 probe, and a collision flushes the queue first.
+        //  - Hit lanes between enqueue and flush touch only integer
+        //    counters (noteLookup/chargeLookup/stats; the burst flag is
+        //    re-reset by every access before use), all order-exact.
+        //  - Verdicts and L2+ state move only inside the flush, lane by
+        //    lane in request order -- each verdict sees every prior
+        //    lane's fills and feed updates, exactly as sequentially.
+        // Inclusive hierarchies break the first invariant (a deferred
+        // walk can back-invalidate any L1 set), so they keep the
+        // immediate walk. The win: enqueue-time prefetchDescent gives
+        // the L2/L3 set rows the whole queue-residency distance to
+        // arrive, where the immediate walk took their miss latency on
+        // the critical path.
+        const bool use_lanes = hierarchy_.params().inclusion ==
+                               InclusionPolicy::NonInclusive;
+        constexpr std::size_t lane_queue_capacity = 32;
+        DescentLane lanes[lane_queue_capacity];
+        std::uint64_t *lane_word[lane_queue_capacity];
+        std::uint64_t lane_bit[lane_queue_capacity];
+        std::size_t num_lanes = 0;
+        if (use_lanes && pending_sets_[0].empty()) {
+            pending_sets_[0].assign((l1i.numSets() + 63) / 64, 0);
+            if (l1i_id != l1d_id)
+                pending_sets_[1].assign((l1d.numSets() + 63) / 64, 0);
+        }
+        std::uint64_t *const pend_i = pending_sets_[0].data();
+        std::uint64_t *const pend_d = l1i_id != l1d_id
+                                          ? pending_sets_[1].data()
+                                          : pending_sets_[0].data();
+
+        const auto flush_lanes = [&] {
+            if (num_lanes == 0)
+                return;
+            // LaneDescent self time = the queued walks + accounting +
+            // loop; each lane's verdict opens a nested Verdict scope.
+            ProfScope<with_prof> prof_lanes(Phase::LaneDescent);
+            hierarchy_.descendLanes(
+                lanes, num_lanes,
+                [&](const DescentLane &lane) {
+                    ProfScope<with_prof> prof_verdict(Phase::Verdict);
+                    std::uint32_t cand;
+                    mnm_->computeCandidates(lane.type, &lane.addr,
+                                            &cand, 1);
+                    return mnm_->finishBypass(lane.type, lane.addr,
+                                              cand);
+                },
+                [&](const DescentLane &, const AccessResult &access) {
+                    accountAccess(access, result);
+                });
+            for (std::size_t i = 0; i < num_lanes; ++i)
+                *lane_word[i] &= ~lane_bit[i];
+            num_lanes = 0;
+        };
+
         constexpr std::size_t prefetch_requests = 12;
         for (std::size_t k = 0; k < n; ++k) {
             const AccessType type =
-                static_cast<AccessType>(req_type_[k]);
+                static_cast<AccessType>(req_type[k]);
             const bool is_instr = type == AccessType::InstFetch;
             // Two-tier lookahead. Far tier: hint the L1 tag row so
             // both the near tier's peek and the eventual probe scan
@@ -209,30 +256,32 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
             // dead weight. The peek against current state is only a
             // heuristic for future state; a wrong guess costs a missed
             // hint, never correctness.
-            if (k + 2 * prefetch_requests < n) {
-                const std::size_t f = k + 2 * prefetch_requests;
-                const Cache &fl1 =
-                    static_cast<AccessType>(req_type_[f]) ==
-                            AccessType::InstFetch
-                        ? l1i
-                        : l1d;
-                fl1.prefetchSet(fl1.blockAddr(req_addr_[f]));
-            }
             if (k + prefetch_requests < n) {
                 const std::size_t f = k + prefetch_requests;
                 const AccessType ftype =
-                    static_cast<AccessType>(req_type_[f]);
+                    static_cast<AccessType>(req_type[f]);
                 const Cache &fl1 =
                     ftype == AccessType::InstFetch ? l1i : l1d;
-                if (!fl1.contains(fl1.blockAddr(req_addr_[f])))
-                    mnm_->prefetchCandidates(ftype, req_addr_[f]);
+                if (!fl1.contains(fl1.blockAddr(req_addr[f])))
+                    mnm_->prefetchCandidates(ftype, req_addr[f]);
+            }
+            Cache &l1 = is_instr ? l1i_mut : l1d_mut;
+            const BlockAddr block = l1.blockAddr(req_addr[k]);
+            std::uint64_t *word = nullptr;
+            std::uint64_t bit = 0;
+            if (use_lanes && num_lanes > 0) {
+                // A queued lane's deferred walk will fill its own L1
+                // set; a probe of that set must not run ahead of it.
+                const std::uint32_t set = l1.setIndex(block);
+                word = (is_instr ? pend_i : pend_d) + (set >> 6);
+                bit = std::uint64_t{1} << (set & 63);
+                if (*word & bit)
+                    flush_lanes();
             }
             bool hit;
             {
                 ProfScope<with_prof> prof_walk(Phase::HierWalk);
-                Cache &l1 = is_instr ? l1i_mut : l1d_mut;
-                hit = l1.probe(l1.blockAddr(req_addr_[k]),
-                               type == AccessType::Store);
+                hit = l1.probe(block, type == AccessType::Store);
                 if (hit) {
                     ++result.requests;
                     result.total_access_cycles +=
@@ -247,17 +296,35 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
                     mnm_->chargeLookup();
                 continue;
             }
+            if (use_lanes) {
+                if (!word) {
+                    const std::uint32_t set = l1.setIndex(block);
+                    word = (is_instr ? pend_i : pend_d) + (set >> 6);
+                    bit = std::uint64_t{1} << (set & 63);
+                }
+                lanes[num_lanes] =
+                    DescentLane{req_addr[k], type};
+                lane_word[num_lanes] = word;
+                lane_bit[num_lanes] = bit;
+                *word |= bit;
+                ++num_lanes;
+                hierarchy_.prefetchDescent(type, req_addr[k]);
+                if (num_lanes == lane_queue_capacity)
+                    flush_lanes();
+                continue;
+            }
             BypassMask mask;
             {
                 ProfScope<with_prof> prof_verdict(Phase::Verdict);
                 std::uint32_t cand;
-                mnm_->computeCandidates(type, req_addr_.data() + k,
+                mnm_->computeCandidates(type, req_addr + k,
                                         &cand, 1);
-                mask = mnm_->finishBypass(type, req_addr_[k], cand);
+                mask = mnm_->finishBypass(type, req_addr[k], cand);
             }
-            performAccess<with_prof, true>(type, req_addr_[k], mask,
+            performAccess<with_prof, true>(type, req_addr[k], mask,
                                            result);
         }
+        flush_lanes();
         return;
     }
 
@@ -272,6 +339,8 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
     // Verdict self time = the chunked SoA kernels, finishBypass, and
     // chunk control; each access's HierWalk scope nests inside.
     ProfScope<with_prof> prof_verdict(Phase::Verdict);
+    if (req_cand_.empty())
+        req_cand_.reset(RequestBatch::capacity);
     constexpr std::size_t chunk_lanes = 8;
     const std::uint8_t fetch_tag =
         static_cast<std::uint8_t>(AccessType::InstFetch);
@@ -282,21 +351,21 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
     const bool any_plan = mnm_->plansIdentical();
     std::size_t i = 0;
     while (i < n) {
-        const bool fetch = req_type_[i] == fetch_tag;
+        const bool fetch = req_type[i] == fetch_tag;
         std::size_t j = i + 1;
         while (j < n && j - i < chunk_lanes &&
-               (any_plan || (req_type_[j] == fetch_tag) == fetch)) {
+               (any_plan || (req_type[j] == fetch_tag) == fetch)) {
             ++j;
         }
         const AccessType plan_type =
             fetch ? AccessType::InstFetch : AccessType::Load;
         std::uint64_t epoch = mnm_->stateEpoch();
-        mnm_->computeCandidates(plan_type, req_addr_.data() + i,
+        mnm_->computeCandidates(plan_type, req_addr + i,
                                 req_cand_.data() + i, j - i);
         for (std::size_t k = i; k < j; ++k) {
             if (mnm_->stateEpoch() != epoch) {
                 epoch = mnm_->stateEpoch();
-                mnm_->computeCandidates(plan_type, req_addr_.data() + k,
+                mnm_->computeCandidates(plan_type, req_addr + k,
                                         req_cand_.data() + k, j - k);
             }
             // Hint the filter-table lines a fixed request distance
@@ -308,14 +377,14 @@ MemorySimulator::runBatchRequests(const InstructionBatch &batch,
             if (k + prefetch_requests < n) {
                 mnm_->prefetchCandidates(
                     static_cast<AccessType>(
-                        req_type_[k + prefetch_requests]),
-                    req_addr_[k + prefetch_requests]);
+                        req_type[k + prefetch_requests]),
+                    req_addr[k + prefetch_requests]);
             }
             const AccessType type =
-                static_cast<AccessType>(req_type_[k]);
+                static_cast<AccessType>(req_type[k]);
             BypassMask mask =
-                mnm_->finishBypass(type, req_addr_[k], req_cand_[k]);
-            performAccess<with_prof>(type, req_addr_[k], mask, result);
+                mnm_->finishBypass(type, req_addr[k], req_cand_[k]);
+            performAccess<with_prof>(type, req_addr[k], mask, result);
         }
         i = j;
     }
@@ -353,34 +422,114 @@ MemorySimulator::run(WorkloadGenerator &workload,
                 step<false>(inst, l1i, result);
         }
     } else {
-        if (!batch_)
-            batch_ = std::make_unique<InstructionBatch>();
         const bool batch_verdicts =
             mnm_ && mnm_->simdBackend() != SimdBackend::Off;
         std::uint64_t remaining = instructions;
-        while (remaining > 0) {
-            // The watchdog moves from per-instruction to per-batch: at
-            // most ~4096 instructions of extra latency before a cell
-            // deadline is noticed, well inside the second-scale
-            // timeouts MNM_CELL_TIMEOUT_S expresses.
-            {
-                PhaseScope prof(Phase::BatchGen);
-                pollCellDeadlineBatch();
-                workload.nextBatch(*batch_, remaining);
-            }
-            if (batch_verdicts) {
+        if (batch_verdicts) {
+            // Batch-verdict path: the consumption unit is the derived
+            // request stream itself (nextRequests() fuses generation
+            // with stage-1 derivation). The fetch-line dedup threads
+            // the simulator's persistent state through whichever
+            // producer runs -- with a producer thread, the pipeline's
+            // slot handoff orders every dedup write before this
+            // thread's reads.
+            FetchDedup dedup{l1i.blockBits(), cur_fetch_line_};
+            auto consume = [&](const RequestBatch &batch) {
                 if (with_prof)
-                    runBatchRequests<true>(*batch_, l1i, result);
+                    runBatchRequests<true>(batch, l1i, result);
                 else
-                    runBatchRequests<false>(*batch_, l1i, result);
-            } else if (with_prof) {
-                for (const Instruction &inst : *batch_)
-                    step<true>(inst, l1i, result);
+                    runBatchRequests<false>(batch, l1i, result);
+            };
+            if (overlap_) {
+                // Stage-decoupled generation: the pipeline produces
+                // batch N+1 (producer thread or software-pipelined
+                // slice) while this thread consumes batch N.
+                // Attribution stays honest: a synchronous pipeline is
+                // still generation (BatchGen); only a real producer
+                // thread turns this scope into overlap wait/handoff
+                // (GenOverlap).
+                RequestPipeline pipeline(workload, dedup, instructions);
+                const Phase gen_phase = pipeline.synchronous()
+                                            ? Phase::BatchGen
+                                            : Phase::GenOverlap;
+                while (remaining > 0) {
+                    const RequestBatch *batch;
+                    {
+                        PhaseScope prof(gen_phase);
+                        pollCellDeadlineBatch();
+                        batch = pipeline.acquire();
+                    }
+                    MNM_ASSERT(batch,
+                               "request pipeline ran dry before the "
+                               "instruction budget");
+                    consume(*batch);
+                    remaining -= batch->instructions;
+                }
             } else {
-                for (const Instruction &inst : *batch_)
-                    step<false>(inst, l1i, result);
+                if (!req_batch_)
+                    req_batch_ = std::make_unique<RequestBatch>();
+                while (remaining > 0) {
+                    {
+                        PhaseScope prof(Phase::BatchGen);
+                        pollCellDeadlineBatch();
+                        workload.nextRequests(*req_batch_, dedup,
+                                              remaining);
+                    }
+                    consume(*req_batch_);
+                    remaining -= req_batch_->instructions;
+                }
             }
-            remaining -= batch_->size;
+            cur_fetch_line_ = dedup.cur_line;
+        } else if (overlap_) {
+            // Step consumers under overlap: the handoff unit stays the
+            // Instruction record. The slice is a full batch, so on a
+            // single hardware thread this is the synchronous loop
+            // below, schedule and all.
+            BatchPipeline pipeline(workload, instructions);
+            const Phase gen_phase = pipeline.synchronous()
+                                        ? Phase::BatchGen
+                                        : Phase::GenOverlap;
+            while (remaining > 0) {
+                const InstructionBatch *batch;
+                {
+                    PhaseScope prof(gen_phase);
+                    pollCellDeadlineBatch();
+                    batch = pipeline.acquire();
+                }
+                MNM_ASSERT(batch,
+                           "batch pipeline ran dry before the "
+                           "instruction budget");
+                if (with_prof) {
+                    for (const Instruction &inst : *batch)
+                        step<true>(inst, l1i, result);
+                } else {
+                    for (const Instruction &inst : *batch)
+                        step<false>(inst, l1i, result);
+                }
+                remaining -= batch->size;
+            }
+        } else {
+            if (!batch_)
+                batch_ = std::make_unique<InstructionBatch>();
+            while (remaining > 0) {
+                // The watchdog moves from per-instruction to per-batch:
+                // at most ~4096 instructions of extra latency before a
+                // cell deadline is noticed, well inside the second-
+                // scale timeouts MNM_CELL_TIMEOUT_S expresses.
+                {
+                    PhaseScope prof(Phase::BatchGen);
+                    pollCellDeadlineBatch();
+                    workload.nextBatch(*batch_, remaining);
+                }
+                if (with_prof) {
+                    for (const Instruction &inst : *batch_)
+                        step<true>(inst, l1i, result);
+                } else {
+                    for (const Instruction &inst : *batch_)
+                        step<false>(inst, l1i, result);
+                }
+                remaining -= batch_->size;
+            }
         }
     }
 

@@ -154,6 +154,16 @@ class MemorySimulator
     void setReferenceFeed(bool on);
     bool referenceFeed() const { return mnm_ && mnm_->referenceFeed(); }
 
+    /**
+     * Overlap batch generation with consumption through a BatchPipeline
+     * (the MNM_OVERLAP knob; see trace/batch_pipeline.hh). Defaults to
+     * the environment's verdict; tests flip it per instance. The
+     * generated stream -- and therefore every counter and output byte
+     * -- is identical either way; only the schedule changes.
+     */
+    void setOverlap(bool on) { overlap_ = on; }
+    bool overlap() const { return overlap_; }
+
     CacheHierarchy &hierarchy() { return hierarchy_; }
     MnmUnit *mnm() { return mnm_ ? mnm_.get() : nullptr; }
 
@@ -168,6 +178,17 @@ class MemorySimulator
         std::uint64_t wb_absorbed = 0;  //!< writeback dirtied a copy
         std::uint64_t wb_forwarded = 0; //!< writeback probed and passed
     };
+
+    /** Post-walk accounting shared by performAccess() and the lane
+     *  queue's descendLanes consume callback: coverage, decisions,
+     *  latency/energy-event counts -- everything an access adds to the
+     *  result once its AccessResult exists. Pure sums over the record,
+     *  so invocation order across accesses cannot change any total.
+     *  Force-inlined: it was part of the performAccess template body
+     *  before the lane queue split it out, and every call site is on
+     *  the per-access hot path. */
+    __attribute__((always_inline)) void
+    accountAccess(const AccessResult &access, MemSimResult &result);
 
     /** One request through MNM + hierarchy with full accounting.
      *  Templated on profiling like the batch path: run() selects the
@@ -190,12 +211,16 @@ class MemorySimulator
     void performAccess(AccessType type, Addr addr,
                        const BypassMask &mask, MemSimResult &result);
 
-    /** Batch path: derive one batch's ordered request stream, verdict
-     *  it in chunks through the MNM's SoA kernels, consume in order.
-     *  Templated like performAccess: run() picks the instantiation
-     *  once, so the off path stays scope-free per access. */
+    /** Batch path: consume one pre-derived request batch -- verdict it
+     *  through the MNM's kernels (L1-peek + lane queue for guard-free
+     *  plans, chunked SoA kernels for guarded ones), walk, account.
+     *  The request stream arrives already derived (the generators'
+     *  nextRequests() fuses derivation into generation), so this is
+     *  pure consumption. Templated like performAccess: run() picks the
+     *  instantiation once, so the off path stays scope-free per
+     *  access. */
     template <bool with_prof>
-    void runBatchRequests(const InstructionBatch &batch, const Cache &l1i,
+    void runBatchRequests(const RequestBatch &batch, const Cache &l1i,
                           MemSimResult &result);
 
     /** One instruction: fetch-line dedup plus the data request. */
@@ -226,13 +251,21 @@ class MemorySimulator
     /** Batch buffer, heap-allocated once (128KB is unkind to stacks
      *  when runSweep's worker threads run many simulators). */
     std::unique_ptr<InstructionBatch> batch_;
-    /** Per-batch request stream scratch (<= 2 requests/instruction:
-     *  one fetch-line fill plus one data access), allocated lazily by
-     *  the batch-verdict path. */
-    AlignedArray<Addr> req_addr_;
-    AlignedArray<std::uint8_t> req_type_;
+    /** Request batch buffer for the overlap-off batch-verdict path
+     *  (the overlap pipeline owns its own slots), heap-allocated
+     *  lazily. */
+    std::unique_ptr<RequestBatch> req_batch_;
+    /** Per-batch verdict scratch for the guarded (stage 2b) path,
+     *  allocated lazily. */
     AlignedArray<std::uint32_t> req_cand_;
     bool reference_kernel_ = false;
+    /** MNM_OVERLAP: generate batches through a BatchPipeline. */
+    bool overlap_;
+    /** Lane-queue pending-set conflict bitmaps, one bit per L1 set
+     *  ([0] = I-side, [1] = D-side; one shared vector when level 1 is
+     *  unified). Sized lazily by the stage-2a fast path; bits live
+     *  only between a lane's enqueue and its flush. */
+    std::vector<std::uint64_t> pending_sets_[2];
     PicoJoules mnm_energy_seen_ = 0.0; //!< consumed total at last drain
     Addr cur_fetch_line_ = invalid_addr;
 };

@@ -1,0 +1,25 @@
+#include "trace/batch_pipeline.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace mnm
+{
+
+bool
+overlapFromEnv()
+{
+    static const bool on = [] {
+        const char *env = std::getenv("MNM_OVERLAP");
+        if (!env || std::strcmp(env, "on") == 0)
+            return true;
+        if (std::strcmp(env, "off") == 0)
+            return false;
+        fatal("MNM_OVERLAP='%s' must be 'off' or 'on'", env);
+    }();
+    return on;
+}
+
+} // namespace mnm

@@ -165,8 +165,9 @@ SyntheticWorkload::dataAddress(Rng &rng)
     return addr;
 }
 
+template <bool deps_used, typename Sink>
 void
-SyntheticWorkload::generateRun(Rng &rng, Instruction *out, std::size_t n)
+SyntheticWorkload::generateLoop(Rng &rng, std::size_t n, Sink &&sink)
 {
     // Class-select thresholds: the cutoff doubles are computed with
     // exactly the additions the original per-instruction comparisons
@@ -195,8 +196,6 @@ SyntheticWorkload::generateRun(Rng &rng, Instruction *out, std::size_t n)
     Addr loop_end = loop_start_ + loop_bytes_;
 
     for (std::size_t i = 0; i < n; ++i) {
-        Instruction &inst = out[i];
-
         pc += 4;
         if (pc >= loop_end) {
             if (loop_iters_left_ > 1) {
@@ -229,27 +228,68 @@ SyntheticWorkload::generateRun(Rng &rng, Instruction *out, std::size_t n)
 
         // Producer distances: geometric around the mean, capped so
         // they always reference an earlier instruction in any
-        // realistic window.
+        // realistic window. A sink that discards distances (the request
+        // producer) still consumes the draw -- the stream is the
+        // contract -- but skips the table walk that would turn it into
+        // a value.
         auto dist = [&]() -> std::uint16_t {
-            std::uint64_t d =
-                dep_table ? dep_table->sample(rng.next() >> 11) : 0;
+            if (!dep_table)
+                return 0;
+            const std::uint64_t m = rng.next() >> 11;
+            if constexpr (!deps_used)
+                return 0;
             return static_cast<std::uint16_t>(
-                std::min<std::uint64_t>(d, 512));
+                std::min<std::uint64_t>(dep_table->sample(m), 512));
         };
         const std::uint16_t dep1 = dist();
         const std::uint16_t dep2 = rng.nextBoolFast(half_t) ? dist() : 0;
 
-        // Every field written exactly once (no Instruction() reset;
-        // the trace writer copies fields, so padding never escapes).
-        inst.cls = cls;
-        inst.pc = pc;
-        inst.mem_addr = mem_addr;
-        inst.dep1 = dep1;
-        inst.dep2 = dep2;
-        inst.exec_latency = exec_latency;
-        inst.mispredicted = mispredicted;
+        sink(pc, cls, mem_addr, dep1, dep2, exec_latency, mispredicted);
     }
     pc_ = pc;
+}
+
+void
+SyntheticWorkload::generateRun(Rng &rng, Instruction *out, std::size_t n)
+{
+    generateLoop<true>(rng, n,
+                 [out](Addr pc, InstClass cls, Addr mem_addr,
+                       std::uint16_t dep1, std::uint16_t dep2,
+                       std::uint8_t exec_latency,
+                       bool mispredicted) mutable {
+                     // Every field written exactly once (no
+                     // Instruction() reset; the trace writer copies
+                     // fields, so padding never escapes).
+                     Instruction &inst = *out++;
+                     inst.cls = cls;
+                     inst.pc = pc;
+                     inst.mem_addr = mem_addr;
+                     inst.dep1 = dep1;
+                     inst.dep2 = dep2;
+                     inst.exec_latency = exec_latency;
+                     inst.mispredicted = mispredicted;
+                 });
+}
+
+void
+SyntheticWorkload::nextRequests(RequestBatch &batch, FetchDedup &dedup,
+                                std::size_t max)
+{
+    std::size_t n = std::min(max, InstructionBatch::capacity);
+    batch.clear();
+    // Local copies of the rng (256-bit state in registers, like
+    // nextBatch) and the dedup state (one fewer pointer chase per
+    // instruction); both streams write back at the end.
+    Rng rng = rng_;
+    FetchDedup local = dedup;
+    generateLoop<false>(rng, n,
+                 [&batch, &local](Addr pc, InstClass cls, Addr mem_addr,
+                                  std::uint16_t, std::uint16_t,
+                                  std::uint8_t, bool) {
+                     deriveInstruction(batch, local, pc, cls, mem_addr);
+                 });
+    rng_ = rng;
+    dedup = local;
 }
 
 void

@@ -95,6 +95,8 @@ class SyntheticWorkload : public WorkloadGenerator
 
     void next(Instruction &out) override;
     void nextBatch(InstructionBatch &batch, std::size_t max) override;
+    void nextRequests(RequestBatch &batch, FetchDedup &dedup,
+                      std::size_t max) override;
     void reset() override;
     std::string name() const override { return params_.name; }
 
@@ -124,10 +126,19 @@ class SyntheticWorkload : public WorkloadGenerator
 
     Addr dataAddress(Rng &rng);
     void startLoop(Rng &rng);
-    /** The generation kernel behind next()/nextBatch(): fills @p n
-     *  records drawing from @p rng. Hot scalar state (the rng, the pc
-     *  walk) lives in locals for the whole run so it stays in
-     *  registers; draw order is exactly next()'s. */
+    /** The generation kernel behind next()/nextBatch()/nextRequests():
+     *  draws @p n instructions from @p rng and hands each to
+     *  @p sink(pc, cls, mem_addr, dep1, dep2, exec_latency,
+     *  mispredicted). Hot scalar state (the rng, the pc walk) lives in
+     *  locals for the whole run so it stays in registers. The sink
+     *  only observes -- every draw happens unconditionally in next()'s
+     *  exact order, so the record and request producers share one
+     *  stream. deps_used=false elides the dependence-distance table
+     *  walks (their draws still happen; only the discarded value
+     *  computation goes) for sinks that never read dep1/dep2. */
+    template <bool deps_used, typename Sink>
+    void generateLoop(Rng &rng, std::size_t n, Sink &&sink);
+    /** generateLoop with the record-writing sink (next()/nextBatch()). */
     void generateRun(Rng &rng, Instruction *out, std::size_t n);
 
     SyntheticParams params_;

@@ -16,6 +16,17 @@ WorkloadGenerator::nextBatch(InstructionBatch &batch, std::size_t max)
     batch.size = n;
 }
 
+void
+WorkloadGenerator::nextRequests(RequestBatch &batch, FetchDedup &dedup,
+                                std::size_t max)
+{
+    if (!derive_scratch_)
+        derive_scratch_ = std::make_unique<InstructionBatch>();
+    nextBatch(*derive_scratch_, max);
+    batch.clear();
+    deriveRequests(batch, dedup, *derive_scratch_);
+}
+
 ScriptedWorkload::ScriptedWorkload(std::vector<Instruction> script,
                                    std::string name)
     : script_(std::move(script)), name_(std::move(name))

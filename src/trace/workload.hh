@@ -12,7 +12,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "trace/instruction.hh"
+#include "trace/request_batch.hh"
 #include "util/random.hh"
 
 namespace mnm
@@ -36,11 +39,28 @@ class WorkloadGenerator
      */
     virtual void nextBatch(InstructionBatch &batch, std::size_t max);
 
+    /**
+     * Fill @p batch with the request stream of the next
+     * min(@p max, InstructionBatch::capacity) instructions: exactly
+     * what deriving a nextBatch() fill through @p dedup would produce
+     * (the base implementation does precisely that, via a lazily
+     * allocated scratch batch). Generators override it with a fused
+     * generate+derive loop that never materializes the Instruction
+     * records; the RNG draw sequence is identical either way, so the
+     * two paths are byte-interchangeable mid-stream.
+     */
+    virtual void nextRequests(RequestBatch &batch, FetchDedup &dedup,
+                              std::size_t max);
+
     /** Restart the stream from the beginning (same sequence again). */
     virtual void reset() = 0;
 
     /** Display name (the SPEC-like label for synthetic workloads). */
     virtual std::string name() const = 0;
+
+  private:
+    /** Scratch for the base nextRequests(); heap, 128KB. */
+    std::unique_ptr<InstructionBatch> derive_scratch_;
 };
 
 /** Replays a fixed vector of instructions, cycling at the end. */

@@ -290,5 +290,84 @@ TEST(KernelEquivalenceTest, FaultedFiltersMatchVirtualFeedExactly)
     }
 }
 
+TEST(KernelEquivalenceTest, OverlapPipelineMatchesSynchronousExactly)
+{
+    // The MNM_OVERLAP axis: stage-decoupled generation (producer
+    // thread on multi-core hosts, software-pipelined slices on
+    // single-core ones -- whatever PipelineMode::Auto picks here)
+    // against the plain synchronous generate-then-consume loop. Both
+    // feed paths and every verdict backend: the schedule is the only
+    // thing allowed to change, so every counter must match bit for
+    // bit. Off-backend cells route through the instruction pipeline
+    // (step consumers), on-backend cells through the fused request
+    // pipeline -- both handoffs are under test.
+    for (const char *name :
+         {"RMNM_512_2", "SMNM_13x2", "TMNM_12x3", "CMNM_8_10",
+          "HMNM4"}) {
+        SCOPED_TRACE(name);
+        const MnmSpec spec = mnmSpecByName(name);
+        auto run_case = [&](bool overlap, bool reference_feed,
+                            SimdBackend backend) {
+            MemorySimulator sim(paperHierarchy(5), spec);
+            sim.setOverlap(overlap);
+            if (reference_feed)
+                sim.setReferenceFeed(true);
+            sim.mnm()->setSimdBackend(backend);
+            auto workload = makeSpecWorkload(workload_name);
+            sim.run(*workload, run_instructions / 2);
+            return sim.run(*workload, run_instructions / 2);
+        };
+        for (bool reference_feed : {false, true}) {
+            SCOPED_TRACE(reference_feed ? "reference-feed"
+                                        : "batched-feed");
+            for (SimdBackend backend : verdictBackends()) {
+                SCOPED_TRACE(simdBackendName(backend));
+                MemSimResult synchronous =
+                    run_case(false, reference_feed, backend);
+                MemSimResult overlapped =
+                    run_case(true, reference_feed, backend);
+                expectIdenticalResults(overlapped, synchronous);
+            }
+        }
+    }
+}
+
+TEST(KernelEquivalenceTest, FaultedOverlapMatchesSynchronousExactly)
+{
+    // Overlap under corrupted filter state: the deterministic flips
+    // land between two windows (while no pipeline is alive -- a
+    // pipeline's stream ownership ends with its run), and the
+    // oracle-checked continuation must agree bit for bit with the
+    // synchronous schedule, violations included.
+    for (const char *name : {"RMNM_512_2", "HMNM4"}) {
+        SCOPED_TRACE(name);
+        MnmSpec spec = mnmSpecByName(name);
+        spec.oracle_check = true;
+        auto run_case = [&](bool overlap, SimdBackend backend) {
+            MemorySimulator sim(paperHierarchy(5), spec);
+            sim.setOverlap(overlap);
+            sim.mnm()->setSimdBackend(backend);
+            auto workload = makeSpecWorkload(workload_name);
+            sim.run(*workload, run_instructions / 2);
+            auto surfaces = FaultInjector::faultSurfaces(*sim.mnm());
+            EXPECT_FALSE(surfaces.empty());
+            for (std::size_t s = 0; s < surfaces.size(); ++s) {
+                for (std::uint64_t bit :
+                     {std::uint64_t{0}, surfaces[s].bits / 2,
+                      surfaces[s].bits - 1}) {
+                    FaultInjector::flip(*sim.mnm(), s, bit);
+                }
+            }
+            return sim.run(*workload, run_instructions / 2);
+        };
+        for (SimdBackend backend : verdictBackends()) {
+            SCOPED_TRACE(simdBackendName(backend));
+            MemSimResult synchronous = run_case(false, backend);
+            MemSimResult overlapped = run_case(true, backend);
+            expectIdenticalResults(overlapped, synchronous);
+        }
+    }
+}
+
 } // anonymous namespace
 } // namespace mnm

@@ -348,7 +348,7 @@ def attribute_regression(name, run_prof_shares, base_prof_shares):
 #: phases sort after these, alphabetically.
 PROF_PHASE_ORDER = ("run", "batch_gen", "l1_peek", "verdict",
                     "hier_walk", "update_feed", "cold_account",
-                    "feed_drain")
+                    "feed_drain", "gen_overlap", "lane_descent")
 
 
 def prof_phase_rows(node):
@@ -532,10 +532,17 @@ def run_perf(baseline_path, paths, require_same_cells=False) -> int:
         if doc.get("schema") in KERNEL_BENCH_SCHEMAS:
             configs = perf_configs(doc)
             run_prof_shares = perf_prof_shares(doc)
+            # Gap-to-floor: every MNM cell as a fraction of the bare
+            # hierarchy ("off") cell measured by the same run, so the
+            # "NN% of the no-MNM floor" number in the ROADMAP is
+            # computed, never hand-derived from two lines of output.
+            floor = configs.get("off[n/a]", configs.get("off"))
             print(f"{path}: kernel bench, app {doc.get('app', '?')}, "
                   f"{doc.get('instructions', '?')} instructions/config")
             for name, ips in configs.items():
                 line = f"  {name:<28} {ips:14.0f} instr/sec"
+                if floor and not name.startswith("off"):
+                    line += f"  {ips / floor:6.1%} of floor"
                 extra = []
                 if baseline is not None and name in baseline:
                     ratio = ips / baseline[name]
